@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates the Section 5.2 LK-vs-C11 comparison: the first and
+ * last columns of Table 5, the Figure 13/14 discussion, and a
+ * systematic diy sweep quantifying how often the two models
+ * disagree and in which direction.
+ */
+
+#include <cstdio>
+
+#include "diy/generator.hh"
+#include "lkmm/catalog.hh"
+#include "model/c11_model.hh"
+#include "model/lkmm_model.hh"
+
+int
+main()
+{
+    using namespace lkmm;
+
+    LkmmModel lk;
+    C11Model c11;
+
+    std::printf("LK vs C11 on Table 5 (Section 5.2)\n\n");
+    std::printf("%-28s %-8s %-8s %s\n", "Test", "LK", "C11", "note");
+    for (const CatalogEntry &e : table5()) {
+        if (!C11Model::supports(e.prog)) {
+            std::printf("%-28s %-8s %-8s %s\n", e.prog.name.c_str(),
+                        verdictName(runTest(e.prog, lk).verdict), "-",
+                        "no C11 counterpart for RCU");
+            continue;
+        }
+        Verdict vl = quickVerdict(e.prog, lk);
+        Verdict vc = quickVerdict(e.prog, c11);
+        const char *note = "";
+        if (vl == Verdict::Forbid && vc == Verdict::Allow)
+            note = "LK stronger (smp_mb restores SC / deps)";
+        else if (vl == Verdict::Allow && vc == Verdict::Forbid)
+            note = "C11 stronger (no smp_wmb equivalent)";
+        std::printf("%-28s %-8s %-8s %s\n", e.prog.name.c_str(),
+                    verdictName(vl), verdictName(vc), note);
+    }
+
+    // Systematic sweep over generated cycles.
+    std::printf("\ndiy sweep: LK vs C11 over generated cycles\n");
+    auto tests = enumerateCycles(defaultAlphabet(), 4, 3000);
+    std::size_t agree = 0;
+    std::size_t lk_stronger = 0;
+    std::size_t c11_stronger = 0;
+    for (const Program &p : tests) {
+        Verdict vl = quickVerdict(p, lk);
+        Verdict vc = quickVerdict(p, c11);
+        if (vl == vc) {
+            ++agree;
+        } else if (vl == Verdict::Forbid) {
+            ++lk_stronger;
+        } else {
+            ++c11_stronger;
+        }
+    }
+    std::printf("  %zu tests: agree on %zu, LK-only-forbids %zu, "
+                "C11-only-forbids %zu\n",
+                tests.size(), agree, lk_stronger, c11_stronger);
+    std::printf("  (LK-only: control deps, smp_mb-restores-SC; "
+                "C11-only: release-fence vs smp_wmb)\n");
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * relational algebra (closures, sequencing), candidate enumeration,
+ * model checking (native vs cat-interpreted), and the operational
+ * machines.  These are throughput numbers for the substrate, not a
+ * paper table.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cat/eval.hh"
+#include "lkmm/catalog.hh"
+#include "model/c11_model.hh"
+#include "model/lkmm_model.hh"
+#include "model/power_model.hh"
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace lkmm;
+
+Relation
+denseRelation(std::size_t n, unsigned seed)
+{
+    Relation r(n);
+    unsigned state = seed * 2654435761u + 1u;
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = 0; b < n; ++b) {
+            state = state * 1664525u + 1013904223u;
+            if ((state >> 28) < 4)
+                r.add(a, b);
+        }
+    }
+    return r;
+}
+
+void
+BM_RelationTransitiveClosure(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Relation r = denseRelation(n, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(r.plus());
+}
+BENCHMARK(BM_RelationTransitiveClosure)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_RelationSequence(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Relation a = denseRelation(n, 1);
+    Relation b = denseRelation(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.seq(b));
+}
+BENCHMARK(BM_RelationSequence)->Arg(16)->Arg(64);
+
+void
+BM_EnumerateCandidates(benchmark::State &state)
+{
+    Program p = wrcPoRelRmb();
+    for (auto _ : state) {
+        Enumerator en(p);
+        std::size_t count = 0;
+        en.forEach([&](const CandidateExecution &) {
+            ++count;
+            return true;
+        });
+        benchmark::DoNotOptimize(count);
+    }
+}
+BENCHMARK(BM_EnumerateCandidates);
+
+void
+BM_LkmmCheck(benchmark::State &state)
+{
+    Program p = peterZ();
+    Enumerator en(p);
+    auto execs = en.all();
+    LkmmModel model;
+    for (auto _ : state) {
+        for (const auto &ex : execs)
+            benchmark::DoNotOptimize(model.allows(ex));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * execs.size()));
+}
+BENCHMARK(BM_LkmmCheck);
+
+void
+BM_CatLkmmCheck(benchmark::State &state)
+{
+    Program p = peterZ();
+    Enumerator en(p);
+    auto execs = en.all();
+    auto model = CatModel::fromFile(
+        std::string(LKMM_CAT_MODEL_DIR) + "/lkmm.cat");
+    for (auto _ : state) {
+        for (const auto &ex : execs)
+            benchmark::DoNotOptimize(model.allows(ex));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * execs.size()));
+}
+BENCHMARK(BM_CatLkmmCheck);
+
+void
+BM_PowerCheck(benchmark::State &state)
+{
+    Program p = peterZ();
+    Enumerator en(p);
+    auto execs = en.all();
+    PowerModel model;
+    for (auto _ : state) {
+        for (const auto &ex : execs)
+            benchmark::DoNotOptimize(model.allows(ex));
+    }
+}
+BENCHMARK(BM_PowerCheck);
+
+void
+BM_C11Check(benchmark::State &state)
+{
+    Program p = rwcMbs();
+    Enumerator en(p);
+    auto execs = en.all();
+    C11Model model;
+    for (auto _ : state) {
+        for (const auto &ex : execs)
+            benchmark::DoNotOptimize(model.allows(ex));
+    }
+}
+BENCHMARK(BM_C11Check);
+
+void
+BM_OperationalMachineRun(benchmark::State &state)
+{
+    Program p = sb();
+    OperationalMachine machine(p, MachineConfig::power());
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.run(++seed));
+}
+BENCHMARK(BM_OperationalMachineRun);
+
+void
+BM_FullTestVerdict(benchmark::State &state)
+{
+    Program p = rcuMp();
+    LkmmModel model;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quickVerdict(p, model));
+}
+BENCHMARK(BM_FullTestVerdict);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * A klitmus-in-miniature for the *host* machine: run litmus idioms
+ * with real std::thread + std::atomic (relaxed accesses compile to
+ * plain loads/stores) and histogram the outcomes.  On an x86 host
+ * you should see store buffering (SB) observed and MP/LB never —
+ * the X86 column of Table 5, live.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+namespace
+{
+
+struct Shared
+{
+    std::atomic<int> x{0};
+    std::atomic<int> y{0};
+    std::atomic<int> r[4] = {};
+
+    void
+    reset()
+    {
+        x.store(0, std::memory_order_relaxed);
+        y.store(0, std::memory_order_relaxed);
+        for (auto &reg : r)
+            reg.store(0, std::memory_order_relaxed);
+    }
+};
+
+struct NativeTest
+{
+    const char *name;
+    const char *condition;
+    std::function<void(Shared &)> t0;
+    std::function<void(Shared &)> t1;
+    std::function<bool(Shared &)> observed;
+};
+
+void
+runTest(const NativeTest &test, long iterations)
+{
+    Shared shared;
+    std::atomic<int> phase{0};
+    std::atomic<bool> quit{false};
+    long observed = 0;
+
+    auto body = [&](int id, const std::function<void(Shared &)> &fn) {
+        int my_phase = 0;
+        for (;;) {
+            // Spin until the coordinator releases this round.
+            while (phase.load(std::memory_order_acquire) <=
+                   my_phase) {
+                if (quit.load(std::memory_order_relaxed))
+                    return;
+                std::this_thread::yield();
+            }
+            my_phase = phase.load(std::memory_order_relaxed);
+            fn(shared);
+            shared.r[2 + id].store(my_phase,
+                                   std::memory_order_release);
+        }
+    };
+
+    std::thread a(body, 0, test.t0);
+    std::thread b(body, 1, test.t1);
+
+    for (long i = 1; i <= iterations; ++i) {
+        shared.reset();
+        phase.store(static_cast<int>(i), std::memory_order_release);
+        // Wait for both workers to finish the round.
+        while (shared.r[2].load(std::memory_order_acquire) != i ||
+               shared.r[3].load(std::memory_order_acquire) != i) {
+            std::this_thread::yield();
+        }
+        if (test.observed(shared))
+            ++observed;
+    }
+    quit.store(true);
+    phase.store(static_cast<int>(iterations) + 1,
+                std::memory_order_release);
+    a.join();
+    b.join();
+
+    std::printf("%-10s exists (%s): observed %ld/%ld%s\n", test.name,
+                test.condition, observed, iterations,
+                observed ? "" : "  (never)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long iterations = 50000;
+    if (argc > 1)
+        iterations = std::strtol(argv[1], nullptr, 10);
+
+    std::printf("running litmus idioms on the HOST hardware "
+                "(std::thread + relaxed atomics)\n\n");
+    if (std::thread::hardware_concurrency() < 2) {
+        std::printf("note: this host has a single hardware thread; "
+                    "weak outcomes need true parallelism and will "
+                    "not be observed here.\n\n");
+        iterations = std::min(iterations, 2000L);
+    }
+
+    NativeTest sb{
+        "SB",
+        "r0=0 /\\ r1=0",
+        [](Shared &s) {
+            s.x.store(1, std::memory_order_relaxed);
+            s.r[0].store(s.y.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            s.y.store(1, std::memory_order_relaxed);
+            s.r[1].store(s.x.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            return s.r[0].load(std::memory_order_relaxed) == 0 &&
+                s.r[1].load(std::memory_order_relaxed) == 0;
+        },
+    };
+
+    NativeTest sb_mbs{
+        "SB+mbs",
+        "r0=0 /\\ r1=0",
+        [](Shared &s) {
+            s.x.store(1, std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            s.r[0].store(s.y.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            s.y.store(1, std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            s.r[1].store(s.x.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            return s.r[0].load(std::memory_order_relaxed) == 0 &&
+                s.r[1].load(std::memory_order_relaxed) == 0;
+        },
+    };
+
+    NativeTest mp{
+        "MP",
+        "r0=1 /\\ r1=0",
+        [](Shared &s) {
+            s.x.store(1, std::memory_order_relaxed);
+            s.y.store(1, std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            s.r[0].store(s.y.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+            s.r[1].store(s.x.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            return s.r[0].load(std::memory_order_relaxed) == 1 &&
+                s.r[1].load(std::memory_order_relaxed) == 0;
+        },
+    };
+
+    NativeTest lb{
+        "LB",
+        "r0=1 /\\ r1=1",
+        [](Shared &s) {
+            s.r[0].store(s.x.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+            s.y.store(1, std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            s.r[1].store(s.y.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+            s.x.store(1, std::memory_order_relaxed);
+        },
+        [](Shared &s) {
+            return s.r[0].load(std::memory_order_relaxed) == 1 &&
+                s.r[1].load(std::memory_order_relaxed) == 1;
+        },
+    };
+
+    runTest(sb, iterations);
+    runTest(sb_mbs, iterations);
+    runTest(mp, iterations);
+    runTest(lb, iterations);
+
+    std::printf("\nOn x86 hosts: SB should be observed (the store "
+                "buffer), SB+mbs never, MP and LB never — the X86 "
+                "column of Table 5.\n");
+    return 0;
+}

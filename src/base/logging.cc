@@ -1,0 +1,32 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace lkmm
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace lkmm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal/panic tradition.
+ *
+ * panic() is for internal invariant violations (simulator bugs);
+ * fatal() is for user errors (malformed litmus files, bad options).
+ * Both are implemented on top of exceptions so that library users and
+ * the test suite can intercept them.
+ */
+
+#ifndef LKMM_BASE_LOGGING_HH
+#define LKMM_BASE_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace lkmm
+{
+
+/** Thrown by fatal(): a user-level error (bad input, bad options). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Report a user-level error; never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal error; never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr and continue. */
+void inform(const std::string &msg);
+
+/**
+ * Assert an internal invariant, panicking with a message on failure.
+ *
+ * Unlike assert(), this stays active in release builds: the
+ * enumerator and model checkers rely on these checks for soundness.
+ */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace lkmm
+
+#endif // LKMM_BASE_LOGGING_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The operational "klitmus" harness (src/sim) must be reproducible:
+ * the same seed must yield the same schedule on every platform.  We
+ * therefore ship our own xoshiro256** implementation instead of
+ * relying on std::mt19937 plus distribution objects, whose outputs
+ * are not specified identically across standard libraries.
+ */
+
+#ifndef LKMM_BASE_RNG_HH
+#define LKMM_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace lkmm
+{
+
+/** xoshiro256** generator with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound) with rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace lkmm
+
+#endif // LKMM_BASE_RNG_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string helpers shared by the parsers and table printers.
+ */
+
+#ifndef LKMM_BASE_STRUTIL_HH
+#define LKMM_BASE_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lkmm
+{
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a separator character; does not merge empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** True when s starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True when s ends with the given suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Join pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 const std::string &sep);
+
+/** Render a count the way the paper does: 741k, 57M, 15G. */
+std::string humanCount(std::uint64_t n);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace lkmm
+
+#endif // LKMM_BASE_STRUTIL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Abstract syntax of the cat subset we interpret.
+ *
+ * The cat language [Alglave-Cousot-Maranget 2016] defines
+ * consistency models as relation definitions plus acyclicity /
+ * irreflexivity / emptiness constraints.  The subset here covers
+ * everything the paper's Figures 3, 8 and 12 need: let and
+ * recursive let (with `and` for mutual recursion), unary functions,
+ * the full relational algebra, set products and identity-on-set
+ * brackets.
+ */
+
+#ifndef LKMM_CAT_AST_HH
+#define LKMM_CAT_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lkmm::cat
+{
+
+/** An expression over relations and sets of events. */
+struct CatExpr
+{
+    enum class Kind
+    {
+        Id,         ///< identifier reference
+        Union,      ///< e1 | e2
+        Inter,      ///< e1 & e2
+        Diff,       ///< e1 \ e2
+        Seq,        ///< e1 ; e2
+        Product,    ///< S1 * S2 (sets -> relation)
+        Compl,      ///< ~e
+        Inverse,    ///< e^-1
+        Opt,        ///< e?
+        Plus,       ///< e+
+        Star,       ///< e* (postfix)
+        Bracket,    ///< [S]: identity restricted to a set
+        Call,       ///< f(e)
+    };
+
+    Kind kind;
+    std::string name;   ///< for Id and Call
+    std::vector<std::unique_ptr<CatExpr>> args;
+
+    explicit CatExpr(Kind k) : kind(k) {}
+};
+
+using CatExprPtr = std::unique_ptr<CatExpr>;
+
+/** One binding of a let/let-rec (possibly with parameters). */
+struct CatBinding
+{
+    std::string name;
+    std::vector<std::string> params; ///< empty for plain definitions
+    CatExprPtr body;
+};
+
+/** A statement: a definition group or a constraint. */
+struct CatStatement
+{
+    enum class Kind
+    {
+        Let,         ///< let (rec) a = e (and b = e)*
+        Acyclic,
+        Irreflexive,
+        Empty,
+    };
+
+    Kind kind;
+    bool recursive = false;           ///< for Let
+    std::vector<CatBinding> bindings; ///< for Let
+    CatExprPtr constraint;            ///< for checks
+    std::string checkName;            ///< "... as name"
+};
+
+/** A parsed cat model. */
+struct CatFile
+{
+    std::string modelName; ///< the leading quoted string, if any
+    std::vector<CatStatement> statements;
+};
+
+} // namespace lkmm::cat
+
+#endif // LKMM_CAT_AST_HH

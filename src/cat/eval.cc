@@ -1,0 +1,326 @@
+#include "cat/eval.hh"
+
+#include <functional>
+
+#include "base/logging.hh"
+#include "cat/parser.hh"
+
+namespace lkmm
+{
+
+using cat::CatValue;
+using cat::CatExpr;
+using cat::CatStatement;
+
+namespace
+{
+
+/** A user-defined cat function (closure over the environment). */
+struct CatFunction
+{
+    std::vector<std::string> params;
+    const CatExpr *body;
+};
+
+class Evaluator
+{
+  public:
+    Evaluator(const CandidateExecution &ex) : ex_(ex), n_(ex.numEvents())
+    {
+        installBuiltins();
+    }
+
+    /** Run one statement; returns a violation for failed checks. */
+    std::optional<Violation>
+    run(const CatStatement &st)
+    {
+        switch (st.kind) {
+          case CatStatement::Kind::Let:
+            define(st);
+            return std::nullopt;
+          case CatStatement::Kind::Acyclic:
+            return requireAcyclic(relOf(eval(*st.constraint)),
+                                  st.checkName.empty() ? "acyclic"
+                                                       : st.checkName);
+          case CatStatement::Kind::Irreflexive:
+            return requireIrreflexive(relOf(eval(*st.constraint)),
+                                      st.checkName.empty()
+                                          ? "irreflexive"
+                                          : st.checkName);
+          case CatStatement::Kind::Empty:
+            return requireEmpty(relOf(eval(*st.constraint)),
+                                st.checkName.empty() ? "empty"
+                                                     : st.checkName);
+        }
+        panic("unhandled cat statement");
+    }
+
+    const std::map<std::string, CatValue> &env() const { return env_; }
+
+  private:
+    void
+    define(const CatStatement &st)
+    {
+        if (!st.recursive) {
+            for (const auto &binding : st.bindings) {
+                if (!binding.params.empty()) {
+                    funcs_[binding.name] =
+                        CatFunction{binding.params, binding.body.get()};
+                } else {
+                    env_[binding.name] = eval(*binding.body);
+                }
+            }
+            return;
+        }
+
+        // Recursive definitions: joint least fixpoint from empty
+        // relations, iterating all bindings until stable.
+        for (const auto &binding : st.bindings) {
+            panicIf(!binding.params.empty(),
+                    "recursive cat functions are not supported");
+            env_[binding.name] = CatValue::ofRel(Relation(n_));
+        }
+        for (;;) {
+            bool changed = false;
+            for (const auto &binding : st.bindings) {
+                CatValue next = eval(*binding.body);
+                panicIf(next.kind != CatValue::Kind::Rel,
+                        "recursive cat sets are not supported");
+                if (!(next.rel == env_[binding.name].rel)) {
+                    env_[binding.name] = std::move(next);
+                    changed = true;
+                }
+            }
+            if (!changed)
+                return;
+        }
+    }
+
+    static Relation
+    relOf(const CatValue &v)
+    {
+        panicIf(v.kind != CatValue::Kind::Rel,
+                "cat: expected a relation, got a set");
+        return v.rel;
+    }
+
+    static EventSet
+    setOf(const CatValue &v)
+    {
+        panicIf(v.kind != CatValue::Kind::Set,
+                "cat: expected a set, got a relation");
+        return v.set;
+    }
+
+    Relation
+    identityOn(const EventSet &s) const
+    {
+        Relation r(n_);
+        for (EventId e : s.members())
+            r.add(e, e);
+        return r;
+    }
+
+    CatValue
+    eval(const CatExpr &e)
+    {
+        switch (e.kind) {
+          case CatExpr::Kind::Id: {
+            auto it = env_.find(e.name);
+            if (it == env_.end())
+                fatal("cat: undefined identifier '" + e.name + "'");
+            return it->second;
+          }
+          case CatExpr::Kind::Union: {
+            CatValue a = eval(*e.args[0]);
+            CatValue b = eval(*e.args[1]);
+            if (a.kind == CatValue::Kind::Set &&
+                b.kind == CatValue::Kind::Set) {
+                return CatValue::ofSet(a.set | b.set);
+            }
+            return CatValue::ofRel(relOf(a) | relOf(b));
+          }
+          case CatExpr::Kind::Inter: {
+            CatValue a = eval(*e.args[0]);
+            CatValue b = eval(*e.args[1]);
+            if (a.kind == CatValue::Kind::Set &&
+                b.kind == CatValue::Kind::Set) {
+                return CatValue::ofSet(a.set & b.set);
+            }
+            return CatValue::ofRel(relOf(a) & relOf(b));
+          }
+          case CatExpr::Kind::Diff: {
+            CatValue a = eval(*e.args[0]);
+            CatValue b = eval(*e.args[1]);
+            if (a.kind == CatValue::Kind::Set &&
+                b.kind == CatValue::Kind::Set) {
+                return CatValue::ofSet(a.set - b.set);
+            }
+            return CatValue::ofRel(relOf(a) - relOf(b));
+          }
+          case CatExpr::Kind::Seq:
+            return CatValue::ofRel(
+                relOf(eval(*e.args[0])).seq(relOf(eval(*e.args[1]))));
+          case CatExpr::Kind::Product:
+            return CatValue::ofRel(Relation::product(
+                setOf(eval(*e.args[0])), setOf(eval(*e.args[1]))));
+          case CatExpr::Kind::Compl: {
+            CatValue a = eval(*e.args[0]);
+            if (a.kind == CatValue::Kind::Set)
+                return CatValue::ofSet(~a.set);
+            return CatValue::ofRel(~a.rel);
+          }
+          case CatExpr::Kind::Inverse:
+            return CatValue::ofRel(relOf(eval(*e.args[0])).inverse());
+          case CatExpr::Kind::Opt:
+            return CatValue::ofRel(relOf(eval(*e.args[0])).opt());
+          case CatExpr::Kind::Plus:
+            return CatValue::ofRel(relOf(eval(*e.args[0])).plus());
+          case CatExpr::Kind::Star:
+            return CatValue::ofRel(relOf(eval(*e.args[0])).star());
+          case CatExpr::Kind::Bracket:
+            return CatValue::ofRel(identityOn(setOf(eval(*e.args[0]))));
+          case CatExpr::Kind::Call:
+            return call(e);
+        }
+        panic("unhandled cat expression");
+    }
+
+    CatValue
+    call(const CatExpr &e)
+    {
+        // Builtins first.
+        if (e.name == "fencerel") {
+            // fencerel(S) = (po & (_ * S)); po
+            const EventSet s = setOf(eval(*e.args[0]));
+            return CatValue::ofRel(ex_.po.restrictRange(s).seq(ex_.po));
+        }
+        if (e.name == "domain")
+            return CatValue::ofSet(relOf(eval(*e.args[0])).domain());
+        if (e.name == "range")
+            return CatValue::ofSet(relOf(eval(*e.args[0])).range());
+
+        auto it = funcs_.find(e.name);
+        if (it == funcs_.end())
+            fatal("cat: undefined function '" + e.name + "'");
+        const CatFunction &fn = it->second;
+        panicIf(fn.params.size() != e.args.size(),
+                "cat: wrong arity for '" + e.name + "'");
+
+        // Bind arguments over the current environment (dynamic
+        // scoping, like herd's cat interpreter for simple models).
+        std::vector<std::pair<std::string, std::optional<CatValue>>> saved;
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            auto old = env_.find(fn.params[i]);
+            saved.emplace_back(fn.params[i],
+                               old == env_.end()
+                                   ? std::nullopt
+                                   : std::optional<CatValue>(old->second));
+            env_[fn.params[i]] = eval(*e.args[i]);
+        }
+        CatValue result = eval(*fn.body);
+        for (auto &[name, old] : saved) {
+            if (old)
+                env_[name] = *old;
+            else
+                env_.erase(name);
+        }
+        return result;
+    }
+
+    void
+    installBuiltins()
+    {
+        auto rel = [&](const std::string &name, const Relation &r) {
+            env_[name] = CatValue::ofRel(r);
+        };
+        auto set = [&](const std::string &name, const EventSet &s) {
+            env_[name] = CatValue::ofSet(s);
+        };
+
+        rel("po", ex_.po);
+        rel("addr", ex_.addr);
+        rel("data", ex_.data);
+        rel("ctrl", ex_.ctrl);
+        rel("rmw", ex_.rmw);
+        rel("rf", ex_.rf);
+        rel("co", ex_.co);
+        rel("fr", ex_.fr());
+        rel("rfi", ex_.rfi());
+        rel("rfe", ex_.rfe());
+        rel("coi", ex_.coi());
+        rel("coe", ex_.coe());
+        rel("fri", ex_.fri());
+        rel("fre", ex_.fre());
+        rel("po-loc", ex_.poLoc());
+        rel("com", ex_.com());
+        rel("loc", ex_.locRel());
+        rel("int", ex_.intRel());
+        rel("ext", ex_.extRel());
+        rel("id", Relation::identity(n_));
+        rel("crit", ex_.crit());
+
+        set("_", ex_.all());
+        set("W", ex_.writes());
+        set("R", ex_.reads());
+        set("F", ex_.fences());
+        set("M", ex_.mem());
+        set("Once", ex_.withAnn(Ann::Once));
+        set("Acquire", ex_.withAnn(Ann::Acquire));
+        set("Release", ex_.withAnn(Ann::Release));
+        set("Rmb", ex_.withAnn(Ann::Rmb));
+        set("Wmb", ex_.withAnn(Ann::Wmb));
+        set("Mb", ex_.withAnn(Ann::Mb));
+        set("Rb-dep", ex_.withAnn(Ann::RbDep));
+        set("Rcu-lock", ex_.withAnn(Ann::RcuLock));
+        set("Rcu-unlock", ex_.withAnn(Ann::RcuUnlock));
+        set("Sync-rcu", ex_.withAnn(Ann::SyncRcu));
+    }
+
+    const CandidateExecution &ex_;
+    const std::size_t n_;
+    std::map<std::string, CatValue> env_;
+    std::map<std::string, CatFunction> funcs_;
+};
+
+} // namespace
+
+CatModel
+CatModel::fromSource(const std::string &source, const std::string &name)
+{
+    CatModel m;
+    m.file_ = cat::parseCat(source);
+    m.name_ = m.file_.modelName.empty() ? name : m.file_.modelName;
+    return m;
+}
+
+CatModel
+CatModel::fromFile(const std::string &path)
+{
+    CatModel m;
+    m.file_ = cat::parseCatFile(path);
+    m.name_ = m.file_.modelName.empty() ? path : m.file_.modelName;
+    return m;
+}
+
+std::optional<Violation>
+CatModel::check(const CandidateExecution &ex) const
+{
+    Evaluator evaluator(ex);
+    for (const CatStatement &st : file_.statements) {
+        if (auto v = evaluator.run(st))
+            return v;
+    }
+    return std::nullopt;
+}
+
+std::map<std::string, CatValue>
+CatModel::evalBindings(const CandidateExecution &ex) const
+{
+    Evaluator evaluator(ex);
+    for (const CatStatement &st : file_.statements)
+        evaluator.run(st);
+    return evaluator.env();
+}
+
+} // namespace lkmm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Evaluation of cat models against candidate executions — the herd
+ * side of "formal executable model".
+ *
+ * CatModel implements the Model interface: parse once, then
+ * evaluate the statements against each execution.  The predefined
+ * environment provides the cat builtins (po, rf, co, fr, loc, int,
+ * ext, id, W, R, F, M, _, rfi/rfe/..., po-loc, com) plus the
+ * LK-specific annotation sets of Tables 3 and 4 (Once, Acquire,
+ * Release, Rmb, Wmb, Mb, Rb-dep, Rcu-lock, Rcu-unlock, Sync-rcu)
+ * and the crit relation.  Builtin functions: fencerel(S),
+ * domain(r), range(r).
+ */
+
+#ifndef LKMM_CAT_EVAL_HH
+#define LKMM_CAT_EVAL_HH
+
+#include <map>
+#include <string>
+
+#include "cat/ast.hh"
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+namespace cat
+{
+
+/** A cat value: a set of events or a relation. */
+struct CatValue
+{
+    enum class Kind
+    {
+        Set,
+        Rel,
+    };
+
+    Kind kind = Kind::Rel;
+    EventSet set;
+    Relation rel;
+
+    static CatValue
+    ofSet(EventSet s)
+    {
+        CatValue v;
+        v.kind = Kind::Set;
+        v.set = std::move(s);
+        return v;
+    }
+
+    static CatValue
+    ofRel(Relation r)
+    {
+        CatValue v;
+        v.kind = Kind::Rel;
+        v.rel = std::move(r);
+        return v;
+    }
+};
+
+} // namespace cat
+
+/** A consistency model loaded from a cat file. */
+class CatModel : public Model
+{
+  public:
+    /** Load from source text. */
+    static CatModel fromSource(const std::string &source,
+                               const std::string &name = "cat");
+
+    /** Load from a file on disk. */
+    static CatModel fromFile(const std::string &path);
+
+    std::string name() const override { return name_; }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+
+    /**
+     * Evaluate all definitions and return the final environment —
+     * used by tests to compare individual cat relations against the
+     * native C++ ones.
+     */
+    std::map<std::string, cat::CatValue>
+    evalBindings(const CandidateExecution &ex) const;
+
+  private:
+    CatModel() = default;
+
+    std::string name_;
+    cat::CatFile file_;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_CAT_EVAL_HH

@@ -1,0 +1,467 @@
+#include "cat/parser.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace lkmm::cat
+{
+
+namespace
+{
+
+enum class Tok
+{
+    End,
+    Ident,      // including keywords; classified by text
+    String,     // "model name"
+    Pipe,       // |
+    Amp,        // &
+    Backslash,  // '\'
+    Semi,       // ;
+    Star,       // *
+    Plus,       // +
+    Question,   // ?
+    Inverse,    // ^-1
+    Tilde,      // ~
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Equals,
+    Comma,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) { advance(); }
+
+    const Token &peek() const { return tok_; }
+
+    Token
+    next()
+    {
+        Token t = tok_;
+        advance();
+        return t;
+    }
+
+  private:
+    void
+    advance()
+    {
+        skipSpaceAndComments();
+        tok_.line = line_;
+        if (pos_ >= src_.size()) {
+            tok_ = {Tok::End, "", line_};
+            return;
+        }
+        const char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = pos_;
+            while (pos_ < src_.size() && isIdentChar(src_[pos_]))
+                ++pos_;
+            tok_ = {Tok::Ident, src_.substr(start, pos_ - start), line_};
+            return;
+        }
+        if (c == '"') {
+            std::size_t start = ++pos_;
+            while (pos_ < src_.size() && src_[pos_] != '"')
+                ++pos_;
+            tok_ = {Tok::String, src_.substr(start, pos_ - start), line_};
+            if (pos_ < src_.size())
+                ++pos_; // closing quote
+            return;
+        }
+        if (c == '^' && src_.compare(pos_, 3, "^-1") == 0) {
+            pos_ += 3;
+            tok_ = {Tok::Inverse, "^-1", line_};
+            return;
+        }
+        ++pos_;
+        switch (c) {
+          case '|': tok_ = {Tok::Pipe, "|", line_}; return;
+          case '&': tok_ = {Tok::Amp, "&", line_}; return;
+          case '\\': tok_ = {Tok::Backslash, "\\", line_}; return;
+          case ';': tok_ = {Tok::Semi, ";", line_}; return;
+          case '*': tok_ = {Tok::Star, "*", line_}; return;
+          case '+': tok_ = {Tok::Plus, "+", line_}; return;
+          case '?': tok_ = {Tok::Question, "?", line_}; return;
+          case '~': tok_ = {Tok::Tilde, "~", line_}; return;
+          case '(': tok_ = {Tok::LParen, "(", line_}; return;
+          case ')': tok_ = {Tok::RParen, ")", line_}; return;
+          case '[': tok_ = {Tok::LBracket, "[", line_}; return;
+          case ']': tok_ = {Tok::RBracket, "]", line_}; return;
+          case '=': tok_ = {Tok::Equals, "=", line_}; return;
+          case ',': tok_ = {Tok::Comma, ",", line_}; return;
+          default:
+            fatal("cat lexer: unexpected character '" +
+                  std::string(1, c) + "' at line " +
+                  std::to_string(line_));
+        }
+    }
+
+    static bool
+    isIdentChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-' || c == '.';
+    }
+
+    void
+    skipSpaceAndComments()
+    {
+        for (;;) {
+            while (pos_ < src_.size() &&
+                   std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+                if (src_[pos_] == '\n')
+                    ++line_;
+                ++pos_;
+            }
+            // (* ... *) comments, possibly nested.
+            if (pos_ + 1 < src_.size() && src_[pos_] == '(' &&
+                src_[pos_ + 1] == '*') {
+                int depth = 1;
+                pos_ += 2;
+                while (pos_ < src_.size() && depth > 0) {
+                    if (src_[pos_] == '\n')
+                        ++line_;
+                    if (pos_ + 1 < src_.size() && src_[pos_] == '(' &&
+                        src_[pos_ + 1] == '*') {
+                        ++depth;
+                        pos_ += 2;
+                    } else if (pos_ + 1 < src_.size() &&
+                               src_[pos_] == '*' &&
+                               src_[pos_ + 1] == ')') {
+                        --depth;
+                        pos_ += 2;
+                    } else {
+                        ++pos_;
+                    }
+                }
+                continue;
+            }
+            // // line comments, as a convenience.
+            if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+                src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+                continue;
+            }
+            break;
+        }
+    }
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    Token tok_{Tok::End, "", 1};
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : lex_(src) {}
+
+    CatFile
+    parse()
+    {
+        CatFile file;
+        if (lex_.peek().kind == Tok::String)
+            file.modelName = lex_.next().text;
+        // An unquoted leading model name (herd allows `LKMM` alone on
+        // the first line) is ambiguous with definitions; we require
+        // quoted names.
+        while (lex_.peek().kind != Tok::End)
+            file.statements.push_back(statement());
+        return file;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &what)
+    {
+        fatal("cat parser: " + what + " at line " +
+              std::to_string(lex_.peek().line) + " (near '" +
+              lex_.peek().text + "')");
+    }
+
+    Token
+    expect(Tok kind, const std::string &what)
+    {
+        if (lex_.peek().kind != kind)
+            error("expected " + what);
+        return lex_.next();
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (lex_.peek().kind != Tok::Ident)
+            error("expected identifier");
+        return lex_.next().text;
+    }
+
+    CatStatement
+    statement()
+    {
+        const Token t = lex_.peek();
+        if (t.kind != Tok::Ident)
+            error("expected statement");
+
+        if (t.text == "let")
+            return letStatement();
+        if (t.text == "acyclic" || t.text == "irreflexive" ||
+            t.text == "empty") {
+            return checkStatement();
+        }
+        error("unknown statement keyword '" + t.text + "'");
+    }
+
+    CatStatement
+    letStatement()
+    {
+        lex_.next(); // let
+        CatStatement st;
+        st.kind = CatStatement::Kind::Let;
+        if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "rec") {
+            lex_.next();
+            st.recursive = true;
+        }
+        for (;;) {
+            CatBinding binding;
+            binding.name = expectIdent();
+            if (lex_.peek().kind == Tok::LParen) {
+                lex_.next();
+                binding.params.push_back(expectIdent());
+                while (lex_.peek().kind == Tok::Comma) {
+                    lex_.next();
+                    binding.params.push_back(expectIdent());
+                }
+                expect(Tok::RParen, "')'");
+            }
+            expect(Tok::Equals, "'='");
+            binding.body = expr();
+            st.bindings.push_back(std::move(binding));
+            if (lex_.peek().kind == Tok::Ident &&
+                lex_.peek().text == "and") {
+                lex_.next();
+                continue;
+            }
+            break;
+        }
+        return st;
+    }
+
+    CatStatement
+    checkStatement()
+    {
+        const std::string kw = lex_.next().text;
+        CatStatement st;
+        st.kind = kw == "acyclic" ? CatStatement::Kind::Acyclic
+            : kw == "irreflexive" ? CatStatement::Kind::Irreflexive
+                                  : CatStatement::Kind::Empty;
+        st.constraint = expr();
+        if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "as") {
+            lex_.next();
+            st.checkName = expectIdent();
+        }
+        return st;
+    }
+
+    CatExprPtr
+    make(CatExpr::Kind kind, CatExprPtr a, CatExprPtr b = nullptr)
+    {
+        auto e = std::make_unique<CatExpr>(kind);
+        e->args.push_back(std::move(a));
+        if (b)
+            e->args.push_back(std::move(b));
+        return e;
+    }
+
+    // expr := seq ('|' seq)*
+    CatExprPtr
+    expr()
+    {
+        CatExprPtr lhs = seq();
+        while (lex_.peek().kind == Tok::Pipe) {
+            lex_.next();
+            lhs = make(CatExpr::Kind::Union, std::move(lhs), seq());
+        }
+        return lhs;
+    }
+
+    // seq := term (';' term)*
+    CatExprPtr
+    seq()
+    {
+        CatExprPtr lhs = term();
+        while (lex_.peek().kind == Tok::Semi) {
+            lex_.next();
+            lhs = make(CatExpr::Kind::Seq, std::move(lhs), term());
+        }
+        return lhs;
+    }
+
+    // term := prod (('&' | '\') prod)*
+    CatExprPtr
+    term()
+    {
+        CatExprPtr lhs = prod();
+        for (;;) {
+            if (lex_.peek().kind == Tok::Amp) {
+                lex_.next();
+                lhs = make(CatExpr::Kind::Inter, std::move(lhs), prod());
+            } else if (lex_.peek().kind == Tok::Backslash) {
+                lex_.next();
+                lhs = make(CatExpr::Kind::Diff, std::move(lhs), prod());
+            } else {
+                break;
+            }
+        }
+        return lhs;
+    }
+
+    bool
+    startsExpression() const
+    {
+        switch (lex_.peek().kind) {
+          case Tok::Ident:
+            return lex_.peek().text != "as" && lex_.peek().text != "and" &&
+                lex_.peek().text != "let" && lex_.peek().text != "acyclic" &&
+                lex_.peek().text != "irreflexive" &&
+                lex_.peek().text != "empty";
+          case Tok::LParen:
+          case Tok::LBracket:
+          case Tok::Tilde:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    // prod := postfix ('*' postfix)*   (only when '*' is infix)
+    CatExprPtr
+    prod()
+    {
+        CatExprPtr lhs = postfix();
+        while (lex_.peek().kind == Tok::Star) {
+            // Lookahead decides infix vs postfix; postfix was already
+            // consumed inside postfix(), so a '*' here is infix iff an
+            // expression follows.
+            lex_.next();
+            if (!startsExpression()) {
+                // Trailing postfix star after postfix chain.
+                lhs = make(CatExpr::Kind::Star, std::move(lhs));
+                continue;
+            }
+            lhs = make(CatExpr::Kind::Product, std::move(lhs), postfix());
+        }
+        return lhs;
+    }
+
+    // postfix := primary ('?' | '+' | '^-1' | postfix-'*')*
+    CatExprPtr
+    postfix()
+    {
+        CatExprPtr e = primary();
+        for (;;) {
+            switch (lex_.peek().kind) {
+              case Tok::Question:
+                lex_.next();
+                e = make(CatExpr::Kind::Opt, std::move(e));
+                continue;
+              case Tok::Plus:
+                lex_.next();
+                e = make(CatExpr::Kind::Plus, std::move(e));
+                continue;
+              case Tok::Inverse:
+                lex_.next();
+                e = make(CatExpr::Kind::Inverse, std::move(e));
+                continue;
+              default:
+                break;
+            }
+            break;
+        }
+        return e;
+    }
+
+    CatExprPtr
+    primary()
+    {
+        const Token t = lex_.peek();
+        switch (t.kind) {
+          case Tok::Ident: {
+            lex_.next();
+            if (lex_.peek().kind == Tok::LParen) {
+                lex_.next();
+                auto call = std::make_unique<CatExpr>(CatExpr::Kind::Call);
+                call->name = t.text;
+                call->args.push_back(expr());
+                while (lex_.peek().kind == Tok::Comma) {
+                    lex_.next();
+                    call->args.push_back(expr());
+                }
+                expect(Tok::RParen, "')'");
+                return call;
+            }
+            auto id = std::make_unique<CatExpr>(CatExpr::Kind::Id);
+            id->name = t.text;
+            return id;
+          }
+          case Tok::LParen: {
+            lex_.next();
+            CatExprPtr e = expr();
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          case Tok::LBracket: {
+            lex_.next();
+            CatExprPtr e = expr();
+            expect(Tok::RBracket, "']'");
+            return make(CatExpr::Kind::Bracket, std::move(e));
+          }
+          case Tok::Tilde: {
+            lex_.next();
+            return make(CatExpr::Kind::Compl, postfix());
+          }
+          default:
+            error("expected expression");
+        }
+    }
+
+    Lexer lex_;
+};
+
+} // namespace
+
+CatFile
+parseCat(const std::string &source)
+{
+    Parser parser(source);
+    return parser.parse();
+}
+
+CatFile
+parseCatFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open cat file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseCat(ss.str());
+}
+
+} // namespace lkmm::cat

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Lexer and recursive-descent parser for the cat subset.
+ *
+ * Grammar (precedence, loosest first):
+ *   expr     := seq ('|' seq)*
+ *   seq      := term (';' term)*
+ *   term     := prod (('&' | '\') prod)*
+ *   prod     := postfix ('*' postfix)*        -- set product
+ *   postfix  := primary ('?' | '+' | '^-1' | '*')*
+ *   primary  := ident | ident '(' expr ')' | '(' expr ')'
+ *             | '[' expr ']' | '~' postfix
+ *
+ * A '*' is parsed as the postfix reflexive-transitive closure when
+ * the next token cannot start an expression, and as the infix set
+ * product otherwise — matching how cat files are written in
+ * practice.
+ *
+ * Identifiers may contain '-' (po-loc, rb-dep, A-cumul), as in
+ * herd's cat dialect.
+ */
+
+#ifndef LKMM_CAT_PARSER_HH
+#define LKMM_CAT_PARSER_HH
+
+#include <string>
+
+#include "cat/ast.hh"
+
+namespace lkmm::cat
+{
+
+/** Parse cat source text; throws FatalError on syntax errors. */
+CatFile parseCat(const std::string &source);
+
+/** Parse a cat file from disk. */
+CatFile parseCatFile(const std::string &path);
+
+} // namespace lkmm::cat
+
+#endif // LKMM_CAT_PARSER_HH

@@ -1,0 +1,435 @@
+#include "diy/generator.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "litmus/builder.hh"
+
+namespace lkmm
+{
+
+DiyEdge
+DiyEdge::rfe()
+{
+    DiyEdge e;
+    e.type = Type::Rfe;
+    return e;
+}
+
+DiyEdge
+DiyEdge::fre()
+{
+    DiyEdge e;
+    e.type = Type::Fre;
+    return e;
+}
+
+DiyEdge
+DiyEdge::coe()
+{
+    DiyEdge e;
+    e.type = Type::Coe;
+    return e;
+}
+
+DiyEdge
+DiyEdge::po(EvKind src, EvKind dst, Synchro s)
+{
+    DiyEdge e;
+    e.type = Type::Po;
+    e.srcKind = src;
+    e.dstKind = dst;
+    e.synchro = s;
+    return e;
+}
+
+EvKind
+DiyEdge::sourceKind() const
+{
+    switch (type) {
+      case Type::Rfe: return EvKind::Write;
+      case Type::Fre: return EvKind::Read;
+      case Type::Coe: return EvKind::Write;
+      case Type::Po: return srcKind;
+    }
+    return EvKind::Read;
+}
+
+EvKind
+DiyEdge::targetKind() const
+{
+    switch (type) {
+      case Type::Rfe: return EvKind::Read;
+      case Type::Fre: return EvKind::Write;
+      case Type::Coe: return EvKind::Write;
+      case Type::Po: return dstKind;
+    }
+    return EvKind::Read;
+}
+
+std::string
+DiyEdge::name() const
+{
+    switch (type) {
+      case Type::Rfe: return "Rfe";
+      case Type::Fre: return "Fre";
+      case Type::Coe: return "Coe";
+      case Type::Po:
+        break;
+    }
+    auto kind = [](EvKind k) { return k == EvKind::Read ? "R" : "W"; };
+    std::string ends = std::string(kind(srcKind)) + kind(dstKind);
+    switch (synchro) {
+      case Synchro::None: return "Pod" + ends;
+      case Synchro::Mb: return "Fenced" + ends;
+      case Synchro::Wmb: return "Wmb" + ends;
+      case Synchro::Rmb: return "Rmb" + ends;
+      case Synchro::RbDep: return "RbDep" + ends;
+      case Synchro::DepAddr: return "DpAddr" + ends;
+      case Synchro::DepData: return "DpData" + ends;
+      case Synchro::DepCtrl: return "DpCtrl" + ends;
+      case Synchro::Release: return "PodRel" + ends;
+      case Synchro::Acquire: return "PodAcq" + ends;
+    }
+    return "Pod" + ends;
+}
+
+namespace
+{
+
+/** One event of the cycle, fully placed. */
+struct CycleEvent
+{
+    EvKind kind;
+    int tid = 0;
+    int loc = 0;
+    Value writeValue = 0;          ///< for writes
+    std::optional<Value> expected; ///< read-value constraint
+    Ann ann = Ann::Once;
+};
+
+bool
+synchroValid(const DiyEdge &e)
+{
+    if (e.type != DiyEdge::Type::Po)
+        return e.synchro == DiyEdge::Synchro::None;
+    switch (e.synchro) {
+      case DiyEdge::Synchro::None:
+      case DiyEdge::Synchro::Mb:
+        return true;
+      case DiyEdge::Synchro::Wmb:
+      case DiyEdge::Synchro::Rmb:
+        // The fence can sit between any accesses; whether it orders
+        // them is the *model's* decision (smp_wmb after a read does
+        // nothing in the LK model but is a release fence in C11 —
+        // the Figure 14 difference).
+        return true;
+      case DiyEdge::Synchro::RbDep:
+        return e.srcKind == EvKind::Read && e.dstKind == EvKind::Read;
+      case DiyEdge::Synchro::DepAddr:
+        return e.srcKind == EvKind::Read;
+      case DiyEdge::Synchro::DepData:
+      case DiyEdge::Synchro::DepCtrl:
+        return e.srcKind == EvKind::Read && e.dstKind == EvKind::Write;
+      case DiyEdge::Synchro::Release:
+        return e.dstKind == EvKind::Write;
+      case DiyEdge::Synchro::Acquire:
+        return e.srcKind == EvKind::Read;
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<Program>
+cycleToProgram(const std::vector<DiyEdge> &cycle_in)
+{
+    if (cycle_in.size() < 2)
+        return std::nullopt;
+
+    // Rotate so that the last edge is a communication edge: event 0
+    // then starts thread 0.
+    std::vector<DiyEdge> cycle = cycle_in;
+    std::size_t rot = cycle.size();
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (cycle[cycle.size() - 1 - i].type != DiyEdge::Type::Po) {
+            rot = cycle.size() - 1 - i;
+            break;
+        }
+    }
+    if (rot == cycle.size())
+        return std::nullopt; // no communication edge at all
+    std::rotate(cycle.begin(), cycle.begin() + rot + 1, cycle.end());
+
+    const std::size_t n = cycle.size();
+    std::size_t num_po = 0;
+    std::size_t num_com = 0;
+    for (const DiyEdge &e : cycle) {
+        if (!synchroValid(e))
+            return std::nullopt;
+        if (e.type == DiyEdge::Type::Po)
+            ++num_po;
+        else
+            ++num_com;
+    }
+    // Need two threads and two locations for a genuine weak cycle.
+    if (num_com < 2 || num_po < 2)
+        return std::nullopt;
+
+    // Adjacent kinds must agree around the cycle.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cycle[i].targetKind() != cycle[(i + 1) % n].sourceKind())
+            return std::nullopt;
+    }
+
+    // Place events: threads advance on communication edges,
+    // locations advance (mod num_po) on program-order edges.
+    std::vector<CycleEvent> events(n);
+    int tid = 0;
+    int loc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        events[i].kind = cycle[i].sourceKind();
+        events[i].tid = tid;
+        events[i].loc = loc;
+        if (cycle[i].type == DiyEdge::Type::Po) {
+            loc = (loc + 1) % static_cast<int>(num_po);
+        } else {
+            ++tid;
+        }
+    }
+    // Closure: the last edge is a communication edge back to event
+    // 0, so locations must match.
+    if (events[n - 1].loc != events[0].loc)
+        return std::nullopt;
+
+    // Acquire/release annotations from the po decorations.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cycle[i].type != DiyEdge::Type::Po)
+            continue;
+        if (cycle[i].synchro == DiyEdge::Synchro::Acquire)
+            events[i].ann = Ann::Acquire;
+        if (cycle[i].synchro == DiyEdge::Synchro::Release)
+            events[(i + 1) % n].ann = Ann::Release;
+    }
+
+    // Write values must linearise the coherence order the Coe edges
+    // induce — including a Coe edge that wraps around the cycle.
+    // Build per-location chains from the Coe successor pairs, reject
+    // cyclic constraints, and order chains by the appearance of
+    // their head.
+    std::map<int, std::vector<std::size_t>> writes_by_loc;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (events[i].kind == EvKind::Write)
+            writes_by_loc[events[i].loc].push_back(i);
+    }
+    std::map<std::size_t, std::size_t> coe_succ;
+    std::map<std::size_t, std::size_t> coe_pred;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cycle[i].type != DiyEdge::Type::Coe)
+            continue;
+        const std::size_t u = i;
+        const std::size_t v = (i + 1) % n;
+        if (coe_succ.count(u) || coe_pred.count(v))
+            return std::nullopt;
+        coe_succ[u] = v;
+        coe_pred[v] = u;
+    }
+
+    std::map<int, Value> last_value;
+    std::map<int, int> writes_per_loc;
+    for (auto &[l, ws] : writes_by_loc) {
+        // Chain heads, in appearance order.
+        Value value = 0;
+        std::size_t assigned = 0;
+        for (std::size_t head : ws) {
+            if (coe_pred.count(head))
+                continue;
+            std::size_t cur = head;
+            for (;;) {
+                events[cur].writeValue = ++value;
+                ++assigned;
+                auto it = coe_succ.find(cur);
+                if (it == coe_succ.end())
+                    break;
+                cur = it->second;
+            }
+        }
+        if (assigned != ws.size())
+            return std::nullopt; // Coe constraints form a cycle
+        last_value[l] = value;
+        writes_per_loc[l] = static_cast<int>(ws.size());
+    }
+
+    // Read-value constraints from the communication edges.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cycle[i].type == DiyEdge::Type::Rfe) {
+            CycleEvent &r = events[(i + 1) % n];
+            const Value v = events[i].writeValue;
+            if (r.expected && *r.expected != v)
+                return std::nullopt;
+            r.expected = v;
+        } else if (cycle[i].type == DiyEdge::Type::Fre) {
+            CycleEvent &r = events[i];
+            const Value v = events[(i + 1) % n].writeValue - 1;
+            if (r.expected && *r.expected != v)
+                return std::nullopt;
+            r.expected = v;
+        }
+    }
+
+    // Emit the program.
+    std::string name;
+    for (std::size_t i = 0; i < cycle_in.size(); ++i) {
+        if (i)
+            name += "+";
+        name += cycle_in[i].name();
+    }
+
+    LitmusBuilder b(name);
+    std::vector<LocId> locs;
+    for (std::size_t l = 0; l < num_po; ++l)
+        locs.push_back(b.loc("v" + std::to_string(l)));
+
+    Cond condition = Cond::trueCond();
+    bool have_cond = false;
+    auto add_cond = [&](Cond c) {
+        condition = have_cond ? Cond::andOf(std::move(condition),
+                                            std::move(c))
+                              : std::move(c);
+        have_cond = true;
+    };
+
+    const int num_threads = tid;
+    for (int t = 0; t < num_threads; ++t) {
+        ThreadBuilder &tb = b.thread();
+        std::optional<RegRef> prev_reg;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (events[i].tid != t)
+                continue;
+            const CycleEvent &ev = events[i];
+
+            // The po edge *into* this event carries the decoration.
+            DiyEdge::Synchro inbound = DiyEdge::Synchro::None;
+            const DiyEdge &in_edge = cycle[(i + n - 1) % n];
+            if (in_edge.type == DiyEdge::Type::Po &&
+                events[(i + n - 1) % n].tid == t) {
+                inbound = in_edge.synchro;
+            }
+
+            switch (inbound) {
+              case DiyEdge::Synchro::Mb: tb.mb(); break;
+              case DiyEdge::Synchro::Wmb: tb.wmb(); break;
+              case DiyEdge::Synchro::Rmb: tb.rmb(); break;
+              case DiyEdge::Synchro::RbDep:
+                tb.readBarrierDepends();
+                break;
+              case DiyEdge::Synchro::DepCtrl:
+                // A branch on the previous read: always taken, but
+                // it taints everything po-later with ctrl.
+                tb.iff(Expr::binary(Expr::Op::Eq, *prev_reg,
+                                    *prev_reg),
+                       [](ThreadBuilder &) {});
+                break;
+              default:
+                break;
+            }
+
+            // Address expression: plain, or a false dependency on
+            // the previous read for DpAddr / RbDep edges.
+            Expr addr = Expr::locRef(locs[ev.loc]);
+            if (inbound == DiyEdge::Synchro::DepAddr ||
+                inbound == DiyEdge::Synchro::RbDep) {
+                addr = Expr::index(
+                    locs[ev.loc],
+                    Expr::binary(Expr::Op::Xor, *prev_reg, *prev_reg));
+            }
+
+            if (ev.kind == EvKind::Read) {
+                RegRef r = ev.ann == Ann::Acquire
+                    ? tb.loadAcquire(addr) : tb.readOnce(addr);
+                if (ev.expected)
+                    add_cond(eq(r, *ev.expected));
+                prev_reg = r;
+            } else {
+                Expr value = Expr::constant(ev.writeValue);
+                if (inbound == DiyEdge::Synchro::DepData) {
+                    value = Expr::binary(
+                        Expr::Op::Add, value,
+                        Expr::binary(Expr::Op::Xor, *prev_reg,
+                                     *prev_reg));
+                }
+                if (ev.ann == Ann::Release)
+                    tb.storeRelease(addr, value);
+                else
+                    tb.writeOnce(addr, value);
+            }
+        }
+    }
+
+    // Coherence-order observations: final values for multi-write
+    // locations.
+    for (auto [l, count] : writes_per_loc) {
+        if (count >= 2)
+            add_cond(Cond::memEq(locs[l], last_value[l]));
+    }
+
+    b.exists(condition);
+    return b.build();
+}
+
+std::vector<Program>
+enumerateCycles(const std::vector<DiyEdge> &alphabet, std::size_t length,
+                std::size_t maxTests)
+{
+    std::vector<Program> out;
+    std::vector<std::size_t> idx(length, 0);
+
+    for (;;) {
+        std::vector<DiyEdge> cycle;
+        cycle.reserve(length);
+        for (std::size_t i : idx)
+            cycle.push_back(alphabet[i]);
+        if (auto prog = cycleToProgram(cycle)) {
+            out.push_back(std::move(*prog));
+            if (out.size() >= maxTests)
+                return out;
+        }
+        // Advance the odometer.
+        std::size_t pos = 0;
+        while (pos < length && ++idx[pos] == alphabet.size()) {
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == length)
+            break;
+    }
+    return out;
+}
+
+std::vector<DiyEdge>
+defaultAlphabet()
+{
+    using S = DiyEdge::Synchro;
+    const EvKind R = EvKind::Read;
+    const EvKind W = EvKind::Write;
+    return {
+        DiyEdge::rfe(),
+        DiyEdge::fre(),
+        DiyEdge::coe(),
+        DiyEdge::po(R, R), DiyEdge::po(R, W),
+        DiyEdge::po(W, R), DiyEdge::po(W, W),
+        DiyEdge::po(R, R, S::Mb), DiyEdge::po(R, W, S::Mb),
+        DiyEdge::po(W, R, S::Mb), DiyEdge::po(W, W, S::Mb),
+        DiyEdge::po(W, W, S::Wmb), DiyEdge::po(R, W, S::Wmb),
+        DiyEdge::po(R, R, S::Rmb), DiyEdge::po(W, R, S::Rmb),
+        DiyEdge::po(R, R, S::RbDep),
+        DiyEdge::po(R, R, S::DepAddr), DiyEdge::po(R, W, S::DepAddr),
+        DiyEdge::po(R, W, S::DepData),
+        DiyEdge::po(R, W, S::DepCtrl),
+        DiyEdge::po(R, W, S::Release), DiyEdge::po(W, W, S::Release),
+        DiyEdge::po(R, R, S::Acquire), DiyEdge::po(R, W, S::Acquire),
+    };
+}
+
+} // namespace lkmm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * diy-style litmus-test generation (Section 5): "We used the diy7
+ * tool to systematically generate thousands of tests with cycles of
+ * edges (e.g., dependencies, reads-from, coherence) of increasing
+ * size."
+ *
+ * A test is a *critical cycle* of relaxation edges:
+ *
+ *  - communication edges cross threads on one location:
+ *      Rfe (W -> R), Fre (R -> W), Coe (W -> W);
+ *  - program-order edges stay on a thread and move to the next
+ *    location, optionally synchronised by a fence (mb/wmb/rmb/
+ *    rb-dep), a dependency (addr/data/ctrl) or an acquire/release
+ *    annotation.
+ *
+ * The exists clause observes exactly the cycle: each Rfe read sees
+ * its writer, each Fre read sees the co-predecessor of the
+ * overwriting write, each Coe pair is ordered by the final value.
+ * By construction the resulting outcome is non-SC, so ScModel must
+ * forbid every generated test — one of the property checks in
+ * tests/diy.
+ */
+
+#ifndef LKMM_DIY_GENERATOR_HH
+#define LKMM_DIY_GENERATOR_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/event.hh"
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/** One edge of a critical cycle. */
+struct DiyEdge
+{
+    enum class Type
+    {
+        Rfe,  ///< external reads-from: W -> R, new thread
+        Fre,  ///< external from-read: R -> W, new thread
+        Coe,  ///< external coherence: W -> W, new thread
+        Po,   ///< program order to the next location
+    };
+
+    /** Synchronisation decorating a Po edge. */
+    enum class Synchro
+    {
+        None,
+        Mb,
+        Wmb,      ///< requires W -> W
+        Rmb,      ///< requires R -> R
+        RbDep,    ///< requires R -> R (with an address dependency)
+        DepAddr,  ///< requires R -> _
+        DepData,  ///< requires R -> W
+        DepCtrl,  ///< requires R -> W
+        Release,  ///< target W becomes a store-release
+        Acquire,  ///< source R becomes a load-acquire
+    };
+
+    Type type = Type::Po;
+    EvKind srcKind = EvKind::Read;  ///< for Po edges
+    EvKind dstKind = EvKind::Read;  ///< for Po edges
+    Synchro synchro = Synchro::None;
+
+    static DiyEdge rfe();
+    static DiyEdge fre();
+    static DiyEdge coe();
+    static DiyEdge po(EvKind src, EvKind dst,
+                      Synchro s = Synchro::None);
+
+    /** diy-style name fragment, e.g. "Rfe" or "DpdWR". */
+    std::string name() const;
+
+    /** Kind of the edge's source/target event. */
+    EvKind sourceKind() const;
+    EvKind targetKind() const;
+};
+
+/**
+ * Build the litmus test observing one critical cycle.
+ *
+ * @return nullopt when the cycle is malformed: adjacent edge kinds
+ *         disagree, a synchro's kind constraints are violated, the
+ *         cycle has no communication edge, or a thread segment or
+ *         location is used twice (diy's well-formedness rules).
+ */
+std::optional<Program> cycleToProgram(const std::vector<DiyEdge> &cycle);
+
+/**
+ * Systematically enumerate all well-formed cycles of exactly the
+ * given length over an edge alphabet, as programs.
+ */
+std::vector<Program> enumerateCycles(const std::vector<DiyEdge> &alphabet,
+                                     std::size_t length,
+                                     std::size_t maxTests = 100000);
+
+/** The default edge alphabet used by the test sweeps and benches. */
+std::vector<DiyEdge> defaultAlphabet();
+
+} // namespace lkmm
+
+#endif // LKMM_DIY_GENERATOR_HH

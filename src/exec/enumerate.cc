@@ -1,0 +1,472 @@
+#include "exec/enumerate.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/logging.hh"
+#include "exec/unroll.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+/** A path combination laid out as events, before rf/co choices. */
+struct Layout
+{
+    const Program *prog;
+    /** Chosen path per thread. */
+    std::vector<const ThreadPath *> paths;
+    /** All events; init writes first, then threads in order. */
+    std::vector<Event> events;
+    /** eventOf[t][item] = event id, or SIZE_MAX for non-events. */
+    std::vector<std::vector<std::size_t>> eventOf;
+    /** Statically-known location per event (or -1). */
+    std::vector<LocId> staticLoc;
+    /** Event ids of all reads (enumeration order). */
+    std::vector<EventId> readIds;
+    /** Event ids of all writes, including init. */
+    std::vector<EventId> writeIds;
+};
+
+constexpr std::size_t NO_EVENT = static_cast<std::size_t>(-1);
+
+Layout
+layOut(const Program &prog, const std::vector<const ThreadPath *> &paths)
+{
+    Layout lay;
+    lay.prog = &prog;
+    lay.paths = paths;
+
+    // Initial writes: one per location, on virtual thread -1.
+    for (LocId l = 0; l < prog.numLocs(); ++l) {
+        Event e;
+        e.id = lay.events.size();
+        e.tid = -1;
+        e.kind = EvKind::Write;
+        e.ann = Ann::Once;
+        e.loc = l;
+        e.value = prog.initValue(l);
+        e.isInit = true;
+        e.label = "i" + prog.locNames[l];
+        lay.staticLoc.push_back(l);
+        lay.writeIds.push_back(e.id);
+        lay.events.push_back(std::move(e));
+    }
+
+    char next_label = 'a';
+    lay.eventOf.resize(paths.size());
+    for (std::size_t t = 0; t < paths.size(); ++t) {
+        const ThreadPath &path = *paths[t];
+        lay.eventOf[t].assign(path.items.size(), NO_EVENT);
+        int po_idx = 0;
+        for (std::size_t i = 0; i < path.items.size(); ++i) {
+            const PathItem &item = path.items[i];
+            if (item.kind != PathItem::Kind::Event)
+                continue;
+            Event e;
+            e.id = lay.events.size();
+            e.tid = static_cast<int>(t);
+            e.poIdx = po_idx++;
+            e.kind = item.evKind;
+            e.ann = item.ann;
+            e.dest = item.dest;
+            e.label = std::string(1, next_label);
+            if (next_label < 'z')
+                ++next_label;
+            lay.eventOf[t][i] = e.id;
+            lay.staticLoc.push_back(item.staticLoc.value_or(-1));
+            if (item.evKind == EvKind::Read)
+                lay.readIds.push_back(e.id);
+            else if (item.evKind == EvKind::Write)
+                lay.writeIds.push_back(e.id);
+            lay.events.push_back(std::move(e));
+        }
+    }
+    return lay;
+}
+
+/** Result of the valuation fixpoint for one rf assignment. */
+struct Valuation
+{
+    bool consistent = false;
+    /** Resolved location per event (-1 for fences). */
+    std::vector<LocId> loc;
+    /** Resolved value per memory event. */
+    std::vector<Value> value;
+    /** Final register values per thread. */
+    std::vector<std::vector<Value>> finalRegs;
+};
+
+/**
+ * Solve the value equations for a given rf choice.
+ *
+ * Iterates per-thread walks until no event value or location becomes
+ * newly known; any write value still unknown afterwards sits on a
+ * dependency cycle through rf, and is resolved to 0 (the
+ * "out-of-thin-air zero" rule; see DESIGN.md).  A final verification
+ * walk then checks branch outcomes, location agreement between each
+ * read and its rf source, and expression consistency.
+ */
+Valuation
+valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
+{
+    const std::size_t n = lay.events.size();
+    Valuation val;
+    val.loc.assign(n, -1);
+    std::vector<std::optional<Value>> ev_value(n);
+
+    // rfOf[readEvent] = source write event.
+    std::vector<EventId> rf_of(n, NO_EVENT);
+    for (std::size_t i = 0; i < lay.readIds.size(); ++i)
+        rf_of[lay.readIds[i]] = rfSrc[i];
+
+    for (const Event &e : lay.events) {
+        if (e.isInit) {
+            val.loc[e.id] = e.loc;
+            ev_value[e.id] = e.value;
+        }
+    }
+
+    const int max_locs = lay.prog->numLocs();
+
+    // Fixpoint passes.  Each pass walks each thread in program order
+    // with a fresh register environment, pulling read values from rf
+    // sources resolved in earlier passes.
+    bool changed = true;
+    bool bad = false;
+    while (changed && !bad) {
+        changed = false;
+        for (std::size_t t = 0; t < lay.paths.size() && !bad; ++t) {
+            const ThreadPath &path = *lay.paths[t];
+            std::vector<std::optional<Value>> env(path.numRegs);
+            for (std::size_t i = 0; i < path.items.size(); ++i) {
+                const PathItem &item = path.items[i];
+                switch (item.kind) {
+                  case PathItem::Kind::Let:
+                    env[item.dest] = item.value.eval(env);
+                    break;
+                  case PathItem::Kind::Check:
+                    break;
+                  case PathItem::Kind::Event: {
+                    const EventId e = lay.eventOf[t][i];
+                    const Event &ev = lay.events[e];
+                    if (ev.kind == EvKind::Fence)
+                        break;
+                    auto addr_v = item.addr.eval(env);
+                    if (addr_v) {
+                        if (!isLocHandle(*addr_v)) {
+                            bad = true;
+                            break;
+                        }
+                        LocId l = valueToLoc(*addr_v);
+                        if (l < 0 || l >= max_locs) {
+                            bad = true;
+                            break;
+                        }
+                        if (val.loc[e] == -1) {
+                            val.loc[e] = l;
+                            changed = true;
+                        }
+                    }
+                    if (ev.kind == EvKind::Read) {
+                        auto v = ev_value[rf_of[e]];
+                        if (v && !ev_value[e]) {
+                            ev_value[e] = v;
+                            changed = true;
+                        }
+                        env[ev.dest] = ev_value[e];
+                    } else {
+                        auto v = item.value.eval(env);
+                        if (v && !ev_value[e]) {
+                            ev_value[e] = v;
+                            changed = true;
+                        }
+                    }
+                    break;
+                  }
+                }
+            }
+        }
+    }
+    if (bad)
+        return val;
+
+    // Out-of-thin-air rule: writes on an rf/data cycle get value 0.
+    for (EventId w : lay.writeIds) {
+        if (!ev_value[w])
+            ev_value[w] = 0;
+    }
+
+    // Propagate the now-known values to reads (two passes suffice:
+    // one to push write values over rf, one for chained reads).
+    for (int pass = 0; pass < 2; ++pass) {
+        for (EventId r_id : lay.readIds) {
+            if (!ev_value[r_id] && ev_value[rf_of[r_id]])
+                ev_value[r_id] = ev_value[rf_of[r_id]];
+        }
+    }
+
+    // Verification walk: all values must now be resolvable, branch
+    // checks must match, and locations must agree with rf sources.
+    val.finalRegs.resize(lay.paths.size());
+    for (std::size_t t = 0; t < lay.paths.size(); ++t) {
+        const ThreadPath &path = *lay.paths[t];
+        std::vector<std::optional<Value>> env(path.numRegs);
+        for (std::size_t i = 0; i < path.items.size(); ++i) {
+            const PathItem &item = path.items[i];
+            switch (item.kind) {
+              case PathItem::Kind::Let: {
+                auto v = item.value.eval(env);
+                if (!v)
+                    return val;
+                env[item.dest] = v;
+                break;
+              }
+              case PathItem::Kind::Check: {
+                auto v = item.value.eval(env);
+                if (!v)
+                    return val;
+                if ((*v != 0) != item.expectTrue)
+                    return val;
+                break;
+              }
+              case PathItem::Kind::Event: {
+                const EventId e = lay.eventOf[t][i];
+                const Event &ev = lay.events[e];
+                if (ev.kind == EvKind::Fence)
+                    break;
+                auto addr_v = item.addr.eval(env);
+                if (!addr_v || !isLocHandle(*addr_v))
+                    return val;
+                const LocId l = valueToLoc(*addr_v);
+                if (l < 0 || l >= max_locs || val.loc[e] != l)
+                    return val;
+                if (ev.kind == EvKind::Read) {
+                    // The read's location must match its rf source's.
+                    if (val.loc[rf_of[e]] != l)
+                        return val;
+                    if (!ev_value[e] ||
+                        *ev_value[e] != *ev_value[rf_of[e]]) {
+                        return val;
+                    }
+                    env[ev.dest] = ev_value[e];
+                } else {
+                    auto v = item.value.eval(env);
+                    if (!v || !ev_value[e] || *v != *ev_value[e])
+                        return val;
+                }
+                break;
+              }
+            }
+        }
+        val.finalRegs[t].assign(path.numRegs, 0);
+        for (int r = 0; r < path.numRegs; ++r) {
+            if (env[r])
+                val.finalRegs[t][r] = *env[r];
+        }
+    }
+
+    val.value.assign(n, 0);
+    for (std::size_t e = 0; e < n; ++e) {
+        if (ev_value[e])
+            val.value[e] = *ev_value[e];
+    }
+    val.consistent = true;
+    return val;
+}
+
+/** Build the abstract-execution relations for a layout + valuation. */
+void
+buildRelations(const Layout &lay, const Valuation &val,
+               const std::vector<EventId> &rfSrc, CandidateExecution &ex)
+{
+    const std::size_t n = lay.events.size();
+
+    ex.program = lay.prog;
+    ex.events = lay.events;
+    for (std::size_t e = 0; e < n; ++e) {
+        if (!ex.events[e].isInit) {
+            ex.events[e].loc = val.loc[e];
+            ex.events[e].value = val.value[e];
+        }
+    }
+
+    ex.po = Relation(n);
+    ex.addr = Relation(n);
+    ex.data = Relation(n);
+    ex.ctrl = Relation(n);
+    ex.rmw = Relation(n);
+    ex.rf = Relation(n);
+
+    for (std::size_t t = 0; t < lay.paths.size(); ++t) {
+        const ThreadPath &path = *lay.paths[t];
+        // Transitive program order.
+        std::vector<EventId> thread_events;
+        for (std::size_t i = 0; i < path.items.size(); ++i) {
+            if (lay.eventOf[t][i] != NO_EVENT)
+                thread_events.push_back(lay.eventOf[t][i]);
+        }
+        for (std::size_t i = 0; i < thread_events.size(); ++i) {
+            for (std::size_t j = i + 1; j < thread_events.size(); ++j)
+                ex.po.add(thread_events[i], thread_events[j]);
+        }
+        // Dependencies.
+        for (std::size_t i = 0; i < path.items.size(); ++i) {
+            if (lay.eventOf[t][i] == NO_EVENT)
+                continue;
+            const PathItem &item = path.items[i];
+            const EventId e = lay.eventOf[t][i];
+            for (int src : item.addrDeps)
+                ex.addr.add(lay.eventOf[t][src], e);
+            for (int src : item.dataDeps)
+                ex.data.add(lay.eventOf[t][src], e);
+            for (int src : item.ctrlDeps)
+                ex.ctrl.add(lay.eventOf[t][src], e);
+            if (item.rmwRead >= 0)
+                ex.rmw.add(lay.eventOf[t][item.rmwRead], e);
+        }
+    }
+
+    for (std::size_t i = 0; i < lay.readIds.size(); ++i)
+        ex.rf.add(rfSrc[i], lay.readIds[i]);
+
+    ex.finalRegs = val.finalRegs;
+}
+
+} // namespace
+
+void
+Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
+{
+    std::vector<std::vector<ThreadPath>> all_paths;
+    all_paths.reserve(prog_.threads.size());
+    for (const Thread &t : prog_.threads)
+        all_paths.push_back(unrollThread(t));
+
+    // Iterate the cartesian product of per-thread paths.
+    std::vector<std::size_t> path_idx(prog_.threads.size(), 0);
+    bool stop = false;
+
+    auto advance = [&]() {
+        for (std::size_t t = 0; t < path_idx.size(); ++t) {
+            if (++path_idx[t] < all_paths[t].size())
+                return true;
+            path_idx[t] = 0;
+        }
+        return false;
+    };
+
+    do {
+        ++stats_.pathCombos;
+        std::vector<const ThreadPath *> combo;
+        combo.reserve(path_idx.size());
+        for (std::size_t t = 0; t < path_idx.size(); ++t)
+            combo.push_back(&all_paths[t][path_idx[t]]);
+
+        Layout lay = layOut(prog_, combo);
+        const std::size_t n = lay.events.size();
+
+        // Candidate rf sources per read, pruned by static locations
+        // and by intra-thread order: reading a po-later write of
+        // one's own thread violates sc-per-variable in every model
+        // this repository ships, so such candidates are never
+        // useful (herd prunes identically).
+        std::vector<std::vector<EventId>> rf_cands(lay.readIds.size());
+        for (std::size_t i = 0; i < lay.readIds.size(); ++i) {
+            const Event &read = lay.events[lay.readIds[i]];
+            const LocId rl = lay.staticLoc[read.id];
+            for (EventId w : lay.writeIds) {
+                const LocId wl = lay.staticLoc[w];
+                if (rl >= 0 && wl >= 0 && rl != wl)
+                    continue;
+                const Event &write = lay.events[w];
+                if (write.tid == read.tid && write.poIdx > read.poIdx)
+                    continue;
+                rf_cands[i].push_back(w);
+            }
+        }
+
+        // Depth-first product over rf choices.
+        std::vector<EventId> rf_src(lay.readIds.size());
+        std::function<void(std::size_t)> chooseRf =
+            [&](std::size_t read_idx) {
+            if (stop)
+                return;
+            if (read_idx == lay.readIds.size()) {
+                ++stats_.rfAssignments;
+                Valuation val = valuate(lay, rf_src);
+                if (!val.consistent) {
+                    ++stats_.valuationRejects;
+                    return;
+                }
+
+                // Group writes by resolved location for co.
+                std::vector<std::vector<EventId>> by_loc(
+                    prog_.numLocs());
+                for (EventId w : lay.writeIds) {
+                    if (!lay.events[w].isInit)
+                        by_loc[val.loc[w]].push_back(w);
+                }
+
+                // Enumerate per-location permutations.
+                std::function<void(std::size_t, Relation &)> chooseCo =
+                    [&](std::size_t loc_i, Relation &co) {
+                    if (stop)
+                        return;
+                    if (loc_i == by_loc.size()) {
+                        CandidateExecution ex;
+                        buildRelations(lay, val, rf_src, ex);
+                        ex.co = co;
+                        ex.finalize();
+                        ++stats_.candidates;
+                        if (!fn(ex))
+                            stop = true;
+                        return;
+                    }
+                    auto &ws = by_loc[loc_i];
+                    std::sort(ws.begin(), ws.end());
+                    do {
+                        Relation co2 = co;
+                        // init write first, then the permutation.
+                        EventId init_w = static_cast<EventId>(loc_i);
+                        for (EventId w : ws)
+                            co2.add(init_w, w);
+                        for (std::size_t a = 0; a < ws.size(); ++a) {
+                            for (std::size_t b = a + 1; b < ws.size();
+                                 ++b) {
+                                co2.add(ws[a], ws[b]);
+                            }
+                        }
+                        chooseCo(loc_i + 1, co2);
+                    } while (!stop &&
+                             std::next_permutation(ws.begin(), ws.end()));
+                };
+                Relation co(n);
+                chooseCo(0, co);
+                return;
+            }
+            for (EventId w : rf_cands[read_idx]) {
+                rf_src[read_idx] = w;
+                chooseRf(read_idx + 1);
+                if (stop)
+                    return;
+            }
+        };
+        chooseRf(0);
+    } while (!stop && advance());
+}
+
+std::vector<CandidateExecution>
+Enumerator::all()
+{
+    std::vector<CandidateExecution> out;
+    forEach([&](const CandidateExecution &ex) {
+        out.push_back(ex);
+        return true;
+    });
+    return out;
+}
+
+} // namespace lkmm

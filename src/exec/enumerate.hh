@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Enumeration of the candidate executions of a litmus program.
+ *
+ * This is the herd core: for every combination of per-thread
+ * control-flow paths, every reads-from assignment and every
+ * per-location coherence order, build the candidate execution,
+ * solve the value equations, and hand consistent candidates to the
+ * caller.  Model axioms are *not* applied here; models filter the
+ * stream (see src/model/model.hh), exactly as herd separates
+ * candidate generation from cat-model checking.
+ */
+
+#ifndef LKMM_EXEC_ENUMERATE_HH
+#define LKMM_EXEC_ENUMERATE_HH
+
+#include <functional>
+#include <vector>
+
+#include "exec/execution.hh"
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/** Enumerates candidate executions of one program. */
+class Enumerator
+{
+  public:
+    struct Stats
+    {
+        std::size_t pathCombos = 0;
+        std::size_t rfAssignments = 0;
+        std::size_t valuationRejects = 0;
+        std::size_t candidates = 0;
+    };
+
+    explicit Enumerator(const Program &prog) : prog_(prog) {}
+
+    /**
+     * Visit every consistent candidate execution.
+     *
+     * @param fn Called with each finalized candidate; return false
+     *           to stop the enumeration early.
+     */
+    void forEach(const std::function<bool(const CandidateExecution &)> &fn);
+
+    /** Collect all candidates (convenience for tests). */
+    std::vector<CandidateExecution> all();
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    const Program &prog_;
+    Stats stats_;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_EXEC_ENUMERATE_HH

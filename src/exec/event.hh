@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Events of candidate executions (Section 2 of the paper).
+ *
+ * Events model executed primitives: reads (R), writes (W), and
+ * fences (F), each carrying an annotation from Tables 3 and 4.
+ * Initial writes model the initial state: one per shared location,
+ * on the virtual thread -1, first in the coherence order.
+ */
+
+#ifndef LKMM_EXEC_EVENT_HH
+#define LKMM_EXEC_EVENT_HH
+
+#include <string>
+
+#include "litmus/instr.hh"
+#include "relation/event_set.hh"
+
+namespace lkmm
+{
+
+/** Kind of an event. */
+enum class EvKind
+{
+    Read,
+    Write,
+    Fence,
+};
+
+/** One node of a candidate-execution graph. */
+struct Event
+{
+    EventId id = 0;
+    int tid = -1;       ///< -1 for initial writes
+    int poIdx = -1;     ///< position within the thread
+    EvKind kind = EvKind::Fence;
+    Ann ann = Ann::None;
+
+    LocId loc = -1;     ///< resolved location (reads/writes)
+    Value value = 0;    ///< value written / value read
+    RegId dest = -1;    ///< destination register of a read
+
+    bool isInit = false;
+
+    /** Short label for diagrams: a, b, c... like the paper figures. */
+    std::string label;
+
+    bool isRead() const { return kind == EvKind::Read; }
+    bool isWrite() const { return kind == EvKind::Write; }
+    bool isFence() const { return kind == EvKind::Fence; }
+    bool isMem() const { return kind != EvKind::Fence; }
+
+    /** Render like "b: W[once] y=1" for diagnostics. */
+    std::string toString(const std::vector<std::string> &locNames) const;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_EXEC_EVENT_HH

@@ -1,0 +1,208 @@
+#include "exec/execution.hh"
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace lkmm
+{
+
+std::string
+Event::toString(const std::vector<std::string> &locNames) const
+{
+    std::string out = label.empty() ? ("e" + std::to_string(id)) : label;
+    out += ": ";
+    switch (kind) {
+      case EvKind::Read:
+        out += "R[";
+        out += annName(ann);
+        out += "] ";
+        out += locNames[loc];
+        out += "=" + std::to_string(value);
+        break;
+      case EvKind::Write:
+        out += "W[";
+        out += annName(ann);
+        out += "] ";
+        out += locNames[loc];
+        out += "=" + std::to_string(value);
+        break;
+      case EvKind::Fence:
+        out += "F[";
+        out += annName(ann);
+        out += "]";
+        break;
+    }
+    if (isInit)
+        out += " (init)";
+    return out;
+}
+
+void
+CandidateExecution::finalize()
+{
+    const std::size_t n = events.size();
+
+    reads_ = EventSet(n);
+    writes_ = EventSet(n);
+    fences_ = EventSet(n);
+    all_ = EventSet::full(n);
+
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case EvKind::Read: reads_.add(e.id); break;
+          case EvKind::Write: writes_.add(e.id); break;
+          case EvKind::Fence: fences_.add(e.id); break;
+        }
+        auto it = byAnn_.find(e.ann);
+        if (it == byAnn_.end())
+            it = byAnn_.emplace(e.ann, EventSet(n)).first;
+        it->second.add(e.id);
+    }
+    mem_ = reads_ | writes_;
+
+    // loc, int, ext ------------------------------------------------
+    loc_ = Relation(n);
+    int_ = Relation(n);
+    for (const Event &a : events) {
+        for (const Event &b : events) {
+            if (a.isMem() && b.isMem() && a.loc == b.loc)
+                loc_.add(a.id, b.id);
+            if (a.tid >= 0 && a.tid == b.tid)
+                int_.add(a.id, b.id);
+        }
+    }
+    ext_ = ~int_;
+
+    // Communication relations ---------------------------------------
+    fr_ = rf.inverse().seq(co);
+    com_ = rf | co | fr_;
+    poLoc_ = po & loc_;
+    rfi_ = rf & int_;
+    rfe_ = rf & ext_;
+    coe_ = co & ext_;
+    coi_ = co & int_;
+    fre_ = fr_ & ext_;
+    fri_ = fr_ & int_;
+
+    // Fence-pair relations -------------------------------------------
+    rmb_ = fenceRel(Ann::Rmb).restrictDomain(reads_).restrictRange(reads_);
+    wmb_ = fenceRel(Ann::Wmb).restrictDomain(writes_)
+        .restrictRange(writes_);
+    mb_ = fenceRel(Ann::Mb).restrictDomain(mem_).restrictRange(mem_);
+    rbDep_ = fenceRel(Ann::RbDep).restrictDomain(reads_)
+        .restrictRange(reads_);
+
+    const EventSet &rel = withAnn(Ann::Release);
+    const EventSet &acq = withAnn(Ann::Acquire);
+    poRel_ = po.restrictDomain(mem_).restrictRange(rel & writes_);
+    acqPo_ = po.restrictDomain(acq & reads_).restrictRange(mem_);
+    rfiRelAcq_ = rfi_.restrictDomain(rel).restrictRange(acq);
+
+    // RCU relations ---------------------------------------------------
+    const EventSet &sync = withAnn(Ann::SyncRcu);
+    gp_ = po.restrictRange(sync).seq(po.opt());
+
+    // crit: match outermost rcu_read_lock/rcu_read_unlock per thread.
+    crit_ = Relation(n);
+    std::map<int, std::vector<EventId>> lockStacks;
+    // Events are laid out init-first then per-thread in po order, so
+    // a single id-ordered scan visits each thread in program order.
+    for (const Event &e : events) {
+        if (e.ann == Ann::RcuLock) {
+            lockStacks[e.tid].push_back(e.id);
+        } else if (e.ann == Ann::RcuUnlock) {
+            auto &stack = lockStacks[e.tid];
+            if (stack.empty())
+                continue; // unbalanced unlock: ignored
+            EventId lock = stack.back();
+            stack.pop_back();
+            if (stack.empty())
+                crit_.add(lock, e.id);
+        }
+    }
+
+    rscs_ = po.seq(crit_.inverse()).seq(po.opt());
+
+    // Final state ------------------------------------------------------
+    if (program) {
+        finalMem.assign(program->numLocs(), 0);
+        for (LocId l = 0; l < program->numLocs(); ++l)
+            finalMem[l] = program->initValue(l);
+        // co-maximal write per location.
+        for (const Event &e : events) {
+            if (!e.isWrite())
+                continue;
+            bool is_last = true;
+            for (const Event &o : events) {
+                if (o.isWrite() && o.loc == e.loc &&
+                    co.contains(e.id, o.id)) {
+                    is_last = false;
+                    break;
+                }
+            }
+            if (is_last && e.loc >= 0 &&
+                e.loc < static_cast<LocId>(finalMem.size())) {
+                finalMem[e.loc] = e.value;
+            }
+        }
+    }
+}
+
+const EventSet &
+CandidateExecution::withAnn(Ann a) const
+{
+    static const EventSet empty;
+    auto it = byAnn_.find(a);
+    if (it == byAnn_.end()) {
+        // Lazily cache an empty set of the right size.
+        auto *self = const_cast<CandidateExecution *>(this);
+        it = self->byAnn_.emplace(a, EventSet(events.size())).first;
+    }
+    return it->second;
+}
+
+Relation
+CandidateExecution::fenceRel(Ann a) const
+{
+    const EventSet &fs = withAnn(a);
+    return po.restrictRange(fs).seq(po);
+}
+
+bool
+CandidateExecution::satisfiesCondition() const
+{
+    panicIf(!program, "execution has no program");
+    return program->condition.eval(finalRegs, finalMem);
+}
+
+std::string
+CandidateExecution::finalStateString() const
+{
+    std::string out;
+    for (std::size_t t = 0; t < finalRegs.size(); ++t) {
+        for (std::size_t r = 0; r < finalRegs[t].size(); ++r) {
+            out += format("%zu:r%zu=%lld; ", t, r,
+                          static_cast<long long>(finalRegs[t][r]));
+        }
+    }
+    for (std::size_t l = 0; l < finalMem.size(); ++l) {
+        out += program->locNames[l] + "=" +
+            std::to_string(finalMem[l]) + "; ";
+    }
+    return out;
+}
+
+std::string
+CandidateExecution::toString() const
+{
+    std::string out;
+    out += "events:\n";
+    for (const Event &e : events)
+        out += "  " + e.toString(program->locNames) + "\n";
+    out += "rf: " + rf.toString() + "\n";
+    out += "co: " + co.toString() + "\n";
+    out += "final: " + finalStateString() + "\n";
+    return out;
+}
+
+} // namespace lkmm

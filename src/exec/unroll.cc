@@ -1,0 +1,296 @@
+#include "exec/unroll.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+constexpr std::size_t MAX_PATHS = 4096;
+
+/** Working state while expanding one path. */
+struct PathState
+{
+    ThreadPath path;
+    /** For each register: indices of Read items tainting its value. */
+    std::map<RegId, std::vector<int>> regTaint;
+    /** Read items tainting the control flow reaching this point. */
+    std::vector<int> ctrlTaint;
+};
+
+std::vector<int>
+taintOfExpr(const PathState &st, const Expr &e)
+{
+    std::vector<int> out;
+    for (RegId r : e.regsUsed()) {
+        auto it = st.regTaint.find(r);
+        if (it == st.regTaint.end())
+            continue;
+        for (int idx : it->second) {
+            if (std::find(out.begin(), out.end(), idx) == out.end())
+                out.push_back(idx);
+        }
+    }
+    return out;
+}
+
+std::optional<LocId>
+staticLocOf(const Expr &addr)
+{
+    if (!addr.isStatic())
+        return std::nullopt;
+    auto v = addr.eval({});
+    if (!v || !isLocHandle(*v))
+        return std::nullopt;
+    return valueToLoc(*v);
+}
+
+int
+pushRead(PathState &st, const Expr &addr, Ann ann, RegId dest)
+{
+    PathItem item;
+    item.kind = PathItem::Kind::Event;
+    item.evKind = EvKind::Read;
+    item.ann = ann;
+    item.addr = addr;
+    item.dest = dest;
+    item.addrDeps = taintOfExpr(st, addr);
+    item.ctrlDeps = st.ctrlTaint;
+    item.staticLoc = staticLocOf(addr);
+    st.path.items.push_back(std::move(item));
+    const int idx = static_cast<int>(st.path.items.size()) - 1;
+    st.regTaint[dest] = {idx};
+    return idx;
+}
+
+void
+pushWrite(PathState &st, const Expr &addr, const Expr &value, Ann ann,
+          int rmw_read = -1)
+{
+    PathItem item;
+    item.kind = PathItem::Kind::Event;
+    item.evKind = EvKind::Write;
+    item.ann = ann;
+    item.addr = addr;
+    item.value = value;
+    item.addrDeps = taintOfExpr(st, addr);
+    item.dataDeps = taintOfExpr(st, value);
+    item.ctrlDeps = st.ctrlTaint;
+    item.rmwRead = rmw_read;
+    item.staticLoc = staticLocOf(addr);
+    st.path.items.push_back(std::move(item));
+}
+
+void
+pushFence(PathState &st, Ann ann)
+{
+    PathItem item;
+    item.kind = PathItem::Kind::Event;
+    item.evKind = EvKind::Fence;
+    item.ann = ann;
+    item.ctrlDeps = st.ctrlTaint;
+    st.path.items.push_back(std::move(item));
+}
+
+void
+pushCheck(PathState &st, const Expr &cond, bool expect_true)
+{
+    PathItem item;
+    item.kind = PathItem::Kind::Check;
+    item.value = cond;
+    item.expectTrue = expect_true;
+    st.path.items.push_back(std::move(item));
+}
+
+void expandBlock(const std::vector<Instr> &block,
+                 std::vector<PathState> &states);
+
+void
+expandInstr(const Instr &ins, std::vector<PathState> &states)
+{
+    switch (ins.kind) {
+      case Instr::Kind::Read:
+        for (PathState &st : states) {
+            pushRead(st, ins.addr, ins.ann, ins.dest);
+            if (ins.rbDepAfter)
+                pushFence(st, Ann::RbDep);
+        }
+        break;
+
+      case Instr::Kind::Write:
+        for (PathState &st : states)
+            pushWrite(st, ins.addr, ins.value, ins.ann);
+        break;
+
+      case Instr::Kind::Fence:
+        for (PathState &st : states)
+            pushFence(st, ins.ann);
+        break;
+
+      case Instr::Kind::Assume:
+        for (PathState &st : states) {
+            // Exiting a spin loop is a branch: the reads feeding the
+            // exit condition control everything po-later.
+            for (int idx : taintOfExpr(st, ins.cond)) {
+                if (std::find(st.ctrlTaint.begin(), st.ctrlTaint.end(),
+                              idx) == st.ctrlTaint.end()) {
+                    st.ctrlTaint.push_back(idx);
+                }
+            }
+            pushCheck(st, ins.cond, true);
+        }
+        break;
+
+      case Instr::Kind::Let:
+        for (PathState &st : states) {
+            PathItem item;
+            item.kind = PathItem::Kind::Let;
+            item.value = ins.value;
+            item.dest = ins.dest;
+            st.path.items.push_back(std::move(item));
+            st.regTaint[ins.dest] = taintOfExpr(st, ins.value);
+        }
+        break;
+
+      case Instr::Kind::Rmw:
+        for (PathState &st : states) {
+            if (ins.fullFence)
+                pushFence(st, Ann::Mb);
+            const int read_idx =
+                pushRead(st, ins.addr, ins.readAnn, ins.dest);
+            if (ins.requireReadValue) {
+                pushCheck(st,
+                          Expr::binary(Expr::Op::Eq, Expr::reg(ins.dest),
+                                       Expr::constant(
+                                           *ins.requireReadValue)),
+                          true);
+            }
+            // The written value: operand for xchg, old (op) operand
+            // for arithmetic RMWs, which adds a data dependency on
+            // the read.
+            Expr written = ins.value;
+            switch (ins.rmwOp) {
+              case RmwOp::Xchg:
+                break;
+              case RmwOp::Add:
+                written = Expr::binary(Expr::Op::Add, Expr::reg(ins.dest),
+                                       ins.value);
+                break;
+              case RmwOp::Sub:
+                written = Expr::binary(Expr::Op::Sub, Expr::reg(ins.dest),
+                                       ins.value);
+                break;
+              case RmwOp::And:
+                written = Expr::binary(Expr::Op::And, Expr::reg(ins.dest),
+                                       ins.value);
+                break;
+              case RmwOp::Or:
+                written = Expr::binary(Expr::Op::Or, Expr::reg(ins.dest),
+                                       ins.value);
+                break;
+            }
+            pushWrite(st, ins.addr, written, ins.writeAnn, read_idx);
+            if (ins.fullFence)
+                pushFence(st, Ann::Mb);
+        }
+        break;
+
+      case Instr::Kind::Cmpxchg: {
+        // Fork: success (read expected, write new, fully fenced when
+        // requested) vs failure (bare read).  The kernel's cmpxchg
+        // provides no ordering on failure.
+        std::vector<PathState> failures = states; // copy before success
+        for (PathState &st : states) {
+            if (ins.fullFence)
+                pushFence(st, Ann::Mb);
+            const int read_idx =
+                pushRead(st, ins.addr, ins.readAnn, ins.dest);
+            pushCheck(st,
+                      Expr::binary(Expr::Op::Eq, Expr::reg(ins.dest),
+                                   ins.expected),
+                      true);
+            pushWrite(st, ins.addr, ins.value, ins.writeAnn, read_idx);
+            if (ins.fullFence)
+                pushFence(st, Ann::Mb);
+        }
+        for (PathState &st : failures) {
+            pushRead(st, ins.addr, ins.readAnn, ins.dest);
+            pushCheck(st,
+                      Expr::binary(Expr::Op::Eq, Expr::reg(ins.dest),
+                                   ins.expected),
+                      false);
+        }
+        for (PathState &st : failures)
+            states.push_back(std::move(st));
+        panicIf(states.size() > MAX_PATHS, "too many control-flow paths");
+        break;
+      }
+
+      case Instr::Kind::If: {
+        std::vector<PathState> taken = states;
+        std::vector<PathState> not_taken = std::move(states);
+        states.clear();
+
+        for (PathState &st : taken) {
+            // A branch on a read extends ctrl to everything po-later.
+            for (int idx : taintOfExpr(st, ins.cond)) {
+                if (std::find(st.ctrlTaint.begin(), st.ctrlTaint.end(),
+                              idx) == st.ctrlTaint.end()) {
+                    st.ctrlTaint.push_back(idx);
+                }
+            }
+            pushCheck(st, ins.cond, true);
+        }
+        expandBlock(ins.thenBody, taken);
+
+        for (PathState &st : not_taken) {
+            for (int idx : taintOfExpr(st, ins.cond)) {
+                if (std::find(st.ctrlTaint.begin(), st.ctrlTaint.end(),
+                              idx) == st.ctrlTaint.end()) {
+                    st.ctrlTaint.push_back(idx);
+                }
+            }
+            pushCheck(st, ins.cond, false);
+        }
+        expandBlock(ins.elseBody, not_taken);
+
+        for (PathState &st : taken)
+            states.push_back(std::move(st));
+        for (PathState &st : not_taken)
+            states.push_back(std::move(st));
+        panicIf(states.size() > MAX_PATHS, "too many control-flow paths");
+        break;
+      }
+    }
+}
+
+void
+expandBlock(const std::vector<Instr> &block, std::vector<PathState> &states)
+{
+    for (const Instr &ins : block)
+        expandInstr(ins, states);
+}
+
+} // namespace
+
+std::vector<ThreadPath>
+unrollThread(const Thread &thread)
+{
+    std::vector<PathState> states(1);
+    expandBlock(thread.body, states);
+
+    std::vector<ThreadPath> out;
+    out.reserve(states.size());
+    for (PathState &st : states) {
+        st.path.numRegs = thread.numRegs;
+        out.push_back(std::move(st.path));
+    }
+    return out;
+}
+
+} // namespace lkmm

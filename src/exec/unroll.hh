@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-thread unrolling of litmus programs into control-flow paths.
+ *
+ * Program order "specifies instruction order in a thread after
+ * evaluating conditionals" (Section 2).  Candidate executions are
+ * therefore enumerated per control-flow path: each if/else (and each
+ * cmpxchg success/failure) forks the path.  A path records, for each
+ * would-be event, the earlier reads its address, data and branch
+ * conditions depend on — exactly the addr, data and ctrl relations.
+ * Whether the path's branch outcomes are consistent with the values
+ * the reads actually obtain is checked later by the valuation pass
+ * in enumerate.cc.
+ */
+
+#ifndef LKMM_EXEC_UNROLL_HH
+#define LKMM_EXEC_UNROLL_HH
+
+#include <optional>
+#include <vector>
+
+#include "exec/event.hh"
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/** One element of an unrolled thread path. */
+struct PathItem
+{
+    enum class Kind
+    {
+        Event,  ///< generates a candidate-execution event
+        Let,    ///< register computation, no event
+        Check,  ///< branch-consistency obligation
+    };
+
+    Kind kind = Kind::Event;
+
+    // Event fields --------------------------------------------------
+    EvKind evKind = EvKind::Fence;
+    Ann ann = Ann::None;
+    Expr addr;
+    Expr value;        ///< write value / Let value / Check condition
+    RegId dest = -1;
+
+    /** Indices of earlier Read items feeding the address. */
+    std::vector<int> addrDeps;
+    /** Indices of earlier Read items feeding the data. */
+    std::vector<int> dataDeps;
+    /** Indices of earlier Read items feeding branch decisions. */
+    std::vector<int> ctrlDeps;
+
+    /** For RMW write halves: index of the paired read item. */
+    int rmwRead = -1;
+
+    /** Statically-known location, when the address has no registers. */
+    std::optional<LocId> staticLoc;
+
+    // Check fields ----------------------------------------------------
+    bool expectTrue = true;
+};
+
+/** One control-flow path through a thread. */
+struct ThreadPath
+{
+    std::vector<PathItem> items;
+    int numRegs = 0;
+};
+
+/**
+ * All control-flow paths of a thread.
+ *
+ * The number of paths is 2^(branches), which is tiny for litmus
+ * tests; unrollThread fails if it exceeds a sanity bound.
+ */
+std::vector<ThreadPath> unrollThread(const Thread &thread);
+
+} // namespace lkmm
+
+#endif // LKMM_EXEC_UNROLL_HH

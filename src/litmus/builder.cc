@@ -1,0 +1,340 @@
+#include "litmus/builder.hh"
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+// ThreadBuilder --------------------------------------------------------
+
+RegRef
+ThreadBuilder::newReg()
+{
+    RegRef r;
+    r.tid = tid_;
+    r.reg = thread_.numRegs++;
+    return r;
+}
+
+void
+ThreadBuilder::push(Instr i)
+{
+    blockStack_.back()->push_back(std::move(i));
+}
+
+void
+ThreadBuilder::fence(Ann a)
+{
+    Instr i;
+    i.kind = Instr::Kind::Fence;
+    i.ann = a;
+    push(std::move(i));
+}
+
+RegRef
+ThreadBuilder::readOnce(Expr addr)
+{
+    RegRef r = newReg();
+    Instr i;
+    i.kind = Instr::Kind::Read;
+    i.ann = Ann::Once;
+    i.addr = std::move(addr);
+    i.dest = r.reg;
+    push(std::move(i));
+    return r;
+}
+
+RegRef
+ThreadBuilder::loadAcquire(Expr addr)
+{
+    RegRef r = newReg();
+    Instr i;
+    i.kind = Instr::Kind::Read;
+    i.ann = Ann::Acquire;
+    i.addr = std::move(addr);
+    i.dest = r.reg;
+    push(std::move(i));
+    return r;
+}
+
+void
+ThreadBuilder::writeOnce(Expr addr, Expr v)
+{
+    Instr i;
+    i.kind = Instr::Kind::Write;
+    i.ann = Ann::Once;
+    i.addr = std::move(addr);
+    i.value = std::move(v);
+    push(std::move(i));
+}
+
+void
+ThreadBuilder::storeRelease(Expr addr, Expr v)
+{
+    Instr i;
+    i.kind = Instr::Kind::Write;
+    i.ann = Ann::Release;
+    i.addr = std::move(addr);
+    i.value = std::move(v);
+    push(std::move(i));
+}
+
+RegRef
+ThreadBuilder::rcuDereference(Expr addr)
+{
+    RegRef r = newReg();
+    Instr i;
+    i.kind = Instr::Kind::Read;
+    i.ann = Ann::Once;
+    i.addr = std::move(addr);
+    i.dest = r.reg;
+    i.rbDepAfter = true;
+    push(std::move(i));
+    return r;
+}
+
+void
+ThreadBuilder::rcuAssignPointer(Expr addr, Expr v)
+{
+    Instr i;
+    i.kind = Instr::Kind::Write;
+    i.ann = Ann::Release;
+    i.addr = std::move(addr);
+    i.value = std::move(v);
+    push(std::move(i));
+}
+
+namespace
+{
+
+Instr
+makeRmw(Expr addr, Expr v, RegId dest, RmwOp op, Ann read_ann,
+        Ann write_ann, bool full_fence)
+{
+    Instr i;
+    i.kind = Instr::Kind::Rmw;
+    i.addr = std::move(addr);
+    i.value = std::move(v);
+    i.dest = dest;
+    i.rmwOp = op;
+    i.readAnn = read_ann;
+    i.writeAnn = write_ann;
+    i.fullFence = full_fence;
+    return i;
+}
+
+} // namespace
+
+RegRef
+ThreadBuilder::xchg(Expr addr, Expr v)
+{
+    RegRef r = newReg();
+    push(makeRmw(std::move(addr), std::move(v), r.reg, RmwOp::Xchg,
+                 Ann::Once, Ann::Once, true));
+    return r;
+}
+
+RegRef
+ThreadBuilder::xchgRelaxed(Expr addr, Expr v)
+{
+    RegRef r = newReg();
+    push(makeRmw(std::move(addr), std::move(v), r.reg, RmwOp::Xchg,
+                 Ann::Once, Ann::Once, false));
+    return r;
+}
+
+RegRef
+ThreadBuilder::xchgAcquire(Expr addr, Expr v)
+{
+    RegRef r = newReg();
+    push(makeRmw(std::move(addr), std::move(v), r.reg, RmwOp::Xchg,
+                 Ann::Acquire, Ann::Once, false));
+    return r;
+}
+
+RegRef
+ThreadBuilder::xchgRelease(Expr addr, Expr v)
+{
+    RegRef r = newReg();
+    push(makeRmw(std::move(addr), std::move(v), r.reg, RmwOp::Xchg,
+                 Ann::Once, Ann::Release, false));
+    return r;
+}
+
+RegRef
+ThreadBuilder::atomicAddReturn(Expr addr, Expr v)
+{
+    // The kernel's atomic_add_return yields the *new* value; the
+    // RMW's destination register holds the value read, so compute
+    // old + v into a separate register.
+    RegRef old = newReg();
+    Expr operand = v;
+    push(makeRmw(std::move(addr), std::move(v), old.reg, RmwOp::Add,
+                 Ann::Once, Ann::Once, true));
+    RegRef r = newReg();
+    Instr let;
+    let.kind = Instr::Kind::Let;
+    let.dest = r.reg;
+    let.value = Expr::binary(Expr::Op::Add, Expr::reg(old.reg),
+                             std::move(operand));
+    push(std::move(let));
+    return r;
+}
+
+RegRef
+ThreadBuilder::cmpxchg(Expr addr, Value expected, Expr v)
+{
+    RegRef r = newReg();
+    Instr i;
+    i.kind = Instr::Kind::Cmpxchg;
+    i.addr = std::move(addr);
+    i.expected = Expr::constant(expected);
+    i.value = std::move(v);
+    i.dest = r.reg;
+    i.readAnn = Ann::Once;
+    i.writeAnn = Ann::Once;
+    i.fullFence = true;
+    push(std::move(i));
+    return r;
+}
+
+void
+ThreadBuilder::spinLock(LocId l)
+{
+    Instr i = makeRmw(Expr::locRef(l), Expr::constant(1), -1, RmwOp::Xchg,
+                      Ann::Acquire, Ann::Once, false);
+    RegRef r = newReg();
+    i.dest = r.reg;
+    i.requireReadValue = 0;
+    push(std::move(i));
+}
+
+void
+ThreadBuilder::spinUnlock(LocId l)
+{
+    storeRelease(l, Value{0});
+}
+
+RegRef
+ThreadBuilder::let(Expr v)
+{
+    RegRef r = newReg();
+    Instr i;
+    i.kind = Instr::Kind::Let;
+    i.value = std::move(v);
+    i.dest = r.reg;
+    push(std::move(i));
+    return r;
+}
+
+void
+ThreadBuilder::assume(Expr cond)
+{
+    Instr i;
+    i.kind = Instr::Kind::Assume;
+    i.cond = std::move(cond);
+    push(std::move(i));
+}
+
+void
+ThreadBuilder::iff(Expr cond,
+                   const std::function<void(ThreadBuilder &)> &thenFn,
+                   const std::function<void(ThreadBuilder &)> &elseFn)
+{
+    Instr i;
+    i.kind = Instr::Kind::If;
+    i.cond = std::move(cond);
+    push(std::move(i));
+    Instr &slot = blockStack_.back()->back();
+
+    blockStack_.push_back(&slot.thenBody);
+    if (thenFn)
+        thenFn(*this);
+    blockStack_.pop_back();
+
+    blockStack_.push_back(&slot.elseBody);
+    if (elseFn)
+        elseFn(*this);
+    blockStack_.pop_back();
+}
+
+// LitmusBuilder --------------------------------------------------------
+
+LitmusBuilder::LitmusBuilder(std::string name)
+{
+    prog_.name = std::move(name);
+}
+
+LitmusBuilder::~LitmusBuilder()
+{
+    for (ThreadBuilder *t : threads_)
+        delete t;
+}
+
+LocId
+LitmusBuilder::loc(const std::string &name)
+{
+    for (std::size_t i = 0; i < prog_.locNames.size(); ++i) {
+        if (prog_.locNames[i] == name)
+            return static_cast<LocId>(i);
+    }
+    prog_.locNames.push_back(name);
+    return static_cast<LocId>(prog_.locNames.size() - 1);
+}
+
+LocId
+LitmusBuilder::array(const std::string &name, int n)
+{
+    panicIf(n <= 0, "array needs a positive size");
+    LocId base = loc(name + "[0]");
+    for (int i = 1; i < n; ++i)
+        loc(name + "[" + std::to_string(i) + "]");
+    return base;
+}
+
+void
+LitmusBuilder::init(LocId l, Value v)
+{
+    prog_.init[l] = v;
+}
+
+void
+LitmusBuilder::initPtr(LocId l, LocId target)
+{
+    prog_.init[l] = locToValue(target);
+}
+
+ThreadBuilder &
+LitmusBuilder::thread()
+{
+    auto *t = new ThreadBuilder(static_cast<int>(threads_.size()));
+    t->blockStack_.push_back(&t->thread_.body);
+    threads_.push_back(t);
+    return *t;
+}
+
+void
+LitmusBuilder::exists(Cond c)
+{
+    prog_.quantifier = Quantifier::Exists;
+    prog_.condition = std::move(c);
+}
+
+void
+LitmusBuilder::forall(Cond c)
+{
+    prog_.quantifier = Quantifier::Forall;
+    prog_.condition = std::move(c);
+}
+
+Program
+LitmusBuilder::build()
+{
+    panicIf(built_, "LitmusBuilder::build called twice");
+    built_ = true;
+    for (ThreadBuilder *t : threads_)
+        prog_.threads.push_back(std::move(t->thread_));
+    return std::move(prog_);
+}
+
+} // namespace lkmm

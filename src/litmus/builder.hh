@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Fluent construction of litmus tests from C++.
+ *
+ * Example (the message-passing test of Figure 1):
+ * @code
+ *   LitmusBuilder b("MP+wmb+rmb");
+ *   LocId x = b.loc("x"), y = b.loc("y");
+ *   ThreadBuilder &t0 = b.thread();
+ *   t0.writeOnce(x, 1);
+ *   t0.wmb();
+ *   t0.writeOnce(y, 1);
+ *   ThreadBuilder &t1 = b.thread();
+ *   RegRef r1 = t1.readOnce(y);
+ *   t1.rmb();
+ *   RegRef r2 = t1.readOnce(x);
+ *   b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef LKMM_LITMUS_BUILDER_HH
+#define LKMM_LITMUS_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/** A handle to a register created by a thread builder. */
+struct RegRef
+{
+    int tid = -1;
+    RegId reg = -1;
+
+    /** Use the register in an expression of the same thread. */
+    operator Expr() const { return Expr::reg(reg); }
+};
+
+/** Condition helper: tid:reg == v in the final state. */
+inline Cond
+eq(RegRef r, Value v)
+{
+    return Cond::regEq(r.tid, r.reg, v);
+}
+
+/** Condition helper: tid:reg != v in the final state. */
+inline Cond
+ne(RegRef r, Value v)
+{
+    return Cond::notOf(Cond::regEq(r.tid, r.reg, v));
+}
+
+class LitmusBuilder;
+
+/** Builds the body of one thread. */
+class ThreadBuilder
+{
+  public:
+    // Plain accesses (Table 3) -------------------------------------
+
+    /** r = READ_ONCE(addr). */
+    RegRef readOnce(Expr addr);
+    RegRef readOnce(LocId l) { return readOnce(Expr::locRef(l)); }
+
+    /** r = smp_load_acquire(addr). */
+    RegRef loadAcquire(Expr addr);
+    RegRef loadAcquire(LocId l) { return loadAcquire(Expr::locRef(l)); }
+
+    /** WRITE_ONCE(addr, v). */
+    void writeOnce(Expr addr, Expr v);
+    void writeOnce(LocId l, Value v)
+    {
+        writeOnce(Expr::locRef(l), Expr::constant(v));
+    }
+    void writeOnce(LocId l, Expr v) { writeOnce(Expr::locRef(l), v); }
+
+    /** smp_store_release(addr, v). */
+    void storeRelease(Expr addr, Expr v);
+    void storeRelease(LocId l, Value v)
+    {
+        storeRelease(Expr::locRef(l), Expr::constant(v));
+    }
+    void storeRelease(LocId l, Expr v)
+    {
+        storeRelease(Expr::locRef(l), v);
+    }
+
+    // Fences (Table 3) ---------------------------------------------
+
+    void rmb() { fence(Ann::Rmb); }
+    void wmb() { fence(Ann::Wmb); }
+    void mb() { fence(Ann::Mb); }
+    void readBarrierDepends() { fence(Ann::RbDep); }
+
+    // RCU (Table 4) ------------------------------------------------
+
+    /** r = rcu_dereference(addr): R[once] followed by F[rb-dep]. */
+    RegRef rcuDereference(Expr addr);
+    RegRef rcuDereference(LocId l)
+    {
+        return rcuDereference(Expr::locRef(l));
+    }
+
+    /** rcu_assign_pointer(addr, v): a W[release]. */
+    void rcuAssignPointer(Expr addr, Expr v);
+    void rcuAssignPointer(LocId l, Expr v)
+    {
+        rcuAssignPointer(Expr::locRef(l), v);
+    }
+
+    void rcuReadLock() { fence(Ann::RcuLock); }
+    void rcuReadUnlock() { fence(Ann::RcuUnlock); }
+    void synchronizeRcu() { fence(Ann::SyncRcu); }
+
+    // Read-modify-writes (Table 3) ---------------------------------
+
+    /** r = xchg(addr, v): F[mb], R[once], W[once], F[mb]. */
+    RegRef xchg(Expr addr, Expr v);
+    RegRef xchg(LocId l, Value v)
+    {
+        return xchg(Expr::locRef(l), Expr::constant(v));
+    }
+
+    /** r = xchg_relaxed(addr, v): R[once], W[once]. */
+    RegRef xchgRelaxed(Expr addr, Expr v);
+    RegRef xchgRelaxed(LocId l, Value v)
+    {
+        return xchgRelaxed(Expr::locRef(l), Expr::constant(v));
+    }
+
+    /** r = xchg_acquire(addr, v): R[acquire], W[once]. */
+    RegRef xchgAcquire(Expr addr, Expr v);
+    RegRef xchgAcquire(LocId l, Value v)
+    {
+        return xchgAcquire(Expr::locRef(l), Expr::constant(v));
+    }
+
+    /** r = xchg_release(addr, v): R[once], W[release]. */
+    RegRef xchgRelease(Expr addr, Expr v);
+    RegRef xchgRelease(LocId l, Value v)
+    {
+        return xchgRelease(Expr::locRef(l), Expr::constant(v));
+    }
+
+    /** r = atomic_add_return(v, addr): full-fenced RMW add. */
+    RegRef atomicAddReturn(Expr addr, Expr v);
+
+    /** r = cmpxchg(addr, expected, v); full fences on success. */
+    RegRef cmpxchg(Expr addr, Value expected, Expr v);
+    RegRef cmpxchg(LocId l, Value expected, Value v)
+    {
+        return cmpxchg(Expr::locRef(l), expected, Expr::constant(v));
+    }
+
+    // Locking emulation (Section 7 of the paper) --------------------
+
+    /**
+     * spin_lock(l): behaves like xchg_acquire(l, 1) that must read
+     * the unlocked value 0.
+     */
+    void spinLock(LocId l);
+
+    /** spin_unlock(l): smp_store_release(l, 0). */
+    void spinUnlock(LocId l);
+
+    // Control flow and computation ----------------------------------
+
+    /** r = expression over earlier registers. */
+    RegRef let(Expr v);
+
+    /**
+     * Discard executions where cond is false (see
+     * Instr::Kind::Assume).
+     */
+    void assume(Expr cond);
+
+    /** if (cond) { ... } with an optional else block. */
+    void iff(Expr cond,
+             const std::function<void(ThreadBuilder &)> &thenFn,
+             const std::function<void(ThreadBuilder &)> &elseFn = {});
+
+    int tid() const { return tid_; }
+
+  private:
+    friend class LitmusBuilder;
+
+    ThreadBuilder(int tid) : tid_(tid) {}
+
+    RegRef newReg();
+    void fence(Ann a);
+    void push(Instr i);
+
+    int tid_;
+    Thread thread_;
+    /** Stack of open blocks; back() receives new instructions. */
+    std::vector<std::vector<Instr> *> blockStack_;
+};
+
+/** Builds a whole litmus test. */
+class LitmusBuilder
+{
+  public:
+    explicit LitmusBuilder(std::string name);
+    ~LitmusBuilder();
+
+    LitmusBuilder(const LitmusBuilder &) = delete;
+    LitmusBuilder &operator=(const LitmusBuilder &) = delete;
+
+    /** Declare (or look up) a shared location. */
+    LocId loc(const std::string &name);
+
+    /** Declare n consecutive locations forming an array. */
+    LocId array(const std::string &name, int n);
+
+    /** Set the initial value of a location (default 0). */
+    void init(LocId l, Value v);
+
+    /** Initialise a location with a pointer to another location. */
+    void initPtr(LocId l, LocId target);
+
+    /** Add a thread; the reference stays valid until build(). */
+    ThreadBuilder &thread();
+
+    /** Final condition: exists (...). */
+    void exists(Cond c);
+
+    /** Final condition: forall (...). */
+    void forall(Cond c);
+
+    /** Condition helper: final memory value of l equals v. */
+    Cond memEq(LocId l, Value v) const { return Cond::memEq(l, v); }
+
+    /** Finish; the builder must not be reused afterwards. */
+    Program build();
+
+  private:
+    Program prog_;
+    std::vector<ThreadBuilder *> threads_;
+    bool built_ = false;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_BUILDER_HH

@@ -1,0 +1,178 @@
+#include "litmus/expr.hh"
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+Expr
+Expr::constant(Value v)
+{
+    Expr e;
+    e.op_ = Op::Const;
+    e.k_ = v;
+    return e;
+}
+
+Expr
+Expr::reg(RegId r)
+{
+    Expr e;
+    e.op_ = Op::Reg;
+    e.reg_ = r;
+    return e;
+}
+
+Expr
+Expr::locRef(LocId l)
+{
+    Expr e;
+    e.op_ = Op::LocRef;
+    e.loc_ = l;
+    return e;
+}
+
+Expr
+Expr::index(LocId base, Expr idx)
+{
+    Expr e;
+    e.op_ = Op::Index;
+    e.loc_ = base;
+    e.args_.push_back(std::move(idx));
+    return e;
+}
+
+Expr
+Expr::binary(Op op, Expr lhs, Expr rhs)
+{
+    Expr e;
+    e.op_ = op;
+    e.args_.push_back(std::move(lhs));
+    e.args_.push_back(std::move(rhs));
+    return e;
+}
+
+Expr
+Expr::notOf(Expr inner)
+{
+    Expr e;
+    e.op_ = Op::Not;
+    e.args_.push_back(std::move(inner));
+    return e;
+}
+
+std::vector<RegId>
+Expr::regsUsed() const
+{
+    std::vector<RegId> out;
+    if (op_ == Op::Reg) {
+        out.push_back(reg_);
+        return out;
+    }
+    for (const Expr &a : args_) {
+        for (RegId r : a.regsUsed())
+            out.push_back(r);
+    }
+    return out;
+}
+
+bool
+Expr::isStatic() const
+{
+    return regsUsed().empty();
+}
+
+std::optional<Value>
+Expr::eval(const std::vector<std::optional<Value>> &env) const
+{
+    switch (op_) {
+      case Op::Const:
+        return k_;
+      case Op::Reg:
+        if (reg_ < 0 || static_cast<std::size_t>(reg_) >= env.size())
+            return std::nullopt;
+        return env[reg_];
+      case Op::LocRef:
+        return locToValue(loc_);
+      case Op::Index: {
+        auto idx = args_[0].eval(env);
+        if (!idx)
+            return std::nullopt;
+        return locToValue(loc_ + static_cast<LocId>(*idx));
+      }
+      case Op::Not: {
+        auto v = args_[0].eval(env);
+        if (!v)
+            return std::nullopt;
+        return *v ? 0 : 1;
+      }
+      default:
+        break;
+    }
+
+    auto l = args_[0].eval(env);
+    auto r = args_[1].eval(env);
+    if (!l || !r)
+        return std::nullopt;
+
+    switch (op_) {
+      case Op::Add: return *l + *r;
+      case Op::Sub: return *l - *r;
+      case Op::Xor: return *l ^ *r;
+      case Op::And: return *l & *r;
+      case Op::Or:  return *l | *r;
+      case Op::Eq:  return *l == *r ? 1 : 0;
+      case Op::Ne:  return *l != *r ? 1 : 0;
+      case Op::Lt:  return *l < *r ? 1 : 0;
+      case Op::Le:  return *l <= *r ? 1 : 0;
+      case Op::Gt:  return *l > *r ? 1 : 0;
+      case Op::Ge:  return *l >= *r ? 1 : 0;
+      default:
+        panic("Expr::eval: unhandled operator");
+    }
+}
+
+std::string
+Expr::toString(const std::vector<std::string> &locNames) const
+{
+    auto locName = [&](LocId l) {
+        if (l >= 0 && static_cast<std::size_t>(l) < locNames.size())
+            return locNames[l];
+        return std::string("loc") + std::to_string(l);
+    };
+
+    switch (op_) {
+      case Op::Const:
+        return std::to_string(k_);
+      case Op::Reg:
+        return "r" + std::to_string(reg_);
+      case Op::LocRef:
+        return "&" + locName(loc_);
+      case Op::Index:
+        return locName(loc_) + "[" + args_[0].toString(locNames) + "]";
+      case Op::Not:
+        return "!(" + args_[0].toString(locNames) + ")";
+      default:
+        break;
+    }
+
+    const char *sym = "?";
+    switch (op_) {
+      case Op::Add: sym = "+"; break;
+      case Op::Sub: sym = "-"; break;
+      case Op::Xor: sym = "^"; break;
+      case Op::And: sym = "&"; break;
+      case Op::Or:  sym = "|"; break;
+      case Op::Eq:  sym = "=="; break;
+      case Op::Ne:  sym = "!="; break;
+      case Op::Lt:  sym = "<"; break;
+      case Op::Le:  sym = "<="; break;
+      case Op::Gt:  sym = ">"; break;
+      case Op::Ge:  sym = ">="; break;
+      default: break;
+    }
+    return "(" + args_[0].toString(locNames) + " " + sym + " " +
+        args_[1].toString(locNames) + ")";
+}
+
+} // namespace lkmm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Register/constant expressions used inside litmus instructions.
+ *
+ * Expressions compute data values, addresses (which evaluate to
+ * location handles, see value.hh), and branch conditions.  The
+ * dependency relations of the model (addr, data, ctrl) are derived
+ * from the registers an expression mentions, so Expr also exposes
+ * regsUsed().
+ */
+
+#ifndef LKMM_LITMUS_EXPR_HH
+#define LKMM_LITMUS_EXPR_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/value.hh"
+
+namespace lkmm
+{
+
+/** An arithmetic/logic expression over registers and constants. */
+class Expr
+{
+  public:
+    enum class Op
+    {
+        Const,   ///< integer literal
+        Reg,     ///< register reference
+        LocRef,  ///< &x — address of a shared location
+        Index,   ///< base[e] — location (base + e), e an expression
+        Add, Sub, Xor, And, Or,
+        Eq, Ne, Lt, Le, Gt, Ge,
+        Not,
+    };
+
+    Expr() : op_(Op::Const), k_(0) {}
+
+    static Expr constant(Value v);
+    static Expr reg(RegId r);
+    static Expr locRef(LocId l);
+    static Expr index(LocId base, Expr idx);
+    static Expr binary(Op op, Expr lhs, Expr rhs);
+    static Expr notOf(Expr e);
+
+    Op op() const { return op_; }
+    Value constValue() const { return k_; }
+    RegId regId() const { return reg_; }
+    LocId locId() const { return loc_; }
+    const Expr &lhs() const { return args_[0]; }
+    const Expr &rhs() const { return args_[1]; }
+    const Expr &arg() const { return args_[0]; }
+
+    /** All registers mentioned anywhere in the expression. */
+    std::vector<RegId> regsUsed() const;
+
+    /** True when no register is mentioned (statically evaluable). */
+    bool isStatic() const;
+
+    /**
+     * Evaluate under an environment; nullopt when a needed register
+     * value is still unknown (see the valuation fixpoint in
+     * exec/enumerate.cc).
+     *
+     * @param env env[r] is the value of register r, or nullopt.
+     */
+    std::optional<Value>
+    eval(const std::vector<std::optional<Value>> &env) const;
+
+    /** Render for diagnostics, with a location-name table. */
+    std::string toString(const std::vector<std::string> &locNames) const;
+
+  private:
+    Op op_;
+    Value k_ = 0;
+    RegId reg_ = -1;
+    LocId loc_ = -1;
+    std::vector<Expr> args_;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_EXPR_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The instruction set of litmus programs: the Linux-kernel
+ * primitives of Tables 3 and 4 of the paper, plus assignment and
+ * structured control flow.
+ */
+
+#ifndef LKMM_LITMUS_INSTR_HH
+#define LKMM_LITMUS_INSTR_HH
+
+#include <optional>
+#include <vector>
+
+#include "litmus/expr.hh"
+
+namespace lkmm
+{
+
+/** Access/fence annotation, as in Tables 3 and 4 of the paper. */
+enum class Ann
+{
+    None,
+    Once,      ///< READ_ONCE / WRITE_ONCE
+    Acquire,   ///< smp_load_acquire
+    Release,   ///< smp_store_release / rcu_assign_pointer
+    Rmb,       ///< smp_rmb
+    Wmb,       ///< smp_wmb
+    Mb,        ///< smp_mb
+    RbDep,     ///< smp_read_barrier_depends
+    RcuLock,   ///< rcu_read_lock
+    RcuUnlock, ///< rcu_read_unlock
+    SyncRcu,   ///< synchronize_rcu
+};
+
+/** Printable name of an annotation. */
+const char *annName(Ann a);
+
+/** Operation applied by a read-modify-write instruction. */
+enum class RmwOp
+{
+    Xchg,   ///< write the operand
+    Add,    ///< write old + operand
+    Sub,
+    And,
+    Or,
+};
+
+/** One statement of a litmus thread. */
+struct Instr
+{
+    enum class Kind
+    {
+        Read,    ///< dest = load(addr), annotated Once/Acquire
+        Write,   ///< store(addr, value), annotated Once/Release
+        Fence,   ///< standalone fence (ann gives the flavour)
+        Rmw,     ///< dest = rmw(addr, value); see rmwOp and fences
+        Cmpxchg, ///< dest = cmpxchg(addr, expected, value)
+        Let,     ///< dest = value (register computation, no event)
+        If,      ///< if (cond) { thenBody } else { elseBody }
+        /**
+         * Discard executions where cond is false.  Models the exit
+         * of a spin loop by its final iteration — e.g. the
+         * grace-period wait loop of Figure 15, whose last-iteration
+         * reads are the distinguished r1/r2 events of the paper's
+         * Theorem-2 proof (Section 6.3).
+         */
+        Assume,
+    };
+
+    Kind kind;
+
+    /** Fence flavour, or annotation of a plain read/write. */
+    Ann ann = Ann::None;
+
+    Expr addr;   ///< evaluates to a location handle
+    Expr value;  ///< store value / RMW operand / cmpxchg-new / let
+    Expr expected; ///< cmpxchg comparison value (must be static)
+    RegId dest = -1;
+
+    RmwOp rmwOp = RmwOp::Xchg;
+    Ann readAnn = Ann::Once;   ///< RMW read half
+    Ann writeAnn = Ann::Once;  ///< RMW write half
+    bool fullFence = false;    ///< xchg(): F[mb] before and after
+
+    /**
+     * When set, executions where the RMW's read returns a different
+     * value are discarded as non-terminating.  This implements the
+     * paper's Section-7 spinlock emulation: spin_lock() behaves like
+     * an xchg_acquire that loops until it reads "unlocked".
+     */
+    std::optional<Value> requireReadValue;
+
+    /** Marks the read of an rcu_dereference (gets F[rb-dep] after). */
+    bool rbDepAfter = false;
+
+    Expr cond;                ///< If condition
+    std::vector<Instr> thenBody;
+    std::vector<Instr> elseBody;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_INSTR_HH

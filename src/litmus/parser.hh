@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parser for the C-flavoured litmus-test format of Section 5: "The
+ * tests, written in a subset of C supplemented with LK constructs
+ * such as READ_ONCE or WRITE_ONCE".
+ *
+ * Supported shape:
+ *
+ *   C MP+wmb+rmb
+ *
+ *   { x=0; y=0; p=&x; }
+ *
+ *   P0(int *x, int *y) {
+ *       WRITE_ONCE(*x, 1);
+ *       smp_wmb();
+ *       WRITE_ONCE(*y, 1);
+ *   }
+ *
+ *   P1(int *x, int *y) {
+ *       int r0 = READ_ONCE(*y);
+ *       smp_rmb();
+ *       int r1 = READ_ONCE(*x);
+ *   }
+ *
+ *   exists (1:r0=1 /\ 1:r1=0)
+ *
+ * Statements: READ_ONCE / WRITE_ONCE / smp_load_acquire /
+ * smp_store_release / smp_rmb / smp_wmb / smp_mb /
+ * smp_read_barrier_depends / rcu_read_lock / rcu_read_unlock /
+ * synchronize_rcu / rcu_dereference / rcu_assign_pointer /
+ * xchg{,_relaxed,_acquire,_release} / cmpxchg / atomic_add_return /
+ * spin_lock / spin_unlock / plain register assignments / if-else.
+ * Addresses may be *x, *reg (a pointer read from memory), or x[e].
+ * The final clause is exists/forall over t:reg=v and loc=v atoms
+ * combined with /\ \/ ~ and parentheses.
+ */
+
+#ifndef LKMM_LITMUS_PARSER_HH
+#define LKMM_LITMUS_PARSER_HH
+
+#include <string>
+
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/** Parse litmus source text; throws FatalError on errors. */
+Program parseLitmus(const std::string &source);
+
+/** Parse a .litmus file from disk. */
+Program parseLitmusFile(const std::string &path);
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_PARSER_HH

@@ -1,0 +1,132 @@
+#include "litmus/program.hh"
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+Cond
+Cond::regEq(int tid, RegId reg, Value v)
+{
+    Cond c;
+    c.kind = Kind::RegEq;
+    c.tid = tid;
+    c.reg = reg;
+    c.value = v;
+    return c;
+}
+
+Cond
+Cond::memEq(LocId loc, Value v)
+{
+    Cond c;
+    c.kind = Kind::MemEq;
+    c.loc = loc;
+    c.value = v;
+    return c;
+}
+
+Cond
+Cond::notOf(Cond inner)
+{
+    Cond c;
+    c.kind = Kind::Not;
+    c.children.push_back(std::move(inner));
+    return c;
+}
+
+Cond
+Cond::andOf(Cond a, Cond b)
+{
+    Cond c;
+    c.kind = Kind::And;
+    c.children.push_back(std::move(a));
+    c.children.push_back(std::move(b));
+    return c;
+}
+
+Cond
+Cond::orOf(Cond a, Cond b)
+{
+    Cond c;
+    c.kind = Kind::Or;
+    c.children.push_back(std::move(a));
+    c.children.push_back(std::move(b));
+    return c;
+}
+
+bool
+Cond::eval(const std::vector<std::vector<Value>> &regs,
+           const std::vector<Value> &mem) const
+{
+    switch (kind) {
+      case Kind::True:
+        return true;
+      case Kind::RegEq:
+        panicIf(tid < 0 || static_cast<std::size_t>(tid) >= regs.size(),
+                "Cond: bad thread id");
+        panicIf(reg < 0 ||
+                static_cast<std::size_t>(reg) >= regs[tid].size(),
+                "Cond: bad register id");
+        return regs[tid][reg] == value;
+      case Kind::MemEq:
+        panicIf(loc < 0 || static_cast<std::size_t>(loc) >= mem.size(),
+                "Cond: bad location id");
+        return mem[loc] == value;
+      case Kind::Not:
+        return !children[0].eval(regs, mem);
+      case Kind::And:
+        return children[0].eval(regs, mem) && children[1].eval(regs, mem);
+      case Kind::Or:
+        return children[0].eval(regs, mem) || children[1].eval(regs, mem);
+    }
+    panic("Cond::eval: unhandled kind");
+}
+
+std::string
+Cond::toString(const std::vector<std::string> &locNames) const
+{
+    switch (kind) {
+      case Kind::True:
+        return "true";
+      case Kind::RegEq:
+        return std::to_string(tid) + ":r" + std::to_string(reg) + "=" +
+            std::to_string(value);
+      case Kind::MemEq: {
+        std::string name = loc >= 0 &&
+            static_cast<std::size_t>(loc) < locNames.size() ?
+            locNames[loc] : ("loc" + std::to_string(loc));
+        return name + "=" + std::to_string(value);
+      }
+      case Kind::Not:
+        return "~(" + children[0].toString(locNames) + ")";
+      case Kind::And:
+        return "(" + children[0].toString(locNames) + " /\\ " +
+            children[1].toString(locNames) + ")";
+      case Kind::Or:
+        return "(" + children[0].toString(locNames) + " \\/ " +
+            children[1].toString(locNames) + ")";
+    }
+    panic("Cond::toString: unhandled kind");
+}
+
+const char *
+annName(Ann a)
+{
+    switch (a) {
+      case Ann::None: return "none";
+      case Ann::Once: return "once";
+      case Ann::Acquire: return "acquire";
+      case Ann::Release: return "release";
+      case Ann::Rmb: return "rmb";
+      case Ann::Wmb: return "wmb";
+      case Ann::Mb: return "mb";
+      case Ann::RbDep: return "rb-dep";
+      case Ann::RcuLock: return "rcu-lock";
+      case Ann::RcuUnlock: return "rcu-unlock";
+      case Ann::SyncRcu: return "sync-rcu";
+    }
+    return "?";
+}
+
+} // namespace lkmm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A complete litmus test: shared locations with initial values,
+ * threads, and a final condition over registers and memory.
+ */
+
+#ifndef LKMM_LITMUS_PROGRAM_HH
+#define LKMM_LITMUS_PROGRAM_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "litmus/instr.hh"
+
+namespace lkmm
+{
+
+/** A final-state predicate (the body of an exists/forall clause). */
+struct Cond
+{
+    enum class Kind
+    {
+        True,
+        RegEq,   ///< tid:reg == value
+        MemEq,   ///< final value of loc == value
+        Not,
+        And,
+        Or,
+    };
+
+    Kind kind = Kind::True;
+    int tid = -1;
+    RegId reg = -1;
+    LocId loc = -1;
+    Value value = 0;
+    std::vector<Cond> children;
+
+    static Cond trueCond() { return {}; }
+    static Cond regEq(int tid, RegId reg, Value v);
+    static Cond memEq(LocId loc, Value v);
+    static Cond notOf(Cond c);
+    static Cond andOf(Cond a, Cond b);
+    static Cond orOf(Cond a, Cond b);
+
+    /**
+     * Evaluate on a final state.
+     *
+     * @param regs regs[tid][r] is the final value of register r.
+     * @param mem  mem[loc] is the final value of the location.
+     */
+    bool eval(const std::vector<std::vector<Value>> &regs,
+              const std::vector<Value> &mem) const;
+
+    std::string toString(const std::vector<std::string> &locNames) const;
+};
+
+/** One thread of a litmus test. */
+struct Thread
+{
+    std::vector<Instr> body;
+    int numRegs = 0;
+};
+
+/** Quantifier of the final condition. */
+enum class Quantifier
+{
+    Exists,  ///< test is Allowed iff some execution satisfies cond
+    Forall,  ///< (rare) all executions must satisfy cond
+};
+
+/** A litmus test. */
+struct Program
+{
+    std::string name;
+
+    /** Shared-location names; LocId indexes this table. */
+    std::vector<std::string> locNames;
+
+    /** Initial values (default 0).  Pointers use locToValue(). */
+    std::map<LocId, Value> init;
+
+    std::vector<Thread> threads;
+
+    Quantifier quantifier = Quantifier::Exists;
+    Cond condition;
+
+    /** Initial value of a location. */
+    Value
+    initValue(LocId l) const
+    {
+        auto it = init.find(l);
+        return it == init.end() ? 0 : it->second;
+    }
+
+    int numThreads() const { return static_cast<int>(threads.size()); }
+    int numLocs() const { return static_cast<int>(locNames.size()); }
+};
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_PROGRAM_HH

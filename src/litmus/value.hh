@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Values, locations, and registers of litmus programs.
+ *
+ * Litmus-test values are integers, but RCU-style tests also store
+ * *pointers* to shared locations (rcu_assign_pointer(gp, &new)).  We
+ * encode a pointer to location l as the integer LOC_HANDLE_BASE + l,
+ * far above any data value a litmus test uses, so that address
+ * expressions can dereference values read from memory.
+ */
+
+#ifndef LKMM_LITMUS_VALUE_HH
+#define LKMM_LITMUS_VALUE_HH
+
+#include <cstdint>
+
+namespace lkmm
+{
+
+/** Runtime value in a litmus execution. */
+using Value = std::int64_t;
+
+/** Index into a program's shared-location table. */
+using LocId = int;
+
+/** Index into a thread's register table. */
+using RegId = int;
+
+/** Base of the pointer-encoding range; see file comment. */
+constexpr Value LOC_HANDLE_BASE = Value{1} << 40;
+
+/** Encode a pointer to location l as a value. */
+inline Value
+locToValue(LocId l)
+{
+    return LOC_HANDLE_BASE + l;
+}
+
+/** True when v encodes a pointer to a shared location. */
+inline bool
+isLocHandle(Value v)
+{
+    return v >= LOC_HANDLE_BASE;
+}
+
+/** Decode a pointer value back to its location. */
+inline LocId
+valueToLoc(Value v)
+{
+    return static_cast<LocId>(v - LOC_HANDLE_BASE);
+}
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_VALUE_HH

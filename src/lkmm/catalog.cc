@@ -1,0 +1,409 @@
+#include "lkmm/catalog.hh"
+
+#include "base/logging.hh"
+#include "litmus/builder.hh"
+
+namespace lkmm
+{
+
+Program
+lb()
+{
+    LitmusBuilder b("LB");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    RegRef r1 = t0.readOnce(x);
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r2 = t1.readOnce(y);
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 1)));
+    return b.build();
+}
+
+Program
+lbCtrlMb()
+{
+    // Figure 4: the ring-buffer idiom of perf_output_put_handle().
+    LitmusBuilder b("LB+ctrl+mb");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    RegRef r1 = t0.readOnce(x);
+    t0.iff(Expr::binary(Expr::Op::Eq, r1, Expr::constant(1)),
+           [&](ThreadBuilder &t) { t.writeOnce(y, 1); });
+    ThreadBuilder &t1 = b.thread();
+    RegRef r2 = t1.readOnce(y);
+    t1.mb();
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 1)));
+    return b.build();
+}
+
+Program
+lbDatas()
+{
+    // LB with data dependencies both ways: the out-of-thin-air shape
+    // the model forbids because it respects dependencies (Section 7).
+    LitmusBuilder b("LB+datas");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    RegRef r1 = t0.readOnce(x);
+    t0.writeOnce(y, Expr(r1));
+    ThreadBuilder &t1 = b.thread();
+    RegRef r2 = t1.readOnce(y);
+    t1.writeOnce(x, Expr(r2));
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 1)));
+    return b.build();
+}
+
+Program
+mp()
+{
+    LitmusBuilder b("MP");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(y);
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    return b.build();
+}
+
+Program
+mpWmbRmb()
+{
+    // Figures 1 and 2.
+    LitmusBuilder b("MP+wmb+rmb");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.wmb();
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(y);
+    t1.rmb();
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    return b.build();
+}
+
+Program
+mpWmbAddrAcq()
+{
+    // Figure 9: the task_rq_lock() idiom — an address dependency
+    // (rrdep) extends the reach of a later acquire (acq-po) through
+    // the rrdep* prefix of ppo.
+    //
+    //   T0: x = 1; smp_wmb(); WRITE_ONCE(p, &u);
+    //   T1: r1 = READ_ONCE(p); r2 = smp_load_acquire(*r1);
+    //       r3 = READ_ONCE(x);
+    //   exists (1:r1=&u /\ 1:r3=0)
+    LitmusBuilder b("MP+wmb+addr-acq");
+    LocId x = b.loc("x");
+    LocId z = b.loc("z");
+    LocId u = b.loc("u");
+    LocId p = b.loc("p");
+    b.initPtr(p, z);
+
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.wmb();
+    t0.writeOnce(p, Expr::locRef(u));
+
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(p);
+    t1.loadAcquire(Expr(r1));
+    RegRef r3 = t1.readOnce(x);
+
+    b.exists(Cond::andOf(Cond::regEq(r1.tid, r1.reg, locToValue(u)),
+                         eq(r3, 0)));
+    return b.build();
+}
+
+Program
+wrc()
+{
+    LitmusBuilder b("WRC");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(x);
+    t1.writeOnce(y, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef r2 = t2.readOnce(y);
+    RegRef r3 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), Cond::andOf(eq(r2, 1), eq(r3, 0))));
+    return b.build();
+}
+
+Program
+wrcPoRelRmb()
+{
+    // Figure 5: the release in T1 is A-cumulative.
+    LitmusBuilder b("WRC+po-rel+rmb");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(x);
+    t1.storeRelease(y, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef r2 = t2.readOnce(y);
+    t2.rmb();
+    RegRef r3 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), Cond::andOf(eq(r2, 1), eq(r3, 0))));
+    return b.build();
+}
+
+Program
+wrcWmbAcq()
+{
+    // Figure 14: smp_wmb orders writes only, so the LK model allows
+    // this; C11's release fence makes it forbidden there.
+    LitmusBuilder b("WRC+wmb+acq");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(x);
+    t1.wmb();
+    t1.writeOnce(y, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef r2 = t2.loadAcquire(y);
+    RegRef r3 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), Cond::andOf(eq(r2, 1), eq(r3, 0))));
+    return b.build();
+}
+
+Program
+sb()
+{
+    LitmusBuilder b("SB");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    RegRef r1 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 0), eq(r2, 0)));
+    return b.build();
+}
+
+Program
+sbMbs()
+{
+    // Figure 6: the wait-event/wakeup idiom.
+    LitmusBuilder b("SB+mbs");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.mb();
+    RegRef r1 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.mb();
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 0), eq(r2, 0)));
+    return b.build();
+}
+
+Program
+peterZ()
+{
+    // Figure 7: the perf vs. CPU-hotplug race [Zijlstra 2016].
+    // Following Section 3.2.3/3.2.5's walkthrough: b is overwritten
+    // by c (b fr c), the release d is read by e, f is overwritten by
+    // a (f fr a), and two strong fences close the pb cycle.
+    //   T0: a:Wx=1;  mb;  b:Ry=0
+    //   T1: c:Wy=1;  d:Wz=1 (release)
+    //   T2: e:Rz=1;  mb;  f:Rx=0
+    LitmusBuilder b("PeterZ");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.mb();
+    RegRef r0 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.storeRelease(z, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef r1 = t2.readOnce(z);
+    t2.mb();
+    RegRef r2 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r0, 0),
+                         Cond::andOf(eq(r1, 1), eq(r2, 0))));
+    return b.build();
+}
+
+Program
+peterZNoSynchro()
+{
+    // PeterZ with the synchronisation stripped: T0's W->R pair makes
+    // it observable even on x86 (Table 5: 351k/7.2G).
+    LitmusBuilder b("PeterZ-No-Synchro");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    RegRef r0 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.writeOnce(z, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef r1 = t2.readOnce(z);
+    RegRef r2 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r0, 0),
+                         Cond::andOf(eq(r1, 1), eq(r2, 0))));
+    return b.build();
+}
+
+Program
+rwc()
+{
+    LitmusBuilder b("RWC");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(x);
+    RegRef r2 = t1.readOnce(y);
+    ThreadBuilder &t2 = b.thread();
+    t2.writeOnce(y, 1);
+    RegRef r3 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), Cond::andOf(eq(r2, 0), eq(r3, 0))));
+    return b.build();
+}
+
+Program
+rwcMbs()
+{
+    // Figure 13: the LK model forbids (smp_mb restores SC); C11's
+    // seq_cst fences do not.
+    LitmusBuilder b("RWC+mbs");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(x);
+    t1.mb();
+    RegRef r2 = t1.readOnce(y);
+    ThreadBuilder &t2 = b.thread();
+    t2.writeOnce(y, 1);
+    t2.mb();
+    RegRef r3 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), Cond::andOf(eq(r2, 0), eq(r3, 0))));
+    return b.build();
+}
+
+Program
+rcuMp()
+{
+    // Figure 10.
+    LitmusBuilder b("RCU-MP");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    RegRef r1 = t0.readOnce(x);
+    RegRef r2 = t0.readOnce(y);
+    t0.rcuReadUnlock();
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.synchronizeRcu();
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    return b.build();
+}
+
+Program
+rcuDeferredFree()
+{
+    // Figure 11: the reads swapped relative to Figure 10.  Fences
+    // would not forbid this shape; the grace-period guarantee does.
+    //   T0: lock; b:Rx=0; a:Ry=1; unlock
+    //   T1: c:Wx=1; synchronize_rcu; d:Wy=1
+    LitmusBuilder b("RCU-deferred-free");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    RegRef r1 = t0.readOnce(x);
+    RegRef r2 = t0.readOnce(y);
+    t0.rcuReadUnlock();
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(x, 1);
+    t1.synchronizeRcu();
+    t1.writeOnce(y, 1);
+    b.exists(Cond::andOf(eq(r1, 0), eq(r2, 1)));
+    return b.build();
+}
+
+std::vector<CatalogEntry>
+table5()
+{
+    std::vector<CatalogEntry> t;
+
+    auto entry = [&](Program p, Verdict lk, std::optional<Verdict> c11,
+                     std::string fig, bool p8, bool v8, bool v7,
+                     bool x86) {
+        CatalogEntry e;
+        e.prog = std::move(p);
+        e.lkmmExpected = lk;
+        e.c11Expected = c11;
+        e.figure = std::move(fig);
+        e.observedPower8 = p8;
+        e.observedArmv8 = v8;
+        e.observedArmv7 = v7;
+        e.observedX86 = x86;
+        t.push_back(std::move(e));
+    };
+
+    // Table 5, row by row; the four booleans reproduce the paper's
+    // observed/not-observed shape per machine.
+    entry(lb(), Verdict::Allow, Verdict::Allow, "",
+          false, false, false, false);
+    entry(lbCtrlMb(), Verdict::Forbid, Verdict::Allow, "Fig. 4",
+          false, false, false, false);
+    entry(wrc(), Verdict::Allow, Verdict::Allow, "",
+          true, true, false, false);
+    entry(wrcWmbAcq(), Verdict::Allow, Verdict::Forbid, "Fig. 14",
+          false, false, false, false);
+    entry(wrcPoRelRmb(), Verdict::Forbid, Verdict::Forbid, "Fig. 5",
+          false, false, false, false);
+    entry(sb(), Verdict::Allow, Verdict::Allow, "",
+          true, true, true, true);
+    entry(sbMbs(), Verdict::Forbid, Verdict::Forbid, "Fig. 6",
+          false, false, false, false);
+    entry(mp(), Verdict::Allow, Verdict::Allow, "",
+          true, true, true, false);
+    entry(mpWmbRmb(), Verdict::Forbid, Verdict::Forbid, "Fig. 2",
+          false, false, false, false);
+    entry(peterZNoSynchro(), Verdict::Allow, Verdict::Allow, "",
+          true, true, true, true);
+    entry(peterZ(), Verdict::Forbid, Verdict::Allow, "Fig. 7",
+          false, false, false, false);
+    entry(rcuDeferredFree(), Verdict::Forbid, std::nullopt, "Fig. 11",
+          false, false, false, false);
+    entry(rcuMp(), Verdict::Forbid, std::nullopt, "Fig. 10",
+          false, false, false, false);
+    entry(rwc(), Verdict::Allow, Verdict::Allow, "",
+          true, true, true, true);
+    entry(rwcMbs(), Verdict::Forbid, Verdict::Allow, "Fig. 13",
+          false, false, false, false);
+
+    return t;
+}
+
+const CatalogEntry &
+findEntry(const std::vector<CatalogEntry> &entries,
+          const std::string &name)
+{
+    for (const CatalogEntry &e : entries) {
+        if (e.prog.name == name)
+            return e;
+    }
+    fatal("no catalog entry named " + name);
+}
+
+} // namespace lkmm

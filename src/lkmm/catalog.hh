@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The paper's litmus tests (Figures 1-14 and Table 5), built
+ * programmatically, together with the paper's expected verdicts.
+ *
+ * These are the ground truth for the test suite and the inputs to
+ * bench_table5 / bench_figures / bench_c11_comparison.
+ */
+
+#ifndef LKMM_LKMM_CATALOG_HH
+#define LKMM_LKMM_CATALOG_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/program.hh"
+#include "lkmm/runner.hh"
+
+namespace lkmm
+{
+
+/** One paper test with its expected verdicts. */
+struct CatalogEntry
+{
+    Program prog;
+    /** "Model" column of Table 5. */
+    Verdict lkmmExpected = Verdict::Allow;
+    /** "C11" column of Table 5 (nullopt for the RCU rows' "—"). */
+    std::optional<Verdict> c11Expected;
+    /** Paper figure, e.g. "Fig. 4", or empty. */
+    std::string figure;
+    /**
+     * Whether the paper observed the behaviour on each machine
+     * (Power8, ARMv8, ARMv7, X86); used as the reference shape for
+     * the operational harness in bench_table5.
+     */
+    bool observedPower8 = false;
+    bool observedArmv8 = false;
+    bool observedArmv7 = false;
+    bool observedX86 = false;
+};
+
+// Individual tests ---------------------------------------------------
+
+Program lb();                  ///< load buffering, unsynchronised
+Program lbCtrlMb();            ///< Figure 4
+Program lbDatas();             ///< LB+datas: the thin-air shape
+Program mp();                  ///< message passing, unsynchronised
+Program mpWmbRmb();            ///< Figures 1 and 2
+Program mpWmbAddrAcq();        ///< Figure 9
+Program wrc();                 ///< write-to-read causality
+Program wrcPoRelRmb();         ///< Figure 5
+Program wrcWmbAcq();           ///< Figure 14
+Program sb();                  ///< store buffering
+Program sbMbs();               ///< Figure 6
+Program peterZ();              ///< Figure 7
+Program peterZNoSynchro();     ///< PeterZ without the synchronisation
+Program rwc();                 ///< read-to-write causality
+Program rwcMbs();              ///< Figure 13
+Program rcuMp();               ///< Figure 10
+Program rcuDeferredFree();     ///< Figure 11
+
+/** All of Table 5, in the paper's row order. */
+std::vector<CatalogEntry> table5();
+
+/** Find a catalog entry by test name; throws FatalError if absent. */
+const CatalogEntry &findEntry(const std::vector<CatalogEntry> &entries,
+                              const std::string &name);
+
+} // namespace lkmm
+
+#endif // LKMM_LKMM_CATALOG_HH

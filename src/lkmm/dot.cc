@@ -1,0 +1,75 @@
+#include "lkmm/dot.hh"
+
+#include "base/strutil.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+/** Direct (non-transitive) program order for readable diagrams. */
+Relation
+poDirect(const CandidateExecution &ex)
+{
+    const Relation &po = ex.po;
+    return po - po.seq(po);
+}
+
+void
+emitEdges(std::string &out, const CandidateExecution &ex,
+          const Relation &r, const char *name, const char *style)
+{
+    for (auto [a, b] : r.pairs()) {
+        out += format("  e%zu -> e%zu [label=\"%s\" %s];\n", a, b,
+                      name, style);
+    }
+}
+
+} // namespace
+
+std::string
+toDot(const CandidateExecution &ex)
+{
+    std::string out = "digraph \"" +
+        (ex.program ? ex.program->name : std::string("execution")) +
+        "\" {\n  rankdir=TB;\n  node [shape=box fontname=\"mono\"];\n";
+
+    // One cluster per thread, init writes on top.
+    out += "  subgraph cluster_init {\n    label=\"init\"; "
+           "style=dashed;\n";
+    for (const Event &e : ex.events) {
+        if (e.isInit) {
+            out += format("    e%zu [label=\"%s\"];\n", e.id,
+                          e.toString(ex.program->locNames).c_str());
+        }
+    }
+    out += "  }\n";
+
+    for (int t = 0; t < ex.program->numThreads(); ++t) {
+        out += format("  subgraph cluster_t%d {\n    label=\"T%d\";\n",
+                      t, t);
+        for (const Event &e : ex.events) {
+            if (e.tid == t) {
+                out += format("    e%zu [label=\"%s\"];\n", e.id,
+                              e.toString(ex.program->locNames)
+                                  .c_str());
+            }
+        }
+        out += "  }\n";
+    }
+
+    emitEdges(out, ex, poDirect(ex), "po", "color=black");
+    emitEdges(out, ex, ex.rf, "rf", "color=red");
+    emitEdges(out, ex, ex.co - ex.co.seq(ex.co), "co", "color=blue");
+    emitEdges(out, ex, ex.fr(), "fr", "color=orange style=dashed");
+    emitEdges(out, ex, ex.addr, "addr", "color=green");
+    emitEdges(out, ex, ex.data, "data", "color=green style=dotted");
+    emitEdges(out, ex, ex.ctrl - ex.ctrl.seq(ex.po), "ctrl",
+              "color=green style=dashed");
+
+    out += "}\n";
+    return out;
+}
+
+} // namespace lkmm

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Graphviz rendering of candidate executions — the paper's
+ * candidate-execution diagrams (Figures 2, 4-7, 9-11) as .dot.
+ *
+ * Events become nodes labelled like "a: Rx=1"; po, rf, co, fr and
+ * the dependency relations become styled edges.  Feed the output to
+ * `dot -Tsvg` to get pictures in the paper's style.
+ */
+
+#ifndef LKMM_LKMM_DOT_HH
+#define LKMM_LKMM_DOT_HH
+
+#include <string>
+
+#include "exec/execution.hh"
+
+namespace lkmm
+{
+
+/** Render one candidate execution as a graphviz digraph. */
+std::string toDot(const CandidateExecution &ex);
+
+} // namespace lkmm
+
+#endif // LKMM_LKMM_DOT_HH

@@ -1,0 +1,56 @@
+#include "lkmm/runner.hh"
+
+namespace lkmm
+{
+
+RunResult
+runTest(const Program &prog, const Model &model)
+{
+    RunResult res;
+    Enumerator en(prog);
+    en.forEach([&](const CandidateExecution &ex) {
+        ++res.candidates;
+        auto violation = model.check(ex);
+        const bool cond = ex.satisfiesCondition();
+        if (!violation) {
+            ++res.allowedCandidates;
+            res.allowedFinalStates.insert(ex.finalStateString());
+            if (cond) {
+                ++res.witnesses;
+                if (!res.witness)
+                    res.witness = ex;
+            }
+        } else if (cond && !res.sampleViolation) {
+            res.sampleViolation = *violation;
+            res.violationText = violation->toString(ex);
+        }
+        return true;
+    });
+
+    if (prog.quantifier == Quantifier::Exists) {
+        res.verdict = res.witnesses > 0 ? Verdict::Allow : Verdict::Forbid;
+    } else {
+        // forall: Allow when every allowed candidate satisfies the
+        // condition.
+        res.verdict = res.witnesses == res.allowedCandidates
+            ? Verdict::Allow : Verdict::Forbid;
+    }
+    return res;
+}
+
+Verdict
+quickVerdict(const Program &prog, const Model &model)
+{
+    bool found = false;
+    Enumerator en(prog);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (ex.satisfiesCondition() && model.allows(ex)) {
+            found = true;
+            return false;
+        }
+        return true;
+    });
+    return found ? Verdict::Allow : Verdict::Forbid;
+}
+
+} // namespace lkmm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Running litmus tests against models: the herd verdict machinery.
+ *
+ * A test's verdict under a model is Allow when some candidate
+ * execution satisfying the model's axioms also satisfies the test's
+ * exists clause, Forbid otherwise (Table 5's "Model" column).
+ */
+
+#ifndef LKMM_LKMM_RUNNER_HH
+#define LKMM_LKMM_RUNNER_HH
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "exec/enumerate.hh"
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/** Verdict of a litmus test under a model. */
+enum class Verdict
+{
+    Allow,
+    Forbid,
+};
+
+inline const char *
+verdictName(Verdict v)
+{
+    return v == Verdict::Allow ? "Allow" : "Forbid";
+}
+
+/** Everything the runner learned about one test under one model. */
+struct RunResult
+{
+    Verdict verdict = Verdict::Forbid;
+
+    /** Total consistent candidates enumerated. */
+    std::size_t candidates = 0;
+    /** Candidates passing the model's axioms. */
+    std::size_t allowedCandidates = 0;
+    /** Candidates passing the axioms *and* the exists clause. */
+    std::size_t witnesses = 0;
+
+    /** Distinct final states among model-allowed candidates. */
+    std::set<std::string> allowedFinalStates;
+
+    /**
+     * When the test is forbidden: why the condition-satisfying
+     * candidates were rejected (the first axiom violation seen).
+     */
+    std::optional<Violation> sampleViolation;
+    /** Human-readable rendering of sampleViolation. */
+    std::string violationText;
+
+    /** A witness execution when the verdict is Allow. */
+    std::optional<CandidateExecution> witness;
+};
+
+/** Run one program against one model. */
+RunResult runTest(const Program &prog, const Model &model);
+
+/**
+ * Fast verdict: stops at the first witness.  Used by the soundness
+ * sweeps in bench/ where only Allow/Forbid matters.
+ */
+Verdict quickVerdict(const Program &prog, const Model &model);
+
+} // namespace lkmm
+
+#endif // LKMM_LKMM_RUNNER_HH

@@ -1,0 +1,45 @@
+#include "model/alpha_model.hh"
+
+#include "model/hw_common.hh"
+
+namespace lkmm
+{
+
+std::optional<Violation>
+AlphaModel::check(const CandidateExecution &ex) const
+{
+    if (auto v = requireAcyclic(ex.poLoc() | ex.com(), "uniproc"))
+        return v;
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "atomicity")) {
+        return v;
+    }
+
+    const Relation rw = Relation::product(ex.reads(), ex.writes());
+    const Relation rr = Relation::product(ex.reads(), ex.reads());
+    const Relation ww = Relation::product(ex.writes(), ex.writes());
+
+    // Dependencies into writes are preserved (no speculative
+    // stores); dependencies between reads are NOT — that is Alpha's
+    // claim to fame, and why rrdep needs rb-dep in the LK model.
+    const Relation ppo = (ex.addr | ex.data | ex.ctrl) & rw;
+
+    // Fences: mb orders everything; wmb orders writes; the kernel
+    // maps smp_rmb to mb on Alpha; smp_read_barrier_depends emits
+    // mb, modelled as ordering the reads around it.
+    const Relation mem_mb =
+        (ex.mbRel() |
+         ex.fenceRel(Ann::Rmb).restrictDomain(ex.mem())
+             .restrictRange(ex.mem()));
+    const Relation fence = mem_mb
+        | (ex.fenceRel(Ann::Wmb) & ww)
+        | (ex.fenceRel(Ann::RbDep) & rr)
+        | fenceAfterAcquire(ex) | fenceBeforeRelease(ex);
+
+    // Multi-copy atomicity: one global order embeds communications.
+    if (auto v = requireAcyclic(ppo | fence | ex.com(), "alpha-ghb"))
+        return v;
+    return std::nullopt;
+}
+
+} // namespace lkmm

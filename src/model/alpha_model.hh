@@ -1,0 +1,40 @@
+/**
+ * @file
+ * DEC Alpha — the architecture smp_read_barrier_depends exists for
+ * (Sections 3.2.2 and 7).  Alpha is multi-copy-atomic but preserves
+ * almost no program order: not even address dependencies between
+ * reads.  It does preserve dependencies *into writes* (no value
+ * speculation makes a dependent store visible early), and its mb /
+ * wmb instructions order everything / writes.
+ *
+ * Axioms: uniproc, atomicity, and a single global-happens-before
+ * acyclicity over ppo ∪ fences ∪ com (the com component is what
+ * multi-copy atomicity buys).
+ *
+ * Kernel mapping: smp_mb -> mb; smp_wmb -> wmb; smp_rmb -> mb
+ * (Alpha has no read-only barrier; the kernel uses mb);
+ * smp_read_barrier_depends -> mb restricted to dependent reads —
+ * modelled here as ordering reads; acquire/release -> mb-based.
+ */
+
+#ifndef LKMM_MODEL_ALPHA_MODEL_HH
+#define LKMM_MODEL_ALPHA_MODEL_HH
+
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/** DEC Alpha. */
+class AlphaModel : public Model
+{
+  public:
+    std::string name() const override { return "alpha"; }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_ALPHA_MODEL_HH

@@ -1,0 +1,82 @@
+#include "model/armv8_model.hh"
+
+#include "model/hw_common.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+Relation
+identityOn(const EventSet &s)
+{
+    Relation r(s.size());
+    for (EventId e : s.members())
+        r.add(e, e);
+    return r;
+}
+
+} // namespace
+
+Armv8Relations
+Armv8Model::buildRelations(const CandidateExecution &ex) const
+{
+    Armv8Relations r;
+
+    // Observed externally.
+    r.obs = ex.rfe() | ex.fre() | ex.coe();
+
+    // Dependency-ordered-before.
+    const Relation w_id = identityOn(ex.writes());
+    r.dob = ex.addr | ex.data
+        | ex.ctrl.seq(w_id)
+        | ex.addr.seq(ex.po).seq(w_id)
+        | (ex.ctrl | ex.data).seq(ex.coi())
+        | (ex.addr | ex.data).seq(ex.rfi());
+
+    // Atomic-ordered-before: the RMW pair itself, plus reads-from
+    // out of an RMW write into an acquire load.
+    const EventSet rmw_w = rmwEvents(ex) & ex.writes();
+    const EventSet acq = ex.withAnn(Ann::Acquire) & ex.reads();
+    r.aob = ex.rmw |
+        identityOn(rmw_w).seq(ex.rfi()).seq(identityOn(acq));
+
+    // Barrier-ordered-before.
+    const EventSet rel = ex.withAnn(Ann::Release) & ex.writes();
+    const Relation po_mem = poMem(ex);
+    const Relation ww = Relation::product(ex.writes(), ex.writes());
+    const Relation dmb_full =
+        ex.mbRel().restrictDomain(ex.mem()).restrictRange(ex.mem());
+    const Relation dmb_st = ex.fenceRel(Ann::Wmb) & ww;
+    const Relation dmb_ld = ex.fenceRel(Ann::Rmb)
+        .restrictDomain(ex.reads()).restrictRange(ex.mem());
+
+    r.bob = dmb_full | dmb_st | dmb_ld
+        | po_mem.restrictDomain(acq)                   // [A]; po
+        | po_mem.restrictRange(rel)                    // po; [L]
+        | po_mem.restrictDomain(rel).restrictRange(acq); // [L];po;[A]
+
+    r.ob = (r.obs | r.dob | r.aob | r.bob).plus();
+    return r;
+}
+
+std::optional<Violation>
+Armv8Model::check(const CandidateExecution &ex) const
+{
+    Armv8Relations r = buildRelations(ex);
+
+    // Internal visibility (SC per location) and atomicity.
+    if (auto v = requireAcyclic(ex.poLoc() | ex.com(), "internal"))
+        return v;
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "atomicity")) {
+        return v;
+    }
+    // External visibility.
+    if (auto v = requireIrreflexive(r.ob, "external"))
+        return v;
+    return std::nullopt;
+}
+
+} // namespace lkmm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ARMv8 (AArch64), in the style of ARM's official cat model
+ * [ARM ARM B2.3 / the aarch64.cat shipped with herd]: the
+ * ordered-before (ob) acyclicity axiom over observed-external,
+ * dependency-ordered, atomic-ordered and barrier-ordered relations.
+ * ARMv8 is other-multi-copy-atomic, which is what obs = external
+ * communications captures.
+ *
+ * Kernel mapping: smp_mb -> dmb.ish (full); smp_wmb -> dmb.ishst;
+ * smp_rmb -> dmb.ishld; smp_load_acquire -> LDAR (A);
+ * smp_store_release -> STLR (L); READ_ONCE/WRITE_ONCE -> plain;
+ * smp_read_barrier_depends -> no-op.
+ */
+
+#ifndef LKMM_MODEL_ARMV8_MODEL_HH
+#define LKMM_MODEL_ARMV8_MODEL_HH
+
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/** ARMv8 relations, exposed for tests. */
+struct Armv8Relations
+{
+    Relation obs;  ///< rfe ∪ fre ∪ coe
+    Relation dob;  ///< dependency-ordered-before
+    Relation aob;  ///< atomic-ordered-before
+    Relation bob;  ///< barrier-ordered-before
+    Relation ob;   ///< (obs ∪ dob ∪ aob ∪ bob)+
+};
+
+/** AArch64. */
+class Armv8Model : public Model
+{
+  public:
+    std::string name() const override { return "armv8"; }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+
+    Armv8Relations buildRelations(const CandidateExecution &ex) const;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_ARMV8_MODEL_HH

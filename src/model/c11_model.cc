@@ -1,0 +1,217 @@
+#include "model/c11_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+/** [S]: the identity restricted to a set. */
+Relation
+identityOn(const EventSet &s)
+{
+    Relation r(s.size());
+    for (EventId e : s.members())
+        r.add(e, e);
+    return r;
+}
+
+bool
+instrHasRcu(const Instr &ins)
+{
+    if (ins.kind == Instr::Kind::Fence &&
+        (ins.ann == Ann::RcuLock || ins.ann == Ann::RcuUnlock ||
+         ins.ann == Ann::SyncRcu)) {
+        return true;
+    }
+    for (const Instr &sub : ins.thenBody) {
+        if (instrHasRcu(sub))
+            return true;
+    }
+    for (const Instr &sub : ins.elseBody) {
+        if (instrHasRcu(sub))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+C11Model::supports(const Program &prog)
+{
+    for (const Thread &t : prog.threads) {
+        for (const Instr &ins : t.body) {
+            if (instrHasRcu(ins))
+                return false;
+        }
+    }
+    return true;
+}
+
+C11Relations
+C11Model::buildRelations(const CandidateExecution &ex) const
+{
+    const std::size_t n = ex.numEvents();
+    C11Relations r;
+
+    // Classify events under the LK -> C11 mapping.
+    r.relWrites = EventSet(n);
+    r.acqReads = EventSet(n);
+    r.relFences = EventSet(n);
+    r.acqFences = EventSet(n);
+    r.scFences = EventSet(n);
+    for (const Event &e : ex.events) {
+        if (e.isWrite() && e.ann == Ann::Release)
+            r.relWrites.add(e.id);
+        if (e.isRead() && e.ann == Ann::Acquire)
+            r.acqReads.add(e.id);
+        if (e.isFence()) {
+            switch (e.ann) {
+              case Ann::Wmb: // release fence
+                r.relFences.add(e.id);
+                break;
+              case Ann::Rmb: // acquire fence
+              case Ann::RbDep:
+                r.acqFences.add(e.id);
+                break;
+              case Ann::Mb: // seq_cst fence: both, plus SC
+                r.relFences.add(e.id);
+                r.acqFences.add(e.id);
+                r.scFences.add(e.id);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    // Release sequences (all our accesses are atomic):
+    //   rs := [W]; (sb ∩ loc ∩ W×W)?; (rf; rmw)*
+    const Relation same_thread_later =
+        (ex.po & ex.locRel()) & Relation::product(ex.writes(), ex.writes());
+    const Relation rmw_step = ex.rf.seq(ex.rmw);
+    r.rs = identityOn(ex.writes())
+        .seq(same_thread_later.opt())
+        .seq(rmw_step.star());
+
+    // Synchronizes-with:
+    //   sw := ([W rel] ∪ [F rel]; sb; [W]); rs; rf;
+    //         ([R acq] ∪ [R]; sb; [F acq])
+    const Relation rel_side = identityOn(r.relWrites) |
+        ex.po.restrictDomain(r.relFences).restrictRange(ex.writes());
+    const Relation acq_side = identityOn(r.acqReads) |
+        ex.po.restrictDomain(ex.reads()).restrictRange(r.acqFences);
+    r.sw = rel_side.seq(r.rs).seq(ex.rf).seq(acq_side);
+
+    // Happens-before (no consume: C11 dependency ordering is not
+    // modelled, which is why C11 allows LB+ctrl+mb).
+    r.hb = (ex.po | r.sw).plus();
+
+    // Extended coherence order.
+    r.eco = (ex.rf | ex.co | ex.fr()).plus();
+
+    return r;
+}
+
+bool
+C11Model::scOrderExists(const CandidateExecution &ex,
+                        const C11Relations &r) const
+{
+    std::vector<EventId> sc = r.scFences.members();
+    if (sc.size() <= 1)
+        return true;
+    panicIf(sc.size() > 8, "too many SC events to enumerate");
+
+    std::sort(sc.begin(), sc.end());
+    do {
+        // Position of each SC event in the candidate order S.
+        std::vector<std::size_t> pos(ex.numEvents(), 0);
+        for (std::size_t i = 0; i < sc.size(); ++i)
+            pos[sc[i]] = i;
+
+        // (S1) S must be consistent with hb.
+        bool ok = true;
+        for (std::size_t i = 0; i < sc.size() && ok; ++i) {
+            for (std::size_t j = 0; j < sc.size() && ok; ++j) {
+                if (i != j && r.hb.contains(sc[i], sc[j]) &&
+                    pos[sc[i]] > pos[sc[j]]) {
+                    ok = false;
+                }
+            }
+        }
+        if (!ok)
+            continue;
+
+        // (29.3p7) For every read B of location M taking its value
+        // from W', and every write A to M: if A sb X, X <_S Y, Y sb
+        // B for seq_cst fences X and Y, then B must observe A or a
+        // co-later write — violated exactly when (W', A) ∈ co.
+        for (const Event &b : ex.events) {
+            if (!b.isRead() || !ok)
+                continue;
+            // W' = rf source of B.
+            EventId wp = 0;
+            bool found = false;
+            for (EventId w = 0; w < ex.numEvents(); ++w) {
+                if (ex.rf.contains(w, b.id)) {
+                    wp = w;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                continue;
+            for (const Event &a : ex.events) {
+                if (!a.isWrite() || a.loc != b.loc || !ok)
+                    continue;
+                if (!ex.co.contains(wp, a.id))
+                    continue; // B already observes A or later
+                // Is there a fence pair X <_S Y with A sb X, Y sb B?
+                for (EventId x : sc) {
+                    for (EventId y : sc) {
+                        if (pos[x] < pos[y] && ex.po.contains(a.id, x) &&
+                            ex.po.contains(y, b.id)) {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+        }
+        if (ok)
+            return true;
+    } while (std::next_permutation(sc.begin(), sc.end()));
+
+    return false;
+}
+
+std::optional<Violation>
+C11Model::check(const CandidateExecution &ex) const
+{
+    C11Relations r = buildRelations(ex);
+
+    // Coherence: irreflexive(hb; eco?).
+    if (auto v = requireIrreflexive(r.hb.seq(r.eco.opt()), "c11-coherence"))
+        return v;
+
+    // Atomicity.
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "c11-atomicity")) {
+        return v;
+    }
+
+    // Seq-cst fences.
+    if (!scOrderExists(ex, r)) {
+        Violation v;
+        v.axiom = "c11-seq-cst";
+        return v;
+    }
+
+    return std::nullopt;
+}
+
+} // namespace lkmm

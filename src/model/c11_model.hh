@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The C11 memory model, under the LK-to-C11 mapping of [McKenney,
+ * Weigand, Parri, Feng 2016] (P0124R2), used for the comparison in
+ * Section 5.2 / the last column of Table 5.
+ *
+ * Mapping:
+ *   READ_ONCE            -> relaxed load
+ *   WRITE_ONCE           -> relaxed store
+ *   smp_load_acquire     -> acquire load
+ *   smp_store_release    -> release store
+ *   smp_rmb              -> atomic_thread_fence(acquire)
+ *   smp_wmb              -> atomic_thread_fence(release)
+ *   smp_mb               -> atomic_thread_fence(seq_cst)
+ *   smp_read_barrier_depends -> atomic_thread_fence(acquire)
+ *
+ * The model is the *original* C11 of [Batty et al. 2011], i.e. the
+ * weak seq_cst-fence semantics the paper compares against: that is
+ * what makes C11 allow RWC+mbs (Figure 13), PeterZ, and LB+ctrl+mb
+ * (C11 has no dependency ordering), while forbidding WRC+wmb+acq
+ * (Figure 14, release fences are stronger than smp_wmb).
+ *
+ * Axioms:
+ *   - coherence:  irreflexive(hb; eco?) with hb = (sb ∪ sw)+
+ *   - atomicity:  empty(rmw ∩ (fre; coe))
+ *   - seq_cst:    some total order S over SC events satisfies the
+ *                 hb-consistency and 29.3p4-p7 fence conditions
+ *                 (checked by enumerating S; litmus tests have only
+ *                 a handful of SC events)
+ */
+
+#ifndef LKMM_MODEL_C11_MODEL_HH
+#define LKMM_MODEL_C11_MODEL_HH
+
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/** C11 derived relations, exposed for tests. */
+struct C11Relations
+{
+    EventSet relWrites;   ///< release-or-stronger writes
+    EventSet acqReads;    ///< acquire-or-stronger reads
+    EventSet relFences;   ///< release-or-stronger fences
+    EventSet acqFences;   ///< acquire-or-stronger fences
+    EventSet scFences;    ///< seq_cst fences (from smp_mb)
+    Relation rs;          ///< release sequences
+    Relation sw;          ///< synchronizes-with
+    Relation hb;          ///< (sb ∪ sw)+
+    Relation eco;         ///< (rf ∪ co ∪ fr)+
+};
+
+/** The C11 model under the LK mapping. */
+class C11Model : public Model
+{
+  public:
+    std::string name() const override { return "c11"; }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+
+    /** C11 has no counterpart for the RCU primitives (Table 5: "—"). */
+    static bool supports(const Program &prog);
+
+    C11Relations buildRelations(const CandidateExecution &ex) const;
+
+  private:
+    /** Does some total SC order satisfy the fence conditions? */
+    bool scOrderExists(const CandidateExecution &ex,
+                       const C11Relations &r) const;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_C11_MODEL_HH

@@ -1,0 +1,62 @@
+#include "model/hw_common.hh"
+
+namespace lkmm
+{
+
+Relation
+fenceAfterAcquire(const CandidateExecution &ex)
+{
+    const std::size_t n = ex.numEvents();
+    Relation out(n);
+    const EventSet acq_reads = ex.withAnn(Ann::Acquire) & ex.reads();
+    for (EventId r : acq_reads.members()) {
+        // a ∈ {r} ∪ po-predecessors(r); b ∈ po-successors(r).
+        for (EventId a = 0; a < n; ++a) {
+            if (a != r && !ex.po.contains(a, r))
+                continue;
+            for (EventId b = 0; b < n; ++b) {
+                if (ex.po.contains(r, b))
+                    out.add(a, b);
+            }
+        }
+    }
+    return out.restrictDomain(ex.mem()).restrictRange(ex.mem());
+}
+
+Relation
+fenceBeforeRelease(const CandidateExecution &ex)
+{
+    const std::size_t n = ex.numEvents();
+    Relation out(n);
+    const EventSet rel_writes = ex.withAnn(Ann::Release) & ex.writes();
+    for (EventId w : rel_writes.members()) {
+        for (EventId a = 0; a < n; ++a) {
+            if (!ex.po.contains(a, w))
+                continue;
+            for (EventId b = 0; b < n; ++b) {
+                if (b == w || ex.po.contains(w, b))
+                    out.add(a, b);
+            }
+        }
+    }
+    return out.restrictDomain(ex.mem()).restrictRange(ex.mem());
+}
+
+Relation
+poMem(const CandidateExecution &ex)
+{
+    return ex.po.restrictDomain(ex.mem()).restrictRange(ex.mem());
+}
+
+EventSet
+rmwEvents(const CandidateExecution &ex)
+{
+    EventSet out(ex.numEvents());
+    for (auto [r, w] : ex.rmw.pairs()) {
+        out.add(r);
+        out.add(w);
+    }
+    return out;
+}
+
+} // namespace lkmm

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the hardware models (Power, ARMv7, ARMv8,
+ * Alpha): how the kernel's acquire/release primitives compile to
+ * fence placements on architectures without native
+ * acquire/release instructions.
+ *
+ * On Power, smp_load_acquire is "load; lwsync" and
+ * smp_store_release is "lwsync; store"; ARMv7 uses full dmb in the
+ * same positions; Alpha uses mb.  These helpers compute the fence
+ * *pair* relation such placements induce.
+ */
+
+#ifndef LKMM_MODEL_HW_COMMON_HH
+#define LKMM_MODEL_HW_COMMON_HH
+
+#include "exec/execution.hh"
+
+namespace lkmm
+{
+
+/**
+ * Pairs ordered by a fence placed immediately after each acquire
+ * load: (a, b) with a po-before-or-equal the load and b po-after it.
+ */
+Relation fenceAfterAcquire(const CandidateExecution &ex);
+
+/**
+ * Pairs ordered by a fence placed immediately before each release
+ * store: (a, b) with a po-before the store and b the store or
+ * po-after it.
+ */
+Relation fenceBeforeRelease(const CandidateExecution &ex);
+
+/** Memory-to-memory program order. */
+Relation poMem(const CandidateExecution &ex);
+
+/** Events belonging to read-modify-write pairs. */
+EventSet rmwEvents(const CandidateExecution &ex);
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_HW_COMMON_HH

@@ -1,0 +1,130 @@
+#include "model/lkmm_model.hh"
+
+namespace lkmm
+{
+
+LkmmRelations
+LkmmModel::buildRelations(const CandidateExecution &ex) const
+{
+    const std::size_t n = ex.numEvents();
+    const Relation id = Relation::identity(n);
+    LkmmRelations r;
+
+    // Figure 8, line by line ----------------------------------------
+
+    // dep := addr ∪ data
+    r.dep = ex.addr | ex.data;
+
+    // rwdep := (dep ∪ ctrl) ∩ (R × W)
+    r.rwdep = (r.dep | ex.ctrl) &
+        Relation::product(ex.reads(), ex.writes());
+
+    // overwrite := co ∪ fr
+    r.overwrite = ex.co | ex.fr();
+
+    // to-w := rwdep ∪ (overwrite ∩ int)
+    r.toW = r.rwdep | (r.overwrite & ex.intRel());
+
+    // rrdep := addr ∪ (dep; rfi)
+    r.rrdep = ex.addr | r.dep.seq(ex.rfi());
+
+    // strong-rrdep := rrdep⁺ ∩ rb-dep
+    if (cfg_.freeRrdep) {
+        // Ablation: pretend every architecture preserved read-read
+        // dependencies (i.e. Alpha did not exist; Section 7).
+        r.strongRrdep = r.rrdep.plus();
+    } else {
+        r.strongRrdep = r.rrdep.plus() & ex.rbDepRel();
+    }
+
+    // to-r := strong-rrdep ∪ rfi-rel-acq
+    r.toR = r.strongRrdep | ex.rfiRelAcq();
+
+    // strong-fence := mb ∪ gp          (gp added by Figure 12)
+    r.gp = ex.gp();
+    r.strongFence = cfg_.gpIsStrongFence ? (ex.mbRel() | r.gp)
+                                         : ex.mbRel();
+
+    // fence := strong-fence ∪ po-rel ∪ wmb ∪ rmb ∪ acq-po
+    r.fence = r.strongFence | ex.poRel() | ex.wmbRel() | ex.rmbRel() |
+        ex.acqPo();
+
+    // ppo := rrdep*; (to-r ∪ to-w ∪ fence)
+    const Relation core = r.toR | r.toW | r.fence;
+    r.ppo = cfg_.rrdepPrefix ? r.rrdep.star().seq(core) : core;
+
+    // cumul-fence := A-cumul(strong-fence ∪ po-rel) ∪ wmb
+    //   where A-cumul(s) := rfe?; s
+    Relation a_cumul_arg = r.strongFence | ex.poRel();
+    Relation a_cumul = cfg_.aCumulativity
+        ? ex.rfe().opt().seq(a_cumul_arg)
+        : a_cumul_arg;
+    r.cumulFence = a_cumul | ex.wmbRel();
+
+    // prop := (overwrite ∩ ext)?; cumul-fence*; rfe?
+    r.prop = (r.overwrite & ex.extRel()).opt()
+        .seq(r.cumulFence.star())
+        .seq(ex.rfe().opt());
+
+    // hb := ((prop \ id) ∩ int) ∪ ppo ∪ rfe
+    r.hb = ((r.prop - id) & ex.intRel()) | r.ppo | ex.rfe();
+
+    // pb := prop; strong-fence; hb*
+    r.pb = r.prop.seq(r.strongFence).seq(r.hb.star());
+
+    // Figure 12 -------------------------------------------------------
+
+    // rscs := po; crit⁻¹; po?
+    r.rscs = ex.rscs();
+
+    // link := hb*; pb*; prop
+    r.link = r.hb.star().seq(r.pb.star()).seq(r.prop);
+
+    // gp-link := gp; link,  rscs-link := rscs; link
+    r.gpLink = r.gp.seq(r.link);
+    r.rscsLink = r.rscs.seq(r.link);
+
+    // rec rcu-path := gp-link
+    //   ∪ (rcu-path; rcu-path)
+    //   ∪ (gp-link; rscs-link) ∪ (rscs-link; gp-link)
+    //   ∪ (gp-link; rcu-path; rscs-link)
+    //   ∪ (rscs-link; rcu-path; gp-link)
+    r.rcuPath = Relation::lfp(n, [&](const Relation &p) {
+        return r.gpLink
+            | p.seq(p)
+            | r.gpLink.seq(r.rscsLink)
+            | r.rscsLink.seq(r.gpLink)
+            | r.gpLink.seq(p).seq(r.rscsLink)
+            | r.rscsLink.seq(p).seq(r.gpLink);
+    });
+
+    return r;
+}
+
+std::optional<Violation>
+LkmmModel::check(const CandidateExecution &ex) const
+{
+    LkmmRelations r = buildRelations(ex);
+
+    // Figure 3: the core axioms.
+    if (auto v = requireAcyclic(ex.poLoc() | ex.com(), "sc-per-variable"))
+        return v;
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "atomicity")) {
+        return v;
+    }
+    if (auto v = requireAcyclic(r.hb, "happens-before"))
+        return v;
+    if (auto v = requireAcyclic(r.pb, "propagates-before"))
+        return v;
+
+    // Figure 12: the RCU axiom.
+    if (cfg_.rcuAxiom) {
+        if (auto v = requireIrreflexive(r.rcuPath, "rcu"))
+            return v;
+    }
+
+    return std::nullopt;
+}
+
+} // namespace lkmm

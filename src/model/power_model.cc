@@ -1,0 +1,106 @@
+#include "model/power_model.hh"
+
+#include "model/hw_common.hh"
+
+namespace lkmm
+{
+
+PowerRelations
+PowerModel::buildRelations(const CandidateExecution &ex) const
+{
+    const std::size_t n = ex.numEvents();
+    PowerRelations r;
+
+    const Relation wr = Relation::product(ex.writes(), ex.reads());
+    const Relation ww = Relation::product(ex.writes(), ex.writes());
+
+    // Fences under the kernel mapping ------------------------------
+    if (flavor_ == Flavor::Power) {
+        // sync: smp_mb (and the F[mb] halves of fully-fenced RMWs).
+        r.ffence = ex.mbRel();
+        // lwsync: smp_wmb, smp_rmb, and the fences implementing
+        // acquire/release.  lwsync orders everything except W -> R.
+        Relation lws = ex.fenceRel(Ann::Wmb) | ex.fenceRel(Ann::Rmb);
+        lws = lws.restrictDomain(ex.mem()).restrictRange(ex.mem());
+        lws |= fenceAfterAcquire(ex) | fenceBeforeRelease(ex);
+        r.lwfence = lws - wr;
+    } else {
+        // ARMv7: full dmb for smp_mb, smp_rmb and the
+        // acquire/release implementations; dmb.st (write-to-write
+        // only) for smp_wmb.
+        Relation dmb = ex.mbRel() |
+            ex.fenceRel(Ann::Rmb).restrictDomain(ex.mem())
+                .restrictRange(ex.mem()) |
+            fenceAfterAcquire(ex) | fenceBeforeRelease(ex);
+        r.ffence = dmb;
+        Relation dmb_st = ex.fenceRel(Ann::Wmb) & ww;
+        r.lwfence = dmb_st;
+    }
+    r.fence = r.ffence | r.lwfence;
+
+    // Preserved program order ----------------------------------------
+    const Relation dp = ex.addr | ex.data;
+    const Relation rdw = ex.poLoc() & ex.fre().seq(ex.rfe());
+    const Relation detour = ex.poLoc() & ex.coe().seq(ex.rfe());
+
+    const Relation ii0 = dp | rdw | ex.rfi();
+    // The kernel does not use isync-based control dependencies, so
+    // ci0 is detour only.
+    const Relation ci0 = detour;
+    const Relation ic0(n);
+    const Relation cc0 = dp | ex.poLoc() | ex.ctrl | ex.addr.seq(ex.po);
+
+    // Mutual least fixpoint of the ii/ci/ic/cc equations.
+    Relation ii(n), ci(n), ic(n), cc(n);
+    for (;;) {
+        Relation ii2 = ii0 | ci | ic.seq(ci) | ii.seq(ii);
+        Relation ci2 = ci0 | ci.seq(ii) | cc.seq(ci);
+        Relation ic2 = ic0 | ii | cc | ic.seq(cc) | ii.seq(ic);
+        Relation cc2 = cc0 | ci | ci.seq(ic) | cc.seq(cc);
+        if (ii2 == ii && ci2 == ci && ic2 == ic && cc2 == cc)
+            break;
+        ii = std::move(ii2);
+        ci = std::move(ci2);
+        ic = std::move(ic2);
+        cc = std::move(cc2);
+    }
+
+    const Relation rr = Relation::product(ex.reads(), ex.reads());
+    const Relation rw = Relation::product(ex.reads(), ex.writes());
+    r.ppo = (ii & rr) | (ic & rw);
+
+    // hb and propagation ----------------------------------------------
+    r.hb = r.ppo | r.fence | ex.rfe();
+
+    const Relation prop_base =
+        (r.fence | ex.rfe().seq(r.fence)).seq(r.hb.star());
+    r.prop = (prop_base & ww) |
+        ex.com().star().seq(prop_base.star()).seq(r.ffence)
+            .seq(r.hb.star());
+
+    return r;
+}
+
+std::optional<Violation>
+PowerModel::check(const CandidateExecution &ex) const
+{
+    PowerRelations r = buildRelations(ex);
+
+    if (auto v = requireAcyclic(ex.poLoc() | ex.com(), "uniproc"))
+        return v;
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "atomicity")) {
+        return v;
+    }
+    if (auto v = requireAcyclic(r.hb, "no-thin-air"))
+        return v;
+    if (auto v = requireAcyclic(ex.co | r.prop, "propagation"))
+        return v;
+    if (auto v = requireIrreflexive(
+            ex.fre().seq(r.prop).seq(r.hb.star()), "observation")) {
+        return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace lkmm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The herding-cats model of IBM Power [Alglave, Maranget,
+ * Tautschnig, TOPLAS 2014, Sect. 8], under the kernel's
+ * LK-to-Power mapping; the paper's own axiomatisation of Power
+ * [74, 75] is the ancestor of the LK model (Section 1.2), so this
+ * model doubles as the simulated "Power8 machine" column of
+ * Table 5.
+ *
+ * Axioms:
+ *   - uniproc:      acyclic(po-loc ∪ com)
+ *   - atomicity:    empty(rmw ∩ (fre; coe))
+ *   - no-thin-air:  acyclic(hb),  hb = ppo ∪ fence ∪ rfe
+ *   - propagation:  acyclic(co ∪ prop)
+ *   - observation:  irreflexive(fre; prop; hb*)
+ *
+ * with Power's recursive preserved-program-order (the ii/ci/ic/cc
+ * equations) and
+ *
+ *   prop-base = (fence ∪ (rfe; fence)); hb*
+ *   prop      = (prop-base ∩ W×W) ∪ (com*; prop-base*; ffence; hb*)
+ *
+ * Kernel mapping: smp_mb -> sync; smp_wmb, smp_rmb -> lwsync;
+ * smp_load_acquire -> load;lwsync; smp_store_release -> lwsync;store;
+ * smp_read_barrier_depends -> no-op; READ_ONCE/WRITE_ONCE -> plain.
+ *
+ * The ARMv7 flavour replaces lwsync with full dmb for everything
+ * except smp_wmb (dmb.st, writes only) — ARMv7 has no lightweight
+ * fence, which is also why its smp_load_acquire costs a full fence
+ * (Section 3.2.2).
+ */
+
+#ifndef LKMM_MODEL_POWER_MODEL_HH
+#define LKMM_MODEL_POWER_MODEL_HH
+
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/** Power relations, exposed for tests. */
+struct PowerRelations
+{
+    Relation ffence;   ///< sync-separated pairs
+    Relation lwfence;  ///< lwsync-separated pairs minus W×R
+    Relation fence;    ///< ffence ∪ lwfence
+    Relation ppo;      ///< preserved program order (ii/ci/ic/cc)
+    Relation hb;       ///< ppo ∪ fence ∪ rfe
+    Relation prop;     ///< propagation
+};
+
+/** Power (and, with Flavor::Armv7, ARMv7). */
+class PowerModel : public Model
+{
+  public:
+    enum class Flavor
+    {
+        Power,
+        Armv7,
+    };
+
+    explicit PowerModel(Flavor flavor = Flavor::Power)
+        : flavor_(flavor)
+    {}
+
+    std::string
+    name() const override
+    {
+        return flavor_ == Flavor::Power ? "power" : "armv7";
+    }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+
+    PowerRelations buildRelations(const CandidateExecution &ex) const;
+
+  private:
+    Flavor flavor_;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_POWER_MODEL_HH

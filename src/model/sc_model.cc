@@ -1,0 +1,20 @@
+#include "model/sc_model.hh"
+
+namespace lkmm
+{
+
+std::optional<Violation>
+ScModel::check(const CandidateExecution &ex) const
+{
+    const Relation po_mem =
+        ex.po.restrictDomain(ex.mem()).restrictRange(ex.mem());
+    if (auto v = requireAcyclic(po_mem | ex.com(), "sc"))
+        return v;
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "atomicity")) {
+        return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace lkmm

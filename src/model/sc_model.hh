@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Sequential consistency [Lamport 1979]: the strongest baseline the
+ * paper compares weak models against (Section 1.1).
+ */
+
+#ifndef LKMM_MODEL_SC_MODEL_HH
+#define LKMM_MODEL_SC_MODEL_HH
+
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/**
+ * SC as a single axiom: acyclic(po ∪ com) over memory events
+ * [Alglave-Maranget-Tautschnig 2014, Sect. 4.3], plus RMW atomicity.
+ */
+class ScModel : public Model
+{
+  public:
+    std::string name() const override { return "sc"; }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_SC_MODEL_HH

@@ -1,0 +1,44 @@
+#include "model/tso_model.hh"
+
+namespace lkmm
+{
+
+std::optional<Violation>
+TsoModel::check(const CandidateExecution &ex) const
+{
+    const std::size_t n = ex.numEvents();
+
+    if (auto v = requireAcyclic(ex.poLoc() | ex.com(), "uniproc"))
+        return v;
+    if (auto v = requireEmpty(ex.rmw & ex.fre().seq(ex.coe()),
+                              "atomicity")) {
+        return v;
+    }
+
+    // Preserved program order: everything but W -> R.
+    const Relation po_mem =
+        ex.po.restrictDomain(ex.mem()).restrictRange(ex.mem());
+    const Relation ppo =
+        po_mem - Relation::product(ex.writes(), ex.reads());
+
+    // Full fences: smp_mb; x86's locked RMWs are full barriers too,
+    // and synchronize_rcu is at least a full barrier (Figure 12's
+    // gp ⊆ strong-fence).
+    EventSet rmw_events(n);
+    for (auto [r, w] : ex.rmw.pairs()) {
+        rmw_events.add(r);
+        rmw_events.add(w);
+    }
+    const Relation implied =
+        ex.po.restrictRange(rmw_events).restrictDomain(ex.mem()) |
+        ex.po.restrictDomain(rmw_events).restrictRange(ex.mem());
+    const Relation fence = ex.mbRel() | ex.gp() | implied;
+
+    if (auto v = requireAcyclic(ppo | fence | ex.rfe() | ex.co | ex.fr(),
+                                "tso-ghb")) {
+        return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace lkmm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * x86-TSO, under the Linux-kernel-to-x86 mapping.
+ *
+ * On x86 the kernel's smp_rmb and smp_wmb are compiler barriers only
+ * (TSO never reorders R-R or W-W), smp_mb is a full fence, and
+ * acquire/release need no instruction at all.  The model is the
+ * classic axiomatic TSO [Alglave-Maranget-Tautschnig 2014,
+ * Sect. 4.4]: program order is preserved except W→R, and full
+ * fences restore even that.
+ */
+
+#ifndef LKMM_MODEL_TSO_MODEL_HH
+#define LKMM_MODEL_TSO_MODEL_HH
+
+#include "model/model.hh"
+
+namespace lkmm
+{
+
+/** x86-TSO. */
+class TsoModel : public Model
+{
+  public:
+    std::string name() const override { return "tso"; }
+
+    std::optional<Violation>
+    check(const CandidateExecution &ex) const override;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_MODEL_TSO_MODEL_HH

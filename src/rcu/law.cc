@@ -1,0 +1,96 @@
+#include "rcu/law.hh"
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+RcuLawChecker::RcuLawChecker(const CandidateExecution &ex,
+                             const LkmmRelations &rels)
+    : ex_(ex), rels_(rels)
+{
+    for (auto [lock, unlock] : ex.crit().pairs())
+        rscs_.push_back({lock, unlock});
+    for (const Event &e : ex.events) {
+        if (e.ann == Ann::SyncRcu)
+            gps_.push_back(e.id);
+    }
+}
+
+Relation
+RcuLawChecker::rcuFence(const std::vector<Precedes> &f) const
+{
+    panicIf(f.size() != numPairs(), "precedes function has wrong arity");
+    const std::size_t n = ex_.numEvents();
+    Relation out(n);
+    const Relation po_opt = ex_.po.opt();
+
+    for (std::size_t ri = 0; ri < rscs_.size(); ++ri) {
+        for (std::size_t gi = 0; gi < gps_.size(); ++gi) {
+            const Rscs &cs = rscs_[ri];
+            const EventId s = gps_[gi];
+            const Precedes choice = f[ri * gps_.size() + gi];
+            if (choice == Precedes::RscsFirst) {
+                // e1 po-before the unlock u; e2 = s or po-after s:
+                //   (e1, u) ∈ po  ∧  (s, e2) ∈ po?
+                for (EventId e1 = 0; e1 < n; ++e1) {
+                    if (!ex_.po.contains(e1, cs.unlockEvent))
+                        continue;
+                    for (EventId e2 = 0; e2 < n; ++e2) {
+                        if (po_opt.contains(s, e2))
+                            out.add(e1, e2);
+                    }
+                }
+            } else {
+                // e1 po-before s; e2 = lock l or po-after l:
+                //   (e1, s) ∈ po  ∧  (l, e2) ∈ po?
+                for (EventId e1 = 0; e1 < n; ++e1) {
+                    if (!ex_.po.contains(e1, s))
+                        continue;
+                    for (EventId e2 = 0; e2 < n; ++e2) {
+                        if (po_opt.contains(cs.lockEvent, e2))
+                            out.add(e1, e2);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Relation
+RcuLawChecker::pbF(const std::vector<Precedes> &f) const
+{
+    return rels_.prop
+        .seq(rels_.strongFence | rcuFence(f))
+        .seq(rels_.hb.star());
+}
+
+std::optional<std::vector<Precedes>>
+RcuLawChecker::satisfiesLaw() const
+{
+    const std::size_t pairs = numPairs();
+    panicIf(pairs > 20, "too many (RSCS, GP) pairs to enumerate");
+
+    for (std::uint64_t bits = 0; bits < (1ULL << pairs); ++bits) {
+        std::vector<Precedes> f(pairs);
+        for (std::size_t i = 0; i < pairs; ++i) {
+            f[i] = (bits >> i) & 1 ? Precedes::GpFirst
+                                   : Precedes::RscsFirst;
+        }
+        if (pbF(f).acyclic())
+            return f;
+    }
+    return std::nullopt;
+}
+
+bool
+satisfiesFundamentalLaw(const CandidateExecution &ex)
+{
+    LkmmModel model;
+    LkmmRelations rels = model.buildRelations(ex);
+    RcuLawChecker checker(ex, rels);
+    return checker.satisfiesLaw().has_value();
+}
+
+} // namespace lkmm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The fundamental law of RCU (Section 4.1 of the paper):
+ *
+ *     "Read-side critical sections cannot span grace periods."
+ *
+ * The law is modelled with a *precedes function* F which, for every
+ * (RSCS, GP) pair, selects which one precedes the other.  Each
+ * choice induces an rcu-fence(F) relation that is treated on a par
+ * with strong fences inside an enlarged propagates-before relation:
+ *
+ *     pb(F) := prop; (strong-fence ∪ rcu-fence(F)); hb*
+ *
+ * A candidate execution satisfies the law iff *some* F makes pb(F)
+ * acyclic.  Theorem 1 states this is equivalent to the Pb + RCU
+ * axioms of the core model; tests/rcu/theorem1_test.cc checks the
+ * equivalence exhaustively on enumerated executions.
+ */
+
+#ifndef LKMM_RCU_LAW_HH
+#define LKMM_RCU_LAW_HH
+
+#include <optional>
+#include <vector>
+
+#include "exec/execution.hh"
+#include "model/lkmm_model.hh"
+
+namespace lkmm
+{
+
+/** A read-side critical section: its lock and unlock events. */
+struct Rscs
+{
+    EventId lockEvent;
+    EventId unlockEvent;
+};
+
+/** Who precedes whom, for one (RSCS, GP) pair. */
+enum class Precedes
+{
+    RscsFirst, ///< F(RSCS, GP) = RSCS
+    GpFirst,   ///< F(RSCS, GP) = GP
+};
+
+/** The fundamental-law checker for one candidate execution. */
+class RcuLawChecker
+{
+  public:
+    /**
+     * @param ex   the candidate execution
+     * @param rels the LK relations (prop, strong-fence, hb) already
+     *             computed by LkmmModel::buildRelations
+     */
+    RcuLawChecker(const CandidateExecution &ex, const LkmmRelations &rels);
+
+    /** Outermost critical sections, from the crit relation. */
+    const std::vector<Rscs> &criticalSections() const { return rscs_; }
+
+    /** Grace periods: the synchronize_rcu events. */
+    const std::vector<EventId> &gracePeriods() const { return gps_; }
+
+    /**
+     * rcu-fence(F) for one precedes function, given as one choice
+     * per (RSCS, GP) pair in row-major order (rscs index major).
+     */
+    Relation rcuFence(const std::vector<Precedes> &f) const;
+
+    /** pb(F) := prop; (strong-fence ∪ rcu-fence(F)); hb*. */
+    Relation pbF(const std::vector<Precedes> &f) const;
+
+    /**
+     * Does some precedes function make pb(F) acyclic?
+     *
+     * Enumerates all 2^(RSCS x GP) functions; litmus tests have at
+     * most a handful of pairs.
+     *
+     * @return a witnessing F, or nullopt when the law is violated.
+     */
+    std::optional<std::vector<Precedes>> satisfiesLaw() const;
+
+    std::size_t numPairs() const { return rscs_.size() * gps_.size(); }
+
+  private:
+    const CandidateExecution &ex_;
+    const LkmmRelations &rels_;
+    std::vector<Rscs> rscs_;
+    std::vector<EventId> gps_;
+};
+
+/**
+ * Convenience wrapper: does the execution satisfy the fundamental
+ * law of RCU?  (Builds the LK relations internally.)
+ */
+bool satisfiesFundamentalLaw(const CandidateExecution &ex);
+
+} // namespace lkmm
+
+#endif // LKMM_RCU_LAW_HH

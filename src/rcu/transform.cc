@@ -1,0 +1,275 @@
+#include "rcu/transform.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+#include "rcu/urcu.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+bool
+usesRcuLock(const std::vector<Instr> &body)
+{
+    for (const Instr &ins : body) {
+        if (ins.kind == Instr::Kind::Fence && ins.ann == Ann::RcuLock)
+            return true;
+        if (ins.kind == Instr::Kind::If &&
+            (usesRcuLock(ins.thenBody) || usesRcuLock(ins.elseBody))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Rewrites one thread's body; allocates fresh registers on demand. */
+class ThreadRewriter
+{
+  public:
+    ThreadRewriter(int tid, int *next_reg, LocId gc, LocId gp_lock,
+                   const std::map<int, LocId> &rc_of_thread)
+        : tid_(tid), nextReg_(next_reg), gc_(gc), gpLock_(gp_lock),
+          rcOfThread_(rc_of_thread)
+    {}
+
+    std::vector<Instr> rewrite(const std::vector<Instr> &body);
+
+  private:
+    RegId freshReg() { return (*nextReg_)++; }
+
+    void emitReadLock(std::vector<Instr> &out);
+    void emitReadUnlock(std::vector<Instr> &out);
+    void emitSynchronize(std::vector<Instr> &out);
+    void emitUpdateCounterAndWait(std::vector<Instr> &out);
+
+    static Instr read(LocId loc, RegId dest, Ann ann = Ann::Once);
+    static Instr write(LocId loc, Expr value, Ann ann = Ann::Once);
+    static Instr fence(Ann ann);
+    static Instr assume(Expr cond);
+
+    int tid_;
+    int *nextReg_;
+    LocId gc_;
+    LocId gpLock_;
+    const std::map<int, LocId> &rcOfThread_;
+};
+
+Instr
+ThreadRewriter::read(LocId loc, RegId dest, Ann ann)
+{
+    Instr i;
+    i.kind = Instr::Kind::Read;
+    i.ann = ann;
+    i.addr = Expr::locRef(loc);
+    i.dest = dest;
+    return i;
+}
+
+Instr
+ThreadRewriter::write(LocId loc, Expr value, Ann ann)
+{
+    Instr i;
+    i.kind = Instr::Kind::Write;
+    i.ann = ann;
+    i.addr = Expr::locRef(loc);
+    i.value = std::move(value);
+    return i;
+}
+
+Instr
+ThreadRewriter::fence(Ann ann)
+{
+    Instr i;
+    i.kind = Instr::Kind::Fence;
+    i.ann = ann;
+    return i;
+}
+
+Instr
+ThreadRewriter::assume(Expr cond)
+{
+    Instr i;
+    i.kind = Instr::Kind::Assume;
+    i.cond = std::move(cond);
+    return i;
+}
+
+void
+ThreadRewriter::emitReadLock(std::vector<Instr> &out)
+{
+    auto it = rcOfThread_.find(tid_);
+    panicIf(it == rcOfThread_.end(),
+            "rcu_read_lock in a thread with no rc[] slot");
+    const LocId rc = it->second;
+
+    // Line 10: tmp = READ_ONCE(rc[i]); outermost branch: counter 0.
+    const RegId tmp = freshReg();
+    out.push_back(read(rc, tmp));
+    out.push_back(assume(Expr::binary(
+        Expr::Op::Eq,
+        Expr::binary(Expr::Op::And, Expr::reg(tmp),
+                     Expr::constant(UrcuDomain::CS_MASK)),
+        Expr::constant(0))));
+    // Line 13: WRITE_ONCE(rc[i], READ_ONCE(gc)).
+    const RegId gval = freshReg();
+    out.push_back(read(gc_, gval));
+    out.push_back(write(rc, Expr::reg(gval)));
+    // Line 14: smp_mb().
+    out.push_back(fence(Ann::Mb));
+}
+
+void
+ThreadRewriter::emitReadUnlock(std::vector<Instr> &out)
+{
+    const LocId rc = rcOfThread_.at(tid_);
+    // Line 23: smp_mb().
+    out.push_back(fence(Ann::Mb));
+    // Line 24: WRITE_ONCE(rc[i], READ_ONCE(rc[i]) - 1).
+    const RegId tmp = freshReg();
+    out.push_back(read(rc, tmp));
+    out.push_back(write(rc, Expr::binary(Expr::Op::Sub, Expr::reg(tmp),
+                                         Expr::constant(1))));
+}
+
+void
+ThreadRewriter::emitUpdateCounterAndWait(std::vector<Instr> &out)
+{
+    // Line 36: WRITE_ONCE(gc, READ_ONCE(gc) ^ GP_PHASE).
+    const RegId gval = freshReg();
+    out.push_back(read(gc_, gval));
+    out.push_back(write(gc_, Expr::binary(
+        Expr::Op::Xor, Expr::reg(gval),
+        Expr::constant(UrcuDomain::GP_PHASE))));
+
+    // Lines 38-39: for each reader thread, the *final* probe of the
+    // gp_ongoing() wait loop: its reads plus the exit condition.
+    for (auto [reader_tid, rc] : rcOfThread_) {
+        (void)reader_tid;
+        const RegId val = freshReg();   // r1/r2 of Section 6.3
+        const RegId cur = freshReg();
+        out.push_back(read(rc, val));   // line 27
+        out.push_back(read(gc_, cur));  // line 30
+        // assume(!((val & CS_MASK) && ((val ^ gc) & GP_PHASE))).
+        Expr in_cs = Expr::binary(
+            Expr::Op::Ne,
+            Expr::binary(Expr::Op::And, Expr::reg(val),
+                         Expr::constant(UrcuDomain::CS_MASK)),
+            Expr::constant(0));
+        Expr other_phase = Expr::binary(
+            Expr::Op::Ne,
+            Expr::binary(Expr::Op::And,
+                         Expr::binary(Expr::Op::Xor, Expr::reg(val),
+                                      Expr::reg(cur)),
+                         Expr::constant(UrcuDomain::GP_PHASE)),
+            Expr::constant(0));
+        out.push_back(assume(Expr::notOf(
+            Expr::binary(Expr::Op::And, in_cs, other_phase))));
+    }
+}
+
+void
+ThreadRewriter::emitSynchronize(std::vector<Instr> &out)
+{
+    // Line 44: smp_mb().
+    out.push_back(fence(Ann::Mb));
+
+    // Line 45: mutex_lock(&gp_lock) — the Section-7 emulation:
+    // xchg_acquire that must have read "unlocked".
+    {
+        Instr lock;
+        lock.kind = Instr::Kind::Rmw;
+        lock.addr = Expr::locRef(gpLock_);
+        lock.value = Expr::constant(1);
+        lock.dest = freshReg();
+        lock.rmwOp = RmwOp::Xchg;
+        lock.readAnn = Ann::Acquire;
+        lock.writeAnn = Ann::Once;
+        lock.requireReadValue = 0;
+        out.push_back(std::move(lock));
+    }
+
+    // Lines 46-47: two update_counter_and_wait calls.
+    emitUpdateCounterAndWait(out);
+    emitUpdateCounterAndWait(out);
+
+    // Line 48: mutex_unlock — store-release of 0.
+    out.push_back(write(gpLock_, Expr::constant(0), Ann::Release));
+
+    // Line 49: smp_mb().
+    out.push_back(fence(Ann::Mb));
+}
+
+std::vector<Instr>
+ThreadRewriter::rewrite(const std::vector<Instr> &body)
+{
+    std::vector<Instr> out;
+    for (const Instr &ins : body) {
+        if (ins.kind == Instr::Kind::Fence) {
+            switch (ins.ann) {
+              case Ann::RcuLock:
+                emitReadLock(out);
+                continue;
+              case Ann::RcuUnlock:
+                emitReadUnlock(out);
+                continue;
+              case Ann::SyncRcu:
+                emitSynchronize(out);
+                continue;
+              default:
+                break;
+            }
+        }
+        if (ins.kind == Instr::Kind::If) {
+            Instr copy = ins;
+            copy.thenBody = rewrite(ins.thenBody);
+            copy.elseBody = rewrite(ins.elseBody);
+            out.push_back(std::move(copy));
+            continue;
+        }
+        out.push_back(ins);
+    }
+    return out;
+}
+
+} // namespace
+
+Program
+transformRcuProgram(const Program &prog)
+{
+    Program out;
+    out.name = prog.name + "+urcu";
+    out.locNames = prog.locNames;
+    out.init = prog.init;
+    out.quantifier = prog.quantifier;
+    out.condition = prog.condition;
+
+    // Implementation locations.
+    auto add_loc = [&](const std::string &name) {
+        out.locNames.push_back(name);
+        return static_cast<LocId>(out.locNames.size() - 1);
+    };
+    const LocId gc = add_loc("gc");
+    out.init[gc] = 1; // Figure 15 line 5
+    const LocId gp_lock = add_loc("gp_lock");
+
+    std::map<int, LocId> rc_of_thread;
+    for (int t = 0; t < prog.numThreads(); ++t) {
+        if (usesRcuLock(prog.threads[t].body))
+            rc_of_thread[t] = add_loc("rc[" + std::to_string(t) + "]");
+    }
+
+    for (int t = 0; t < prog.numThreads(); ++t) {
+        Thread nt;
+        int next_reg = prog.threads[t].numRegs;
+        ThreadRewriter rewriter(t, &next_reg, gc, gp_lock, rc_of_thread);
+        nt.body = rewriter.rewrite(prog.threads[t].body);
+        nt.numRegs = next_reg;
+        out.threads.push_back(std::move(nt));
+    }
+    return out;
+}
+
+} // namespace lkmm

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The program transformation of Section 6: replace the RCU
+ * primitives of a litmus program with the routines of Figure 15,
+ * producing the implementation-level program P' (Figure 16 shows
+ * RCU-MP after this transformation).
+ *
+ * Loops are modelled by their final iteration: each gp_ongoing()
+ * probe of the grace-period wait loop becomes a pair of reads plus
+ * an `assume` of the loop-exit condition — exactly the
+ * "distinguished read events r1/r2" of the paper's Theorem-2 proof.
+ * The mutex gp_lock becomes the Section-7 spinlock emulation
+ * (xchg_acquire that must read unlocked / store-release).
+ *
+ * Simplifications (documented in DESIGN.md):
+ *  - rcu_read_lock emits the outermost-branch code (counter was 0).
+ *    Theorem 2 assumes properly nested, non-overflowing RSCSes, and
+ *    our litmus tests do not nest, so the inner branch is dead.  The
+ *    initial READ_ONCE(rc[i]) and its CS_MASK test are kept as an
+ *    assume, so the lock's load still appears in P'.
+ *  - update_counter_and_wait only scans threads that ever enter an
+ *    RSCS: for others rc[i] is constant 0 and the wait loop exits on
+ *    its very first probe without communicating.
+ */
+
+#ifndef LKMM_RCU_TRANSFORM_HH
+#define LKMM_RCU_TRANSFORM_HH
+
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/**
+ * Replace RCU primitives with their Figure-15 implementation.
+ *
+ * The returned program has the same threads, shared locations and
+ * final condition as the input, plus the implementation's locations
+ * (rc[i] per reader thread, gc, gp_lock).  Register indices of the
+ * original program are preserved, so the final condition carries
+ * over unchanged.
+ */
+Program transformRcuProgram(const Program &prog);
+
+} // namespace lkmm
+
+#endif // LKMM_RCU_TRANSFORM_HH

@@ -1,0 +1,135 @@
+#include "relation/event_set.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+EventSet
+EventSet::full(std::size_t n)
+{
+    EventSet s(n);
+    for (EventId e = 0; e < n; ++e)
+        s.add(e);
+    return s;
+}
+
+std::size_t
+EventSet::count() const
+{
+    std::size_t total = 0;
+    for (auto w : words)
+        total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+bool
+EventSet::empty() const
+{
+    for (auto w : words) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+EventSet
+EventSet::operator|(const EventSet &o) const
+{
+    panicIf(numEvents != o.numEvents, "EventSet universe mismatch");
+    EventSet out(numEvents);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        out.words[i] = words[i] | o.words[i];
+    return out;
+}
+
+EventSet
+EventSet::operator&(const EventSet &o) const
+{
+    panicIf(numEvents != o.numEvents, "EventSet universe mismatch");
+    EventSet out(numEvents);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        out.words[i] = words[i] & o.words[i];
+    return out;
+}
+
+EventSet
+EventSet::operator-(const EventSet &o) const
+{
+    panicIf(numEvents != o.numEvents, "EventSet universe mismatch");
+    EventSet out(numEvents);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        out.words[i] = words[i] & ~o.words[i];
+    return out;
+}
+
+EventSet
+EventSet::operator~() const
+{
+    EventSet out(numEvents);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        out.words[i] = ~words[i];
+    // Clear bits beyond the universe.
+    if (numEvents % 64 != 0 && !out.words.empty())
+        out.words.back() &= (1ULL << (numEvents % 64)) - 1;
+    return out;
+}
+
+EventSet &
+EventSet::operator|=(const EventSet &o)
+{
+    panicIf(numEvents != o.numEvents, "EventSet universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] |= o.words[i];
+    return *this;
+}
+
+EventSet &
+EventSet::operator&=(const EventSet &o)
+{
+    panicIf(numEvents != o.numEvents, "EventSet universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] &= o.words[i];
+    return *this;
+}
+
+bool
+EventSet::subsetOf(const EventSet &o) const
+{
+    panicIf(numEvents != o.numEvents, "EventSet universe mismatch");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] & ~o.words[i])
+            return false;
+    }
+    return true;
+}
+
+std::vector<EventId>
+EventSet::members() const
+{
+    std::vector<EventId> out;
+    for (EventId e = 0; e < numEvents; ++e) {
+        if (contains(e))
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::string
+EventSet::toString() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (EventId e : members()) {
+        if (!first)
+            out += ", ";
+        out += std::to_string(e);
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace lkmm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sets of events, as dense bitsets.
+ *
+ * Candidate executions of litmus tests are small (tens of events),
+ * so a flat bitset gives O(n/64) set operations and keeps the
+ * relational algebra in src/relation/relation.hh cache-friendly.
+ */
+
+#ifndef LKMM_RELATION_EVENT_SET_HH
+#define LKMM_RELATION_EVENT_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lkmm
+{
+
+/** Index of an event within a candidate execution. */
+using EventId = std::size_t;
+
+/** A subset of the events 0..size()-1 of a candidate execution. */
+class EventSet
+{
+  public:
+    EventSet() = default;
+
+    /** An empty set over a universe of n events. */
+    explicit EventSet(std::size_t n)
+        : numEvents(n), words((n + 63) / 64, 0)
+    {}
+
+    /** The full universe of n events. */
+    static EventSet full(std::size_t n);
+
+    std::size_t size() const { return numEvents; }
+
+    bool
+    contains(EventId e) const
+    {
+        return (words[e >> 6] >> (e & 63)) & 1;
+    }
+
+    void add(EventId e) { words[e >> 6] |= 1ULL << (e & 63); }
+    void remove(EventId e) { words[e >> 6] &= ~(1ULL << (e & 63)); }
+
+    /** Number of events in the set. */
+    std::size_t count() const;
+
+    bool empty() const;
+
+    EventSet operator|(const EventSet &o) const;
+    EventSet operator&(const EventSet &o) const;
+    EventSet operator-(const EventSet &o) const;
+    /** Complement within the universe. */
+    EventSet operator~() const;
+
+    EventSet &operator|=(const EventSet &o);
+    EventSet &operator&=(const EventSet &o);
+
+    bool operator==(const EventSet &o) const = default;
+
+    /** True when this is a subset of o. */
+    bool subsetOf(const EventSet &o) const;
+
+    /** The members in increasing order. */
+    std::vector<EventId> members() const;
+
+    /** Render as {0, 3, 5} for diagnostics. */
+    std::string toString() const;
+
+    /** Raw word access for Relation's row filters. */
+    const std::vector<std::uint64_t> &raw() const { return words; }
+
+  private:
+    std::size_t numEvents = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_RELATION_EVENT_SET_HH

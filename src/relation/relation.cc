@@ -1,0 +1,378 @@
+#include "relation/relation.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+Relation::Relation(std::size_t n)
+    : numEvents(n), stride((n + 63) / 64), rows(n * stride, 0)
+{}
+
+Relation
+Relation::identity(std::size_t n)
+{
+    Relation r(n);
+    for (EventId e = 0; e < n; ++e)
+        r.add(e, e);
+    return r;
+}
+
+Relation
+Relation::full(std::size_t n)
+{
+    Relation r(n);
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = 0; b < n; ++b)
+            r.add(a, b);
+    }
+    return r;
+}
+
+Relation
+Relation::fromPairs(std::size_t n,
+                    const std::vector<std::pair<EventId, EventId>> &pairs)
+{
+    Relation r(n);
+    for (auto [a, b] : pairs)
+        r.add(a, b);
+    return r;
+}
+
+Relation
+Relation::product(const EventSet &x, const EventSet &y)
+{
+    panicIf(x.size() != y.size(), "product universe mismatch");
+    Relation r(x.size());
+    for (EventId a : x.members()) {
+        for (std::size_t i = 0; i < r.stride; ++i)
+            r.rows[a * r.stride + i] = y.raw()[i];
+    }
+    return r;
+}
+
+std::size_t
+Relation::count() const
+{
+    std::size_t total = 0;
+    for (auto w : rows)
+        total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+bool
+Relation::empty() const
+{
+    for (auto w : rows) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+Relation
+Relation::operator|(const Relation &o) const
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    Relation out(numEvents);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out.rows[i] = rows[i] | o.rows[i];
+    return out;
+}
+
+Relation
+Relation::operator&(const Relation &o) const
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    Relation out(numEvents);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out.rows[i] = rows[i] & o.rows[i];
+    return out;
+}
+
+Relation
+Relation::operator-(const Relation &o) const
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    Relation out(numEvents);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out.rows[i] = rows[i] & ~o.rows[i];
+    return out;
+}
+
+Relation
+Relation::operator~() const
+{
+    Relation out(numEvents);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out.rows[i] = ~rows[i];
+    // Clear padding bits in each row.
+    if (numEvents % 64 != 0 && stride > 0) {
+        const std::uint64_t mask = (1ULL << (numEvents % 64)) - 1;
+        for (EventId a = 0; a < numEvents; ++a)
+            out.rows[a * stride + stride - 1] &= mask;
+    }
+    return out;
+}
+
+Relation
+Relation::inverse() const
+{
+    Relation out(numEvents);
+    for (EventId a = 0; a < numEvents; ++a) {
+        for (EventId b = 0; b < numEvents; ++b) {
+            if (contains(a, b))
+                out.add(b, a);
+        }
+    }
+    return out;
+}
+
+Relation
+Relation::seq(const Relation &o) const
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    Relation out(numEvents);
+    for (EventId a = 0; a < numEvents; ++a) {
+        // out.row(a) = union of o.row(b) for all b with (a, b) in this.
+        for (EventId b = 0; b < numEvents; ++b) {
+            if (!contains(a, b))
+                continue;
+            for (std::size_t i = 0; i < stride; ++i)
+                out.rows[a * stride + i] |= o.rows[b * stride + i];
+        }
+    }
+    return out;
+}
+
+Relation
+Relation::opt() const
+{
+    return *this | identity(numEvents);
+}
+
+Relation
+Relation::plus() const
+{
+    // Repeated squaring of (r | r;r) until fixpoint.
+    Relation result = *this;
+    for (;;) {
+        Relation next = result | result.seq(result);
+        if (next == result)
+            return result;
+        result = std::move(next);
+    }
+}
+
+Relation
+Relation::star() const
+{
+    return plus() | identity(numEvents);
+}
+
+Relation &
+Relation::operator|=(const Relation &o)
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] |= o.rows[i];
+    return *this;
+}
+
+Relation &
+Relation::operator&=(const Relation &o)
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] &= o.rows[i];
+    return *this;
+}
+
+bool
+Relation::subsetOf(const Relation &o) const
+{
+    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] & ~o.rows[i])
+            return false;
+    }
+    return true;
+}
+
+Relation
+Relation::restrictDomain(const EventSet &x) const
+{
+    panicIf(numEvents != x.size(), "Relation universe mismatch");
+    Relation out(numEvents);
+    for (EventId a : x.members()) {
+        for (std::size_t i = 0; i < stride; ++i)
+            out.rows[a * stride + i] = rows[a * stride + i];
+    }
+    return out;
+}
+
+Relation
+Relation::restrictRange(const EventSet &y) const
+{
+    panicIf(numEvents != y.size(), "Relation universe mismatch");
+    Relation out(numEvents);
+    for (EventId a = 0; a < numEvents; ++a) {
+        for (std::size_t i = 0; i < stride; ++i)
+            out.rows[a * stride + i] = rows[a * stride + i] & y.raw()[i];
+    }
+    return out;
+}
+
+EventSet
+Relation::domain() const
+{
+    EventSet out(numEvents);
+    for (EventId a = 0; a < numEvents; ++a) {
+        for (std::size_t i = 0; i < stride; ++i) {
+            if (rows[a * stride + i]) {
+                out.add(a);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+EventSet
+Relation::range() const
+{
+    EventSet out(numEvents);
+    for (EventId a = 0; a < numEvents; ++a) {
+        for (EventId b = 0; b < numEvents; ++b) {
+            if (contains(a, b))
+                out.add(b);
+        }
+    }
+    return out;
+}
+
+EventSet
+Relation::successors(EventId a) const
+{
+    EventSet out(numEvents);
+    for (EventId b = 0; b < numEvents; ++b) {
+        if (contains(a, b))
+            out.add(b);
+    }
+    return out;
+}
+
+bool
+Relation::irreflexive() const
+{
+    for (EventId e = 0; e < numEvents; ++e) {
+        if (contains(e, e))
+            return false;
+    }
+    return true;
+}
+
+bool
+Relation::acyclic() const
+{
+    return plus().irreflexive();
+}
+
+std::optional<std::vector<EventId>>
+Relation::findCycle() const
+{
+    // Iterative DFS with colors; extract the cycle from the stack
+    // when a back edge is found.
+    enum class Color { White, Gray, Black };
+    std::vector<Color> color(numEvents, Color::White);
+    std::vector<EventId> stack;
+
+    // For each node, remember the next successor index to try.
+    std::vector<EventId> nextSucc(numEvents, 0);
+
+    for (EventId root = 0; root < numEvents; ++root) {
+        if (color[root] != Color::White)
+            continue;
+        stack.push_back(root);
+        color[root] = Color::Gray;
+        nextSucc[root] = 0;
+        while (!stack.empty()) {
+            EventId cur = stack.back();
+            bool descended = false;
+            for (EventId b = nextSucc[cur]; b < numEvents; ++b) {
+                if (!contains(cur, b))
+                    continue;
+                nextSucc[cur] = b + 1;
+                if (color[b] == Color::Gray) {
+                    // Found a cycle: slice the stack from b onwards.
+                    std::vector<EventId> cycle;
+                    auto it = stack.begin();
+                    while (*it != b)
+                        ++it;
+                    for (; it != stack.end(); ++it)
+                        cycle.push_back(*it);
+                    return cycle;
+                }
+                if (color[b] == Color::White) {
+                    color[b] = Color::Gray;
+                    nextSucc[b] = 0;
+                    stack.push_back(b);
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                color[cur] = Color::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::pair<EventId, EventId>>
+Relation::pairs() const
+{
+    std::vector<std::pair<EventId, EventId>> out;
+    for (EventId a = 0; a < numEvents; ++a) {
+        for (EventId b = 0; b < numEvents; ++b) {
+            if (contains(a, b))
+                out.emplace_back(a, b);
+        }
+    }
+    return out;
+}
+
+std::string
+Relation::toString() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (auto [a, b] : pairs()) {
+        if (!first)
+            out += ", ";
+        out += "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+Relation
+Relation::lfp(std::size_t n,
+              const std::function<Relation(const Relation &)> &f)
+{
+    Relation current(n);
+    for (;;) {
+        Relation next = f(current);
+        panicIf(!current.subsetOf(next),
+                "lfp: transformer is not monotone/extensive");
+        if (next == current)
+            return current;
+        current = std::move(next);
+    }
+}
+
+} // namespace lkmm

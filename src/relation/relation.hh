@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Binary relations over events, with the cat-language algebra.
+ *
+ * The cat language [Alglave-Cousot-Maranget 2016] builds consistency
+ * models from a small relational algebra: union, intersection,
+ * difference, complement, inverse, reflexive/transitive closures,
+ * sequential composition and cartesian products, checked with
+ * acyclic/irreflexive/empty constraints.  This class implements that
+ * algebra over a dense bit-matrix, which is the right representation
+ * for litmus-test-sized executions (n below a few hundred).
+ */
+
+#ifndef LKMM_RELATION_RELATION_HH
+#define LKMM_RELATION_RELATION_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/event_set.hh"
+
+namespace lkmm
+{
+
+/** A binary relation over the events 0..size()-1. */
+class Relation
+{
+  public:
+    Relation() = default;
+
+    /** The empty relation over a universe of n events. */
+    explicit Relation(std::size_t n);
+
+    /** The identity relation over n events. */
+    static Relation identity(std::size_t n);
+
+    /** The full relation over n events. */
+    static Relation full(std::size_t n);
+
+    /** Build from explicit pairs. */
+    static Relation fromPairs(
+        std::size_t n,
+        const std::vector<std::pair<EventId, EventId>> &pairs);
+
+    /** Cartesian product of two event sets: X * Y in cat. */
+    static Relation product(const EventSet &x, const EventSet &y);
+
+    std::size_t size() const { return numEvents; }
+
+    bool
+    contains(EventId a, EventId b) const
+    {
+        return (rows[a * stride + (b >> 6)] >> (b & 63)) & 1;
+    }
+
+    void
+    add(EventId a, EventId b)
+    {
+        rows[a * stride + (b >> 6)] |= 1ULL << (b & 63);
+    }
+
+    void
+    remove(EventId a, EventId b)
+    {
+        rows[a * stride + (b >> 6)] &= ~(1ULL << (b & 63));
+    }
+
+    /** Number of pairs in the relation. */
+    std::size_t count() const;
+
+    bool empty() const;
+
+    // Algebra ------------------------------------------------------
+
+    Relation operator|(const Relation &o) const;   ///< union
+    Relation operator&(const Relation &o) const;   ///< intersection
+    Relation operator-(const Relation &o) const;   ///< difference
+    Relation operator~() const;                    ///< complement
+    Relation inverse() const;                      ///< r^-1
+    Relation seq(const Relation &o) const;         ///< r1 ; r2
+    Relation opt() const;                          ///< r?  (r | id)
+    Relation plus() const;                         ///< r+
+    Relation star() const;                         ///< r*
+
+    Relation &operator|=(const Relation &o);
+    Relation &operator&=(const Relation &o);
+
+    bool operator==(const Relation &o) const = default;
+
+    bool subsetOf(const Relation &o) const;
+
+    // Restriction helpers ------------------------------------------
+
+    /** Pairs whose source is in x: [x] ; r. */
+    Relation restrictDomain(const EventSet &x) const;
+
+    /** Pairs whose target is in y: r ; [y]. */
+    Relation restrictRange(const EventSet &y) const;
+
+    /** Sources of pairs. */
+    EventSet domain() const;
+
+    /** Targets of pairs. */
+    EventSet range() const;
+
+    /** Image of a single event: { b | (a, b) in r }. */
+    EventSet successors(EventId a) const;
+
+    // Constraints --------------------------------------------------
+
+    bool irreflexive() const;
+    bool acyclic() const;
+
+    /**
+     * A witness cycle when the relation is cyclic.
+     *
+     * @return a sequence e0, e1, ..., ek with (ei, ei+1) in r and
+     *         (ek, e0) in r, or nullopt when the relation is acyclic.
+     */
+    std::optional<std::vector<EventId>> findCycle() const;
+
+    /** All pairs in lexicographic order. */
+    std::vector<std::pair<EventId, EventId>> pairs() const;
+
+    /** Render as {(0,1), (2,3)} for diagnostics. */
+    std::string toString() const;
+
+    /**
+     * Least fixpoint of a monotone relation transformer, starting
+     * from the empty relation.  Used for cat's "rec" definitions
+     * (the rcu-path relation of Figure 12) and Power's recursive
+     * preserved-program-order equations.
+     */
+    static Relation lfp(std::size_t n,
+                        const std::function<Relation(const Relation &)> &f);
+
+  private:
+    std::size_t numEvents = 0;
+    std::size_t stride = 0;
+    std::vector<std::uint64_t> rows;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_RELATION_RELATION_HH

@@ -1,0 +1,708 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace lkmm
+{
+
+MachineConfig
+MachineConfig::sc()
+{
+    return {"sc", false, false, false, true};
+}
+
+MachineConfig
+MachineConfig::tso()
+{
+    return {"x86", true, false, false, true};
+}
+
+MachineConfig
+MachineConfig::armv8()
+{
+    return {"armv8", true, true, true, true};
+}
+
+MachineConfig
+MachineConfig::power()
+{
+    return {"power8", true, true, true, false};
+}
+
+MachineConfig
+MachineConfig::armv7()
+{
+    MachineConfig cfg = power();
+    cfg.name = "armv7";
+    return cfg;
+}
+
+namespace
+{
+
+constexpr std::uint64_t MAX_STEPS = 100000;
+
+/** A committed write in the global coherence order. */
+struct WriteRec
+{
+    LocId loc;
+    Value val;
+    int srcTid;
+    std::size_t pos; ///< index within its location's history
+    /**
+     * A-cumulativity prerequisite of release writes: the source
+     * thread's view when the release committed.  The write may only
+     * propagate to a target whose view already covers it.
+     */
+    std::vector<std::size_t> prereqView; ///< empty: none
+};
+
+/** A pending write (or barrier marker) in a store buffer. */
+struct BufEntry
+{
+    bool isBarrier = false; ///< wmb: drains may not cross it
+    bool isRelease = false; ///< drains in order + carries view
+    LocId loc = -1;
+    Value val = 0;
+    /**
+     * A-cumulativity view inherited from a preceding wmb: Power's
+     * lwsync propagates everything its thread had observed before
+     * any write that follows it (this is why WRC+wmb+acq, although
+     * allowed by the LK model, is never observed on Power —
+     * Table 5).
+     */
+    std::vector<std::size_t> cumulView;
+};
+
+/** Interpreter position within nested instruction blocks. */
+struct Frame
+{
+    const std::vector<Instr> *block;
+    std::size_t index;
+};
+
+struct ThreadState
+{
+    std::vector<Frame> frames;
+    std::vector<Value> regs;
+    std::vector<BufEntry> buffer;
+    /** View snapshot of the latest wmb; inherited by later writes. */
+    std::vector<std::size_t> cumulSnapshot;
+    int rcuNesting = 0;
+    bool waitingSync = false; ///< inside synchronize_rcu's wait
+    bool done = false;
+    /**
+     * Scheduler steps this thread idles before starting.  Litmus
+     * harnesses randomise thread start times for exactly this
+     * reason: weak outcomes need decorrelated starts.
+     */
+    int startDelay = 0;
+};
+
+class Machine
+{
+  public:
+    Machine(const Program &prog, const MachineConfig &cfg,
+            std::uint64_t seed)
+        : prog_(prog), cfg_(cfg), rng_(seed)
+    {
+        const int locs = prog.numLocs();
+        history_.resize(locs);
+        for (LocId l = 0; l < locs; ++l) {
+            WriteRec init{l, prog.initValue(l), -1, 0, {}};
+            history_[l].push_back(arenaAdd(init));
+        }
+
+        threads_.resize(prog.numThreads());
+        propagated_.assign(prog.numThreads(),
+                           std::vector<std::size_t>(locs, 0));
+        floor_.assign(prog.numThreads(),
+                      std::vector<std::size_t>(locs, 0));
+        queues_.assign(prog.numThreads(),
+                       std::vector<std::deque<int>>(prog.numThreads()));
+        for (int t = 0; t < prog.numThreads(); ++t) {
+            threads_[t].regs.assign(prog.threads[t].numRegs, 0);
+            threads_[t].startDelay = static_cast<int>(rng_.below(12));
+            if (!prog.threads[t].body.empty())
+                threads_[t].frames.push_back({&prog.threads[t].body, 0});
+            else
+                threads_[t].done = true;
+        }
+    }
+
+    RunState
+    run()
+    {
+        RunState out;
+        std::uint64_t steps = 0;
+        while (!allDone()) {
+            if (++steps > MAX_STEPS) {
+                out.completed = false;
+                break;
+            }
+            step();
+        }
+        // Flush: commit and propagate everything.
+        for (int t = 0; t < prog_.numThreads(); ++t)
+            drainAll(t);
+        finishPropagation();
+
+        out.regs.resize(threads_.size());
+        for (std::size_t t = 0; t < threads_.size(); ++t)
+            out.regs[t] = threads_[t].regs;
+        out.mem.resize(prog_.numLocs());
+        for (LocId l = 0; l < prog_.numLocs(); ++l)
+            out.mem[l] = arena_[history_[l].back()].val;
+        return out;
+    }
+
+  private:
+    int
+    arenaAdd(WriteRec rec)
+    {
+        arena_.push_back(std::move(rec));
+        return static_cast<int>(arena_.size()) - 1;
+    }
+
+    bool
+    allDone() const
+    {
+        for (const ThreadState &t : threads_) {
+            if (!t.done)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    step()
+    {
+        // Weighted choice among: execute, drain, propagate.
+        const std::uint64_t roll = rng_.below(100);
+        if (roll < 60 && stepThread())
+            return;
+        if (roll < 85 && drainOne())
+            return;
+        if (propagateOne())
+            return;
+        if (stepThread() || drainOne())
+            return;
+        // Everything is blocked on a waiting synchronize_rcu whose
+        // readers have yet to be scheduled; force a thread step.
+        for (std::size_t t = 0; t < threads_.size(); ++t) {
+            if (!threads_[t].done && execute(static_cast<int>(t)))
+                return;
+        }
+    }
+
+    bool
+    stepThread()
+    {
+        std::vector<int> runnable;
+        for (std::size_t t = 0; t < threads_.size(); ++t) {
+            if (!threads_[t].done)
+                runnable.push_back(static_cast<int>(t));
+        }
+        if (runnable.empty())
+            return false;
+        const int t = runnable[rng_.below(runnable.size())];
+        return execute(t);
+    }
+
+    // Buffer machinery --------------------------------------------
+
+    bool
+    drainable(const ThreadState &st, std::size_t i) const
+    {
+        const BufEntry &e = st.buffer[i];
+        if (e.isBarrier || e.isRelease || !cfg_.reorderStoreBuffer)
+            return i == 0;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (st.buffer[j].isBarrier || st.buffer[j].isRelease)
+                return false;
+            if (st.buffer[j].loc == e.loc)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    drainOne()
+    {
+        std::vector<int> with_buffer;
+        for (std::size_t t = 0; t < threads_.size(); ++t) {
+            if (!threads_[t].buffer.empty())
+                with_buffer.push_back(static_cast<int>(t));
+        }
+        if (with_buffer.empty())
+            return false;
+        const int t = with_buffer[rng_.below(with_buffer.size())];
+        ThreadState &st = threads_[t];
+
+        std::vector<std::size_t> choices;
+        for (std::size_t i = 0; i < st.buffer.size(); ++i) {
+            if (drainable(st, i))
+                choices.push_back(i);
+        }
+        if (choices.empty())
+            return false;
+        drainEntry(t, choices[rng_.below(choices.size())]);
+        return true;
+    }
+
+    void
+    drainEntry(int t, std::size_t i)
+    {
+        ThreadState &st = threads_[t];
+        BufEntry entry = st.buffer[i];
+        st.buffer.erase(st.buffer.begin() + i);
+        if (entry.isBarrier && entry.loc < 0)
+            return; // pure wmb marker retires
+        commit(t, entry.loc, entry.val, entry.isRelease,
+               entry.cumulView);
+    }
+
+    void
+    drainAll(int t)
+    {
+        // In-order drain is always legal.
+        while (!threads_[t].buffer.empty())
+            drainEntry(t, 0);
+    }
+
+    void
+    commit(int t, LocId l, Value v, bool release,
+           const std::vector<std::size_t> &cumul_view = {})
+    {
+        WriteRec rec{l, v, t, history_[l].size(), {}};
+        if (release && !cfg_.multiCopyAtomic)
+            rec.prereqView = propagated_[t];
+        else if (!cumul_view.empty() && !cfg_.multiCopyAtomic)
+            rec.prereqView = cumul_view;
+        const int id = arenaAdd(rec);
+        history_[l].push_back(id);
+
+        const std::size_t pos = arena_[id].pos;
+        propagated_[t][l] = std::max(propagated_[t][l], pos);
+        if (cfg_.multiCopyAtomic) {
+            for (auto &view : propagated_)
+                view[l] = std::max(view[l], pos);
+        } else {
+            for (std::size_t u = 0; u < threads_.size(); ++u) {
+                if (static_cast<int>(u) != t)
+                    queues_[t][u].push_back(id);
+            }
+        }
+    }
+
+    bool
+    viewCovers(const std::vector<std::size_t> &view,
+               const std::vector<std::size_t> &needed) const
+    {
+        for (std::size_t l = 0; l < needed.size(); ++l) {
+            if (view[l] < needed[l])
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    propagateOne()
+    {
+        if (cfg_.multiCopyAtomic)
+            return false;
+        std::vector<std::pair<int, int>> ready;
+        for (std::size_t s = 0; s < threads_.size(); ++s) {
+            for (std::size_t u = 0; u < threads_.size(); ++u) {
+                if (!queues_[s][u].empty()) {
+                    ready.emplace_back(static_cast<int>(s),
+                                       static_cast<int>(u));
+                }
+            }
+        }
+        while (!ready.empty()) {
+            const std::size_t pick = rng_.below(ready.size());
+            auto [s, u] = ready[pick];
+            const int id = queues_[s][u].front();
+            const WriteRec &w = arena_[id];
+            if (!w.prereqView.empty() &&
+                !viewCovers(propagated_[u], w.prereqView)) {
+                // A-cumulativity holds this release back for now.
+                ready.erase(ready.begin() + pick);
+                continue;
+            }
+            queues_[s][u].pop_front();
+            propagated_[u][w.loc] =
+                std::max(propagated_[u][w.loc], w.pos);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    finishPropagation()
+    {
+        for (;;) {
+            bool progress = false;
+            for (std::size_t s = 0; s < threads_.size(); ++s) {
+                for (std::size_t u = 0; u < threads_.size(); ++u) {
+                    while (!queues_[s][u].empty()) {
+                        const int id = queues_[s][u].front();
+                        const WriteRec &w = arena_[id];
+                        if (!w.prereqView.empty() &&
+                            !viewCovers(propagated_[u], w.prereqView)) {
+                            break;
+                        }
+                        queues_[s][u].pop_front();
+                        propagated_[u][w.loc] =
+                            std::max(propagated_[u][w.loc], w.pos);
+                        progress = true;
+                    }
+                }
+            }
+            if (!progress)
+                return;
+        }
+    }
+
+    // Fence semantics ----------------------------------------------
+
+    /**
+     * Reading a write at the coherence point (RMWs do) makes it —
+     * and, for releases, everything its A-cumulativity view covers —
+     * part of the reader's view.  This is what hands a spinlock
+     * acquirer the critical section's writes.
+     */
+    void
+    absorbWrite(int t, int write_id)
+    {
+        const WriteRec &w = arena_[write_id];
+        propagated_[t][w.loc] = std::max(propagated_[t][w.loc], w.pos);
+        if (!w.prereqView.empty()) {
+            for (LocId l = 0; l < prog_.numLocs(); ++l) {
+                propagated_[t][l] =
+                    std::max(propagated_[t][l], w.prereqView[l]);
+            }
+        }
+    }
+
+    void
+    bumpFloors(int t)
+    {
+        for (LocId l = 0; l < prog_.numLocs(); ++l) {
+            floor_[t][l] = std::max(floor_[t][l], propagated_[t][l]);
+        }
+    }
+
+    /**
+     * Group-A propagation of a full fence: everything this thread
+     * can see becomes visible to everyone (Power's sync waits for
+     * exactly this before completing).
+     */
+    void
+    forcePropagateView(int t)
+    {
+        if (cfg_.multiCopyAtomic)
+            return;
+        for (auto &view : propagated_) {
+            for (LocId l = 0; l < prog_.numLocs(); ++l)
+                view[l] = std::max(view[l], propagated_[t][l]);
+        }
+    }
+
+    void
+    fullFence(int t)
+    {
+        drainAll(t);
+        forcePropagateView(t);
+        bumpFloors(t);
+    }
+
+    // Execution ------------------------------------------------------
+
+    LocId
+    evalLoc(ThreadState &st, const Expr &addr) const
+    {
+        std::vector<std::optional<Value>> env(st.regs.begin(),
+                                              st.regs.end());
+        auto v = addr.eval(env);
+        panicIf(!v || !isLocHandle(*v), "machine: bad address");
+        const LocId l = valueToLoc(*v);
+        panicIf(l < 0 || l >= prog_.numLocs(),
+                "machine: address out of range");
+        return l;
+    }
+
+    Value
+    evalValue(ThreadState &st, const Expr &e) const
+    {
+        std::vector<std::optional<Value>> env(st.regs.begin(),
+                                              st.regs.end());
+        auto v = e.eval(env);
+        panicIf(!v, "machine: unresolved value");
+        return *v;
+    }
+
+    Value
+    readLoc(int t, LocId l, bool stale_ok)
+    {
+        ThreadState &st = threads_[t];
+        // Store-buffer forwarding: newest buffered write wins.
+        for (auto it = st.buffer.rbegin(); it != st.buffer.rend(); ++it) {
+            if (!it->isBarrier && it->loc == l)
+                return it->val;
+            if (it->isBarrier && it->loc == l)
+                return it->val;
+        }
+        const std::size_t latest = propagated_[t][l];
+        std::size_t idx = latest;
+        if (stale_ok && cfg_.staleReads && latest > floor_[t][l] &&
+            rng_.chance(1, 3)) {
+            idx = floor_[t][l] +
+                rng_.below(latest - floor_[t][l] + 1);
+        }
+        floor_[t][l] = std::max(floor_[t][l], idx);
+        return arena_[history_[l][idx]].val;
+    }
+
+    void
+    writeLoc(int t, LocId l, Value v, Ann ann)
+    {
+        ThreadState &st = threads_[t];
+        if (!cfg_.storeBuffer) {
+            commit(t, l, v, ann == Ann::Release);
+            return;
+        }
+        BufEntry e;
+        e.loc = l;
+        e.val = v;
+        e.isRelease = ann == Ann::Release;
+        e.cumulView = st.cumulSnapshot;
+        st.buffer.push_back(e);
+    }
+
+    /** Advance past the current instruction. */
+    void
+    advance(ThreadState &st)
+    {
+        ++st.frames.back().index;
+        while (!st.frames.empty() &&
+               st.frames.back().index >= st.frames.back().block->size()) {
+            st.frames.pop_back();
+            if (!st.frames.empty())
+                ++st.frames.back().index;
+        }
+        if (st.frames.empty())
+            st.done = true;
+    }
+
+    /** Execute one instruction of thread t; false if blocked. */
+    bool
+    execute(int t)
+    {
+        ThreadState &st = threads_[t];
+        if (st.done)
+            return false;
+        if (st.startDelay > 0) {
+            --st.startDelay;
+            return true;
+        }
+        const Instr &ins =
+            (*st.frames.back().block)[st.frames.back().index];
+
+        switch (ins.kind) {
+          case Instr::Kind::Read: {
+            const LocId l = evalLoc(st, ins.addr);
+            const Value v = readLoc(t, l, ins.ann != Ann::Acquire);
+            st.regs[ins.dest] = v;
+            if (ins.ann == Ann::Acquire || ins.rbDepAfter)
+                bumpFloors(t);
+            advance(st);
+            return true;
+          }
+          case Instr::Kind::Write: {
+            const LocId l = evalLoc(st, ins.addr);
+            writeLoc(t, l, evalValue(st, ins.value), ins.ann);
+            advance(st);
+            return true;
+          }
+          case Instr::Kind::Fence:
+            switch (ins.ann) {
+              case Ann::Rmb:
+              case Ann::RbDep:
+                bumpFloors(t);
+                break;
+              case Ann::Wmb:
+                if (cfg_.storeBuffer) {
+                    BufEntry barrier;
+                    barrier.isBarrier = true;
+                    st.buffer.push_back(barrier);
+                }
+                if (!cfg_.multiCopyAtomic)
+                    st.cumulSnapshot = propagated_[t];
+                break;
+              case Ann::Mb:
+                fullFence(t);
+                break;
+              case Ann::RcuLock:
+                fullFence(t);
+                ++st.rcuNesting;
+                break;
+              case Ann::RcuUnlock:
+                fullFence(t);
+                --st.rcuNesting;
+                break;
+              case Ann::SyncRcu: {
+                if (!st.waitingSync) {
+                    fullFence(t);
+                    st.waitingSync = true;
+                }
+                for (std::size_t u = 0; u < threads_.size(); ++u) {
+                    if (static_cast<int>(u) != t &&
+                        threads_[u].rcuNesting > 0) {
+                        return false; // grace period still running
+                    }
+                }
+                st.waitingSync = false;
+                fullFence(t);
+                break;
+              }
+              default:
+                break;
+            }
+            advance(st);
+            return true;
+          case Instr::Kind::Rmw: {
+            const LocId l = evalLoc(st, ins.addr);
+            if (ins.fullFence)
+                fullFence(t);
+            else
+                drainAll(t); // atomics operate on the coherence point
+            const Value old = arena_[history_[l].back()].val;
+            if (ins.requireReadValue && old != *ins.requireReadValue)
+                return false; // spinning; retry later
+            absorbWrite(t, history_[l].back());
+            st.regs[ins.dest] = old;
+            Value operand = evalValue(st, ins.value);
+            Value neu = operand;
+            switch (ins.rmwOp) {
+              case RmwOp::Xchg: break;
+              case RmwOp::Add: neu = old + operand; break;
+              case RmwOp::Sub: neu = old - operand; break;
+              case RmwOp::And: neu = old & operand; break;
+              case RmwOp::Or: neu = old | operand; break;
+            }
+            commit(t, l, neu, ins.writeAnn == Ann::Release);
+            propagated_[t][l] = history_[l].size() - 1;
+            floor_[t][l] = history_[l].size() - 1;
+            if (ins.readAnn == Ann::Acquire)
+                bumpFloors(t);
+            if (ins.fullFence)
+                fullFence(t);
+            advance(st);
+            return true;
+          }
+          case Instr::Kind::Cmpxchg: {
+            const LocId l = evalLoc(st, ins.addr);
+            if (ins.fullFence)
+                fullFence(t);
+            else
+                drainAll(t);
+            const Value old = arena_[history_[l].back()].val;
+            absorbWrite(t, history_[l].back());
+            st.regs[ins.dest] = old;
+            const Value expected = evalValue(st, ins.expected);
+            if (old == expected) {
+                commit(t, l, evalValue(st, ins.value),
+                       ins.writeAnn == Ann::Release);
+                propagated_[t][l] = history_[l].size() - 1;
+                floor_[t][l] = history_[l].size() - 1;
+                if (ins.fullFence)
+                    fullFence(t);
+            }
+            advance(st);
+            return true;
+          }
+          case Instr::Kind::Let:
+            st.regs[ins.dest] = evalValue(st, ins.value);
+            advance(st);
+            return true;
+          case Instr::Kind::Assume:
+            // Operationally a spin loop: block until the condition
+            // holds (the axiomatic side models its final iteration).
+            if (evalValue(st, ins.cond) == 0)
+                return false;
+            advance(st);
+            return true;
+          case Instr::Kind::If: {
+            const bool taken = evalValue(st, ins.cond) != 0;
+            const std::vector<Instr> &body =
+                taken ? ins.thenBody : ins.elseBody;
+            // Enter the block; advance() must resume after the If,
+            // so push the block with the If consumed first.
+            advance(st);
+            if (!body.empty()) {
+                st.done = false;
+                st.frames.push_back({&body, 0});
+            }
+            return true;
+          }
+        }
+        panic("machine: unhandled instruction");
+    }
+
+    const Program &prog_;
+    MachineConfig cfg_;
+    Rng rng_;
+
+    std::vector<WriteRec> arena_;
+    std::vector<std::vector<int>> history_; ///< per loc, write ids
+    std::vector<ThreadState> threads_;
+    /** propagated_[t][l]: newest history index visible to t. */
+    std::vector<std::vector<std::size_t>> propagated_;
+    /** floor_[t][l]: oldest history index t may still read. */
+    std::vector<std::vector<std::size_t>> floor_;
+    /** queues_[src][target]: committed writes awaiting propagation. */
+    std::vector<std::vector<std::deque<int>>> queues_;
+};
+
+} // namespace
+
+RunState
+OperationalMachine::run(std::uint64_t seed) const
+{
+    Machine machine(prog_, cfg_, seed);
+    return machine.run();
+}
+
+HarnessResult
+runHarness(const Program &prog, const MachineConfig &cfg,
+           std::uint64_t runs, std::uint64_t seed)
+{
+    HarnessResult res;
+    OperationalMachine machine(prog, cfg);
+    for (std::uint64_t i = 0; i < runs; ++i) {
+        RunState state = machine.run(seed + i);
+        if (!state.completed)
+            continue;
+        ++res.runs;
+
+        std::string key;
+        for (std::size_t t = 0; t < state.regs.size(); ++t) {
+            for (std::size_t r = 0; r < state.regs[t].size(); ++r) {
+                key += std::to_string(t) + ":r" + std::to_string(r) +
+                    "=" + std::to_string(state.regs[t][r]) + "; ";
+            }
+        }
+        ++res.histogram[key];
+
+        if (prog.condition.eval(state.regs, state.mem))
+            ++res.observed;
+    }
+    return res;
+}
+
+} // namespace lkmm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Operational weak-memory machines: the repository's stand-in for
+ * the paper's klitmus kernel modules running on real Power8, ARMv8,
+ * ARMv7 and x86 boxes (Section 5.1).
+ *
+ * A machine executes a litmus program under a seeded random
+ * scheduler and reports the final state.  Weakness comes from three
+ * mechanisms:
+ *
+ *  - store buffers: writes sit in a per-thread buffer until a drain
+ *    step commits them to the global coherence order.  TSO drains
+ *    in FIFO order; the relaxed machines may drain out of order
+ *    (same-location order and wmb/release barriers always hold),
+ *    giving W->W reordering;
+ *
+ *  - stale reads: on machines with load-load reordering, a read may
+ *    return any write between the thread's per-location coherence
+ *    floor and the newest write visible to it — a read that binds
+ *    its value "early".  Floors only advance, preserving per-
+ *    location coherence; smp_rmb / acquire bump all floors to the
+ *    current view, which is exactly what makes MP+wmb+rmb
+ *    unobservable;
+ *
+ *  - non-multi-copy-atomic propagation (Power, ARMv7): committed
+ *    writes propagate to each other thread independently, in
+ *    per-(source, target) FIFO order.  Release writes carry the
+ *    A-cumulativity prerequisite that everything their thread had
+ *    observed propagates first; smp_mb force-propagates the
+ *    thread's whole view to everyone (the "Group A" semantics of
+ *    Power's sync), which is what forbids SB+mbs and PeterZ.
+ *
+ * RCU: rcu_read_lock/unlock maintain a nesting count and carry full
+ * fence semantics (Figure 15 has smp_mb in both); synchronize_rcu
+ * is a full fence that blocks until no other thread is inside a
+ * read-side critical section.
+ */
+
+#ifndef LKMM_SIM_MACHINE_HH
+#define LKMM_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/** What a machine is allowed to reorder. */
+struct MachineConfig
+{
+    std::string name = "sc";
+    bool storeBuffer = false;       ///< writes are delayed at all
+    bool reorderStoreBuffer = false;///< out-of-order drain (W->W)
+    bool staleReads = false;        ///< load-load reordering
+    bool multiCopyAtomic = true;    ///< commits visible to all at once
+
+    /** Sequentially consistent machine. */
+    static MachineConfig sc();
+    /** x86-TSO: FIFO store buffer only. */
+    static MachineConfig tso();
+    /** ARMv8: local reordering, but other-multi-copy-atomic. */
+    static MachineConfig armv8();
+    /** Power8: everything, including non-MCA propagation. */
+    static MachineConfig power();
+    /** ARMv7: same relaxations as Power at this abstraction. */
+    static MachineConfig armv7();
+};
+
+/** Final state of one run. */
+struct RunState
+{
+    std::vector<std::vector<Value>> regs;
+    std::vector<Value> mem;
+    bool completed = true; ///< false when the step budget ran out
+};
+
+/** One operational machine executing one program. */
+class OperationalMachine
+{
+  public:
+    OperationalMachine(const Program &prog, const MachineConfig &cfg)
+        : prog_(prog), cfg_(cfg)
+    {}
+
+    /** Execute once under a seeded random schedule. */
+    RunState run(std::uint64_t seed) const;
+
+  private:
+    const Program &prog_;
+    MachineConfig cfg_;
+};
+
+/** Histogram of outcomes over many runs — the klitmus harness. */
+struct HarnessResult
+{
+    std::uint64_t runs = 0;
+    /** Runs whose final state satisfied the exists clause. */
+    std::uint64_t observed = 0;
+    /** Distinct final states with counts. */
+    std::map<std::string, std::uint64_t> histogram;
+};
+
+/**
+ * Run a program many times on a machine, counting how often the
+ * exists clause is observed (Table 5's "k/N" entries).
+ */
+HarnessResult runHarness(const Program &prog, const MachineConfig &cfg,
+                         std::uint64_t runs, std::uint64_t seed = 1);
+
+} // namespace lkmm
+
+#endif // LKMM_SIM_MACHINE_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for src/base: error handling, string helpers, and the
+ * deterministic RNG the operational harness depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/strutil.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    try {
+        fatal("boom");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_THROW(panicIf(true, "bug"), PanicError);
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+}
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strutil, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strutil, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("lkmm.cat", "lkmm"));
+    EXPECT_FALSE(startsWith("lk", "lkmm"));
+    EXPECT_TRUE(endsWith("lkmm.cat", ".cat"));
+    EXPECT_FALSE(endsWith("cat", ".cat"));
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, "+"), "a+b+c");
+    EXPECT_EQ(join({}, "+"), "");
+    EXPECT_EQ(join({"x"}, "+"), "x");
+}
+
+TEST(Strutil, HumanCountMatchesPaperStyle)
+{
+    // Table 5 writes 741k, 57M, 15G...
+    EXPECT_EQ(humanCount(0), "0");
+    EXPECT_EQ(humanCount(999), "999");
+    EXPECT_EQ(humanCount(741000), "741k");
+    EXPECT_EQ(humanCount(57000000), "57M");
+    EXPECT_EQ(humanCount(15000000000ULL), "15G");
+    EXPECT_EQ(humanCount(4400000000ULL), "4.4G");
+    EXPECT_EQ(humanCount(1500), "1.5k");
+}
+
+TEST(Strutil, Format)
+{
+    EXPECT_EQ(format("%d/%s", 3, "x"), "3/x");
+    EXPECT_EQ(format("%05d", 42), "00042");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(13), 13u);
+        EXPECT_EQ(rng.below(1), 0u);
+        EXPECT_EQ(rng.below(0), 0u);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(99);
+    std::map<std::uint64_t, int> histogram;
+    constexpr int SAMPLES = 40000;
+    for (int i = 0; i < SAMPLES; ++i)
+        ++histogram[rng.below(8)];
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        EXPECT_GT(histogram[v], SAMPLES / 8 - SAMPLES / 40);
+        EXPECT_LT(histogram[v], SAMPLES / 8 + SAMPLES / 40);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+} // namespace
+} // namespace lkmm

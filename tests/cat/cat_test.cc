@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the cat interpreter (src/cat): parsing, evaluation, and
+ * — most importantly — the equivalence of the shipped lkmm.cat
+ * (transcribing Figures 3, 8 and 12 of the paper) with the native
+ * C++ LkmmModel, checked on every candidate execution of every
+ * Table 5 test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "cat/eval.hh"
+#include "cat/parser.hh"
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+#include "model/power_model.hh"
+#include "model/sc_model.hh"
+#include "model/tso_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+std::string
+modelPath(const std::string &file)
+{
+    return std::string(LKMM_CAT_MODEL_DIR) + "/" + file;
+}
+
+// Parser unit tests -----------------------------------------------------
+
+TEST(CatParser, ModelNameAndLet)
+{
+    auto file = cat::parseCat("\"my model\"\nlet a = po | rf\n");
+    EXPECT_EQ(file.modelName, "my model");
+    ASSERT_EQ(file.statements.size(), 1u);
+    EXPECT_EQ(file.statements[0].kind, cat::CatStatement::Kind::Let);
+    ASSERT_EQ(file.statements[0].bindings.size(), 1u);
+    EXPECT_EQ(file.statements[0].bindings[0].name, "a");
+}
+
+TEST(CatParser, Comments)
+{
+    auto file = cat::parseCat(
+        "(* a (* nested *) comment *) let a = po // trailing\n"
+        "acyclic a as chk\n");
+    EXPECT_EQ(file.statements.size(), 2u);
+    EXPECT_EQ(file.statements[1].checkName, "chk");
+}
+
+TEST(CatParser, PostfixVsInfixStar)
+{
+    // 'hb*' is postfix closure; '_ * S' is a product.
+    auto file = cat::parseCat("let a = (po*) ; (int & (_ * W))\n");
+    ASSERT_EQ(file.statements.size(), 1u);
+    const auto &body = *file.statements[0].bindings[0].body;
+    EXPECT_EQ(body.kind, cat::CatExpr::Kind::Seq);
+    EXPECT_EQ(body.args[0]->kind, cat::CatExpr::Kind::Star);
+    EXPECT_EQ(body.args[1]->kind, cat::CatExpr::Kind::Inter);
+}
+
+TEST(CatParser, RecursiveAndMutual)
+{
+    auto file = cat::parseCat(
+        "let rec a = po | (a ; a) and b = rf | (b ; a)\n");
+    ASSERT_EQ(file.statements.size(), 1u);
+    EXPECT_TRUE(file.statements[0].recursive);
+    EXPECT_EQ(file.statements[0].bindings.size(), 2u);
+}
+
+TEST(CatParser, SyntaxErrorThrows)
+{
+    EXPECT_THROW(cat::parseCat("let = po\n"), FatalError);
+    EXPECT_THROW(cat::parseCat("acyclic (po\n"), FatalError);
+    EXPECT_THROW(cat::parseCat("frobnicate po\n"), FatalError);
+}
+
+// Evaluator unit tests ---------------------------------------------------
+
+TEST(CatEval, BuiltinsMatchExecution)
+{
+    Program p = mpWmbRmb();
+    Enumerator en(p);
+    auto execs = en.all();
+    ASSERT_FALSE(execs.empty());
+    const CandidateExecution &ex = execs.front();
+
+    auto model = CatModel::fromSource(
+        "let my-fr = rf^-1 ; co\n"
+        "let my-com = rf | co | my-fr\n"
+        "let my-poloc = po & loc\n");
+    auto env = model.evalBindings(ex);
+    EXPECT_EQ(env.at("my-fr").rel, ex.fr());
+    EXPECT_EQ(env.at("my-com").rel, ex.com());
+    EXPECT_EQ(env.at("my-poloc").rel, ex.poLoc());
+}
+
+TEST(CatEval, FencerelMatchesNative)
+{
+    Program p = mpWmbRmb();
+    Enumerator en(p);
+    auto execs = en.all();
+    const CandidateExecution &ex = execs.front();
+
+    auto model = CatModel::fromSource(
+        "let my-wmb = [W] ; fencerel(Wmb) ; [W]\n"
+        "let my-rmb = [R] ; fencerel(Rmb) ; [R]\n");
+    auto env = model.evalBindings(ex);
+    EXPECT_EQ(env.at("my-wmb").rel, ex.wmbRel());
+    EXPECT_EQ(env.at("my-rmb").rel, ex.rmbRel());
+}
+
+TEST(CatEval, UserFunctions)
+{
+    Program p = mpWmbRmb();
+    Enumerator en(p);
+    auto execs = en.all();
+    const CandidateExecution &ex = execs.front();
+
+    auto model = CatModel::fromSource(
+        "let twice(r) = r ; r\n"
+        "let a = twice(po)\n");
+    auto env = model.evalBindings(ex);
+    EXPECT_EQ(env.at("a").rel, ex.po.seq(ex.po));
+}
+
+TEST(CatEval, RecursionComputesLfp)
+{
+    Program p = mpWmbRmb();
+    Enumerator en(p);
+    auto execs = en.all();
+    const CandidateExecution &ex = execs.front();
+
+    auto model = CatModel::fromSource("let rec tc = po | (tc ; po)\n");
+    auto env = model.evalBindings(ex);
+    EXPECT_EQ(env.at("tc").rel, ex.po.plus());
+}
+
+TEST(CatEval, UndefinedIdentifierFails)
+{
+    Program p = mp();
+    Enumerator en(p);
+    auto execs = en.all();
+    auto model = CatModel::fromSource("acyclic nonexistent as bad\n");
+    EXPECT_THROW(model.check(execs.front()), FatalError);
+}
+
+// Shipped-model equivalence ----------------------------------------------
+
+/** Every candidate of prog gets the same verdict from both models. */
+void
+expectModelsAgree(const Program &prog, const Model &a, const Model &b)
+{
+    Enumerator en(prog);
+    en.forEach([&](const CandidateExecution &ex) {
+        EXPECT_EQ(a.allows(ex), b.allows(ex))
+            << prog.name << ": disagreement on candidate with state "
+            << ex.finalStateString();
+        return true;
+    });
+}
+
+class CatLkmmEquivalence : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CatLkmmEquivalence, AgreesWithNativeModel)
+{
+    static CatModel catModel =
+        CatModel::fromFile(modelPath("lkmm.cat"));
+    static const std::vector<CatalogEntry> entries = table5();
+    LkmmModel native;
+    const CatalogEntry &e = entries[GetParam()];
+    SCOPED_TRACE(e.prog.name);
+    expectModelsAgree(e.prog, catModel, native);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5, CatLkmmEquivalence,
+    ::testing::Range<std::size_t>(0, table5().size()),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        std::string name = table5()[info.param].prog.name;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(CatShippedModels, ScCatAgreesWithNative)
+{
+    auto catSc = CatModel::fromFile(modelPath("sc.cat"));
+    ScModel native;
+    for (const CatalogEntry &e : table5())
+        expectModelsAgree(e.prog, catSc, native);
+}
+
+TEST(CatShippedModels, TsoCatAgreesWithNative)
+{
+    auto catTso = CatModel::fromFile(modelPath("tso.cat"));
+    TsoModel native;
+    for (const CatalogEntry &e : table5())
+        expectModelsAgree(e.prog, catTso, native);
+}
+
+TEST(CatShippedModels, PowerCatAgreesWithNative)
+{
+    // power.cat exercises the interpreter's *mutual* recursion (the
+    // ii/ci/ic/cc equations) and must agree with the native
+    // PowerModel on every candidate of every non-RCU Table 5 test
+    // (the hardware models do not interpret RCU primitives).
+    auto catPower = CatModel::fromFile(modelPath("power.cat"));
+    PowerModel native;
+    for (const CatalogEntry &e : table5()) {
+        if (!e.c11Expected.has_value())
+            continue;
+        SCOPED_TRACE(e.prog.name);
+        expectModelsAgree(e.prog, catPower, native);
+    }
+}
+
+TEST(CatShippedModels, LkmmCatVerdictsMatchTable5)
+{
+    auto catModel = CatModel::fromFile(modelPath("lkmm.cat"));
+    for (const CatalogEntry &e : table5()) {
+        SCOPED_TRACE(e.prog.name);
+        EXPECT_EQ(quickVerdict(e.prog, catModel), e.lkmmExpected);
+    }
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the derived relations of candidate executions
+ * (src/exec/execution): the Section 3.1 auxiliary relations (rmb,
+ * wmb, mb, rb-dep, po-rel, acq-po, rfi-rel-acq), the RCU relations
+ * gp/crit/rscs, and structural invariants checked as properties
+ * over all candidates of the catalog tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+CandidateExecution
+firstCandidate(const Program &p)
+{
+    CandidateExecution out;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        out = ex;
+        return false;
+    });
+    return out;
+}
+
+TEST(Execution, FenceRelationEndpoints)
+{
+    // MP+wmb+rmb: wmb relates the two writes, rmb the two reads,
+    // and nothing else.
+    CandidateExecution ex = firstCandidate(mpWmbRmb());
+
+    EXPECT_EQ(ex.wmbRel().count(), 1u);
+    auto [w1, w2] = ex.wmbRel().pairs()[0];
+    EXPECT_TRUE(ex.events[w1].isWrite());
+    EXPECT_TRUE(ex.events[w2].isWrite());
+    EXPECT_EQ(ex.events[w1].tid, 0);
+
+    EXPECT_EQ(ex.rmbRel().count(), 1u);
+    auto [r1, r2] = ex.rmbRel().pairs()[0];
+    EXPECT_TRUE(ex.events[r1].isRead());
+    EXPECT_TRUE(ex.events[r2].isRead());
+    EXPECT_EQ(ex.events[r1].tid, 1);
+
+    EXPECT_TRUE(ex.mbRel().empty());
+    EXPECT_TRUE(ex.rbDepRel().empty());
+}
+
+TEST(Execution, MbRelatesAcrossTheFence)
+{
+    CandidateExecution ex = firstCandidate(sbMbs());
+    // Each thread: one W before mb, one R after: exactly one mb
+    // pair per thread.
+    EXPECT_EQ(ex.mbRel().count(), 2u);
+    for (auto [a, b] : ex.mbRel().pairs()) {
+        EXPECT_TRUE(ex.events[a].isWrite());
+        EXPECT_TRUE(ex.events[b].isRead());
+        EXPECT_EQ(ex.events[a].tid, ex.events[b].tid);
+    }
+}
+
+TEST(Execution, PoRelAndAcqPo)
+{
+    CandidateExecution ex = firstCandidate(wrcPoRelRmb());
+    // T1's read is po-before the release write.
+    EXPECT_EQ(ex.poRel().count(), 1u);
+    auto [a, rel] = ex.poRel().pairs()[0];
+    EXPECT_TRUE(ex.events[a].isRead());
+    EXPECT_EQ(ex.events[rel].ann, Ann::Release);
+
+    CandidateExecution ex14 = firstCandidate(wrcWmbAcq());
+    EXPECT_EQ(ex14.acqPo().count(), 1u);
+    auto [acq, b] = ex14.acqPo().pairs()[0];
+    EXPECT_EQ(ex14.events[acq].ann, Ann::Acquire);
+    EXPECT_TRUE(ex14.events[b].isRead());
+}
+
+TEST(Execution, RfiRelAcq)
+{
+    // Same-thread release write read by acquire load.
+    LitmusBuilder b("rfi-rel-acq");
+    LocId x = b.loc("x");
+    ThreadBuilder &t0 = b.thread();
+    t0.storeRelease(x, 1);
+    RegRef r = t0.loadAcquire(x);
+    b.exists(eq(r, 1));
+    Program p = b.build();
+
+    bool found = false;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (!ex.rfiRelAcq().empty()) {
+            found = true;
+            auto [w, rd] = ex.rfiRelAcq().pairs()[0];
+            EXPECT_EQ(ex.events[w].ann, Ann::Release);
+            EXPECT_EQ(ex.events[rd].ann, Ann::Acquire);
+        }
+        return true;
+    });
+    EXPECT_TRUE(found);
+}
+
+TEST(Execution, GpRelation)
+{
+    CandidateExecution ex = firstCandidate(rcuMp());
+    // Figure 10: (c, k) and (c, d) are in gp.
+    EventId c = 0, k = 0, d = 0;
+    for (const Event &e : ex.events) {
+        if (e.isInit)
+            continue;
+        if (e.ann == Ann::SyncRcu)
+            k = e.id;
+        else if (e.isWrite() && e.loc == 1)
+            c = e.id; // W y
+        else if (e.isWrite() && e.loc == 0)
+            d = e.id; // W x
+    }
+    EXPECT_TRUE(ex.gp().contains(c, k));
+    EXPECT_TRUE(ex.gp().contains(c, d));
+    EXPECT_FALSE(ex.gp().contains(d, c));
+}
+
+TEST(Execution, CritMatchesLockUnlock)
+{
+    CandidateExecution ex = firstCandidate(rcuMp());
+    ASSERT_EQ(ex.crit().count(), 1u);
+    auto [lock, unlock] = ex.crit().pairs()[0];
+    EXPECT_EQ(ex.events[lock].ann, Ann::RcuLock);
+    EXPECT_EQ(ex.events[unlock].ann, Ann::RcuUnlock);
+    EXPECT_TRUE(ex.po.contains(lock, unlock));
+
+    // rscs pairs events inside the section, both ways (Section 4.2:
+    // "(a,b), (b,a) ... are in rscs").
+    EventId a = 0, bb = 0;
+    for (const Event &e : ex.events) {
+        if (e.isRead() && e.loc == 0)
+            a = e.id;
+        if (e.isRead() && e.loc == 1)
+            bb = e.id;
+    }
+    EXPECT_TRUE(ex.rscs().contains(a, bb));
+    EXPECT_TRUE(ex.rscs().contains(bb, a));
+    EXPECT_TRUE(ex.rscs().contains(a, a));
+}
+
+TEST(Execution, IntExtPartition)
+{
+    CandidateExecution ex = firstCandidate(mp());
+    for (const Event &e1 : ex.events) {
+        for (const Event &e2 : ex.events) {
+            const bool internal = ex.intRel().contains(e1.id, e2.id);
+            EXPECT_NE(internal, ex.extRel().contains(e1.id, e2.id));
+            if (internal) {
+                EXPECT_EQ(e1.tid, e2.tid);
+                EXPECT_GE(e1.tid, 0);
+            }
+        }
+    }
+}
+
+// Structural invariants over all candidates of all catalog tests.
+class ExecutionInvariants
+    : public ::testing::TestWithParam<std::size_t>
+{
+  public:
+    static std::vector<CatalogEntry> entries;
+};
+
+std::vector<CatalogEntry> ExecutionInvariants::entries = table5();
+
+TEST_P(ExecutionInvariants, HoldOnEveryCandidate)
+{
+    const Program &p = entries[GetParam()].prog;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        const std::size_t n = ex.numEvents();
+
+        // rf is functional into reads: every read has exactly one
+        // source; sources are writes to the same location with the
+        // same value.
+        for (const Event &e : ex.events) {
+            if (!e.isRead())
+                continue;
+            std::size_t sources = 0;
+            for (EventId w = 0; w < n; ++w) {
+                if (!ex.rf.contains(w, e.id))
+                    continue;
+                ++sources;
+                EXPECT_TRUE(ex.events[w].isWrite());
+                EXPECT_EQ(ex.events[w].loc, e.loc);
+                EXPECT_EQ(ex.events[w].value, e.value);
+            }
+            EXPECT_EQ(sources, 1u);
+        }
+
+        // co is a strict total order per location, init first.
+        for (const Event &w1 : ex.events) {
+            if (!w1.isWrite())
+                continue;
+            EXPECT_FALSE(ex.co.contains(w1.id, w1.id));
+            for (const Event &w2 : ex.events) {
+                if (!w2.isWrite() || w1.id == w2.id)
+                    continue;
+                if (w1.loc == w2.loc) {
+                    EXPECT_NE(ex.co.contains(w1.id, w2.id),
+                              ex.co.contains(w2.id, w1.id));
+                } else {
+                    EXPECT_FALSE(ex.co.contains(w1.id, w2.id));
+                }
+            }
+            if (w1.isInit) {
+                for (const Event &w2 : ex.events) {
+                    if (w2.isWrite() && !w2.isInit &&
+                        w2.loc == w1.loc) {
+                        EXPECT_TRUE(ex.co.contains(w1.id, w2.id));
+                    }
+                }
+            }
+        }
+
+        // fr = rf^-1; co, and com components partition sensibly.
+        EXPECT_EQ(ex.fr(), ex.rf.inverse().seq(ex.co));
+        EXPECT_EQ(ex.com(), ex.rf | ex.co | ex.fr());
+        EXPECT_EQ(ex.rfi() | ex.rfe(), ex.rf);
+        EXPECT_TRUE((ex.rfi() & ex.rfe()).empty());
+
+        // Dependencies originate at reads and stay intra-thread.
+        for (auto [a, b] : (ex.addr | ex.data | ex.ctrl).pairs()) {
+            EXPECT_TRUE(ex.events[a].isRead());
+            EXPECT_EQ(ex.events[a].tid, ex.events[b].tid);
+            EXPECT_TRUE(ex.po.contains(a, b));
+        }
+
+        // rmw links adjacent same-location read/write pairs.
+        for (auto [r, w] : ex.rmw.pairs()) {
+            EXPECT_TRUE(ex.events[r].isRead());
+            EXPECT_TRUE(ex.events[w].isWrite());
+            EXPECT_EQ(ex.events[r].loc, ex.events[w].loc);
+            EXPECT_TRUE(ex.po.contains(r, w));
+        }
+
+        // po is a strict order, intra-thread only, no init events.
+        EXPECT_TRUE(ex.po.irreflexive());
+        EXPECT_TRUE(ex.po.seq(ex.po).subsetOf(ex.po));
+        return true;
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5, ExecutionInvariants,
+    ::testing::Range<std::size_t>(0, table5().size()),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        std::string name = table5()[info.param].prog.name;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the litmus text-format parser: round-trips against the
+ * programmatically-built catalog tests, all primitive forms, and
+ * error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "litmus/parser.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+Verdict
+lkmmVerdict(const Program &p)
+{
+    LkmmModel model;
+    return runTest(p, model).verdict;
+}
+
+TEST(LitmusParser, MpWmbRmb)
+{
+    Program p = parseLitmus(R"(
+C MP+wmb+rmb
+
+{ x=0; y=0; }
+
+P0(int *x, int *y) {
+    WRITE_ONCE(*x, 1);
+    smp_wmb();
+    WRITE_ONCE(*y, 1);
+}
+
+P1(int *x, int *y) {
+    int r0 = READ_ONCE(*y);
+    smp_rmb();
+    int r1 = READ_ONCE(*x);
+}
+
+exists (1:r0=1 /\ 1:r1=0)
+)");
+    EXPECT_EQ(p.name, "MP+wmb+rmb");
+    EXPECT_EQ(p.numThreads(), 2);
+    EXPECT_EQ(p.numLocs(), 2);
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Forbid);
+
+    // Identical verdict set to the built-in catalog version.
+    LkmmModel model;
+    RunResult parsed = runTest(p, model);
+    RunResult built = runTest(mpWmbRmb(), model);
+    EXPECT_EQ(parsed.candidates, built.candidates);
+    EXPECT_EQ(parsed.allowedCandidates, built.allowedCandidates);
+}
+
+TEST(LitmusParser, ControlDependency)
+{
+    Program p = parseLitmus(R"(
+C LB+ctrl+mb
+{ x=0; y=0; }
+P0(int *x, int *y) {
+    int r0 = READ_ONCE(*x);
+    if (r0 == 1) {
+        WRITE_ONCE(*y, 1);
+    }
+}
+P1(int *x, int *y) {
+    int r0 = READ_ONCE(*y);
+    smp_mb();
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r0=1 /\ 1:r0=1)
+)");
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Forbid);
+}
+
+TEST(LitmusParser, RcuPrimitivesAndPointers)
+{
+    Program p = parseLitmus(R"(
+C RCU-publish
+{ u=0; z=0; p=&z; }
+P0(int *u, int **p) {
+    WRITE_ONCE(*u, 9);
+    rcu_assign_pointer(*p, &u);
+}
+P1(int **p, int *u) {
+    rcu_read_lock();
+    int r0 = rcu_dereference(*p);
+    int r1 = READ_ONCE(*r0);
+    rcu_read_unlock();
+}
+exists (1:r0=&u /\ 1:r1=0)
+)");
+    // rcu_assign_pointer is a release and rcu_dereference carries
+    // an address dependency followed by rb-dep: forbidden.
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Forbid);
+}
+
+TEST(LitmusParser, SynchronizeRcu)
+{
+    Program p = parseLitmus(R"(
+C RCU-MP
+{ x=0; y=0; }
+P0(int *x, int *y) {
+    rcu_read_lock();
+    int r0 = READ_ONCE(*x);
+    int r1 = READ_ONCE(*y);
+    rcu_read_unlock();
+}
+P1(int *x, int *y) {
+    WRITE_ONCE(*y, 1);
+    synchronize_rcu();
+    WRITE_ONCE(*x, 1);
+}
+exists (0:r0=1 /\ 0:r1=0)
+)");
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Forbid);
+}
+
+TEST(LitmusParser, XchgAndSpinlock)
+{
+    Program p = parseLitmus(R"(
+C locked-increment
+{ l=0; c=0; }
+P0(int *l, int *c) {
+    spin_lock(*l);
+    int r0 = READ_ONCE(*c);
+    WRITE_ONCE(*c, r0 + 1);
+    spin_unlock(*l);
+}
+P1(int *l, int *c) {
+    spin_lock(*l);
+    int r0 = READ_ONCE(*c);
+    WRITE_ONCE(*c, r0 + 1);
+    spin_unlock(*l);
+}
+forall (c=2)
+)");
+    EXPECT_EQ(p.quantifier, Quantifier::Forall);
+    // Mutual exclusion: every allowed execution ends with c=2.
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Allow);
+}
+
+TEST(LitmusParser, XchgFamily)
+{
+    Program p = parseLitmus(R"(
+C xchg-test
+{ x=0; }
+P0(int *x) {
+    int r0 = xchg(*x, 1);
+    int r1 = xchg_relaxed(*x, 2);
+}
+exists (0:r0=0 /\ 0:r1=1 /\ x=2)
+)");
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Allow);
+
+    Program q = parseLitmus(R"(
+C xchg-test-2
+{ x=0; y=0; }
+P0(int *x, int *y) {
+    int r0 = xchg_acquire(*x, 3);
+    int r1 = xchg_release(*y, 4);
+}
+exists (0:r0=0 /\ 0:r1=0)
+)");
+    EXPECT_EQ(lkmmVerdict(q), Verdict::Allow);
+
+    Program s = parseLitmus(R"(
+C cmpxchg-add
+{ x=4; }
+P0(int *x) {
+    int r0 = cmpxchg(*x, 4, 5);
+    int r1 = atomic_add_return(10, *x);
+}
+exists (0:r0=4 /\ 0:r1=15 /\ x=15)
+)");
+    EXPECT_EQ(lkmmVerdict(s), Verdict::Allow);
+}
+
+TEST(LitmusParser, ArrayIndexingFalseDependency)
+{
+    Program p = parseLitmus(R"(
+C MP+addr
+{ a=0; y=0; }
+P0(int *a, int *y) {
+    WRITE_ONCE(*a, 1);
+    smp_wmb();
+    WRITE_ONCE(*y, 1);
+}
+P1(int *a, int *y) {
+    int r0 = READ_ONCE(*y);
+    int r1 = READ_ONCE(a[r0 ^ r0]);
+}
+exists (1:r0=1 /\ 1:r1=0)
+)");
+    // Read-read address dependency without rb-dep: allowed (Alpha).
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Allow);
+}
+
+TEST(LitmusParser, CommentsAndForall)
+{
+    Program p = parseLitmus(R"(
+C commented // trailing comment
+/* block
+   comment */
+{ x=7; }
+P0(int *x) {
+    int r0 = READ_ONCE(*x); // read it
+}
+forall (0:r0=7)
+)");
+    EXPECT_EQ(p.initValue(0), 7);
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Allow);
+}
+
+TEST(LitmusParser, Errors)
+{
+    EXPECT_THROW(parseLitmus("D Bad\n"), FatalError);
+    EXPECT_THROW(parseLitmus("C t\nP0(int *x) { garbage(); }\n"
+                             "exists (0:r0=1)"),
+                 FatalError);
+    EXPECT_THROW(parseLitmus("C t\nP0(int *x) { int r0 = "
+                             "READ_ONCE(*x); }\n"),
+                 FatalError);
+    EXPECT_THROW(parseLitmus("C t\nP0(int *x) { int r0 = "
+                             "READ_ONCE(*x); }\nexists (0:r9=1)"),
+                 FatalError);
+}
+
+TEST(LitmusParser, Table5RoundTrip)
+{
+    // Textual versions of several Table 5 rows give verdicts
+    // matching the catalog.
+    const char *sb_text = R"(
+C SB+mbs
+{ x=0; y=0; }
+P0(int *x, int *y) {
+    WRITE_ONCE(*x, 1);
+    smp_mb();
+    int r0 = READ_ONCE(*y);
+}
+P1(int *x, int *y) {
+    WRITE_ONCE(*y, 1);
+    smp_mb();
+    int r0 = READ_ONCE(*x);
+}
+exists (0:r0=0 /\ 1:r0=0)
+)";
+    EXPECT_EQ(lkmmVerdict(parseLitmus(sb_text)), Verdict::Forbid);
+
+    const char *wrc_text = R"(
+C WRC+po-rel+rmb
+{ x=0; y=0; }
+P0(int *x) {
+    WRITE_ONCE(*x, 1);
+}
+P1(int *x, int *y) {
+    int r0 = READ_ONCE(*x);
+    smp_store_release(*y, 1);
+}
+P2(int *x, int *y) {
+    int r0 = READ_ONCE(*y);
+    smp_rmb();
+    int r1 = READ_ONCE(*x);
+}
+exists (1:r0=1 /\ 2:r0=1 /\ 2:r1=0)
+)";
+    EXPECT_EQ(lkmmVerdict(parseLitmus(wrc_text)), Verdict::Forbid);
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the runner facade (src/lkmm/runner): verdict semantics
+ * for exists and forall, witness and violation reporting, and the
+ * statistics surfaces the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+#include "model/sc_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+TEST(Runner, ExistsAllowReportsWitness)
+{
+    LkmmModel model;
+    // The witness borrows the program, so keep it alive.
+    Program p = sb();
+    RunResult res = runTest(p, model);
+    EXPECT_EQ(res.verdict, Verdict::Allow);
+    EXPECT_GT(res.witnesses, 0u);
+    ASSERT_TRUE(res.witness.has_value());
+    EXPECT_TRUE(res.witness->satisfiesCondition());
+    EXPECT_TRUE(model.allows(*res.witness));
+}
+
+TEST(Runner, ExistsForbidReportsViolation)
+{
+    LkmmModel model;
+    Program p = sbMbs();
+    RunResult res = runTest(p, model);
+    EXPECT_EQ(res.verdict, Verdict::Forbid);
+    EXPECT_EQ(res.witnesses, 0u);
+    EXPECT_FALSE(res.witness.has_value());
+    ASSERT_TRUE(res.sampleViolation.has_value());
+    EXPECT_FALSE(res.violationText.empty());
+    // The witness cycle references real events.
+    for (EventId e : res.sampleViolation->cycle)
+        EXPECT_LT(e, 8u);
+}
+
+TEST(Runner, CountsAreConsistent)
+{
+    LkmmModel model;
+    for (const CatalogEntry &e : table5()) {
+        RunResult res = runTest(e.prog, model);
+        EXPECT_LE(res.allowedCandidates, res.candidates);
+        EXPECT_LE(res.witnesses, res.allowedCandidates);
+        EXPECT_LE(res.allowedFinalStates.size(),
+                  res.allowedCandidates);
+        EXPECT_GT(res.candidates, 0u) << e.prog.name;
+    }
+}
+
+TEST(Runner, ForallSemantics)
+{
+    // forall (x=2) on the locked double-increment: every allowed
+    // execution satisfies it -> Allow.
+    LitmusBuilder b("locked-inc");
+    LocId l = b.loc("l"), x = b.loc("x");
+    for (int i = 0; i < 2; ++i) {
+        ThreadBuilder &t = b.thread();
+        t.spinLock(l);
+        RegRef r = t.readOnce(x);
+        t.writeOnce(x, Expr::binary(Expr::Op::Add, r,
+                                    Expr::constant(1)));
+        t.spinUnlock(l);
+    }
+    b.forall(b.memEq(x, 2));
+    Program p = b.build();
+
+    LkmmModel model;
+    EXPECT_EQ(runTest(p, model).verdict, Verdict::Allow);
+
+    // Without the lock, lost updates break the forall.
+    LitmusBuilder b2("racy-inc");
+    LocId x2 = b2.loc("x");
+    for (int i = 0; i < 2; ++i) {
+        ThreadBuilder &t = b2.thread();
+        RegRef r = t.readOnce(x2);
+        t.writeOnce(x2, Expr::binary(Expr::Op::Add, r,
+                                     Expr::constant(1)));
+    }
+    b2.forall(b2.memEq(x2, 2));
+    EXPECT_EQ(runTest(b2.build(), model).verdict, Verdict::Forbid);
+}
+
+TEST(Runner, QuickVerdictAgreesWithFullRun)
+{
+    LkmmModel model;
+    for (const CatalogEntry &e : table5()) {
+        SCOPED_TRACE(e.prog.name);
+        if (e.prog.quantifier != Quantifier::Exists)
+            continue;
+        EXPECT_EQ(quickVerdict(e.prog, model),
+                  runTest(e.prog, model).verdict);
+    }
+}
+
+TEST(Runner, AllowedStatesOfMpMatchTheThreeScOrders)
+{
+    // MP+wmb+rmb: exactly three allowed outcomes (r0,r1) in
+    // {(0,0), (0,1), (1,1)} — (1,0) is the forbidden one.
+    LkmmModel model;
+    Program p = mpWmbRmb();
+    RunResult res = runTest(p, model);
+    EXPECT_EQ(res.allowedFinalStates.size(), 3u);
+    for (const std::string &s : res.allowedFinalStates)
+        EXPECT_EQ(s.find("1:r0=1; 1:r1=0"), std::string::npos);
+}
+
+TEST(Runner, StrongerModelAllowsSubsetOfStates)
+{
+    // On every test, the SC-allowed state set is a subset of the
+    // LK-model-allowed state set.
+    LkmmModel lk;
+    ScModel sc;
+    for (const CatalogEntry &e : table5()) {
+        if (!e.c11Expected.has_value())
+            continue; // SC does not interpret RCU
+        RunResult weak = runTest(e.prog, lk);
+        RunResult strong = runTest(e.prog, sc);
+        for (const std::string &s : strong.allowedFinalStates) {
+            EXPECT_TRUE(weak.allowedFinalStates.count(s))
+                << e.prog.name << ": " << s;
+        }
+    }
+}
+
+} // namespace
+} // namespace lkmm

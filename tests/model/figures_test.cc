@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The paper's figures as executable tests: every "Forbidden" figure
+ * must be forbidden by the LK model, every unsynchronised sibling
+ * allowed — the "Model" column of Table 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+#include "model/sc_model.hh"
+#include "model/tso_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+Verdict
+lkmmVerdict(const Program &p)
+{
+    LkmmModel model;
+    return runTest(p, model).verdict;
+}
+
+TEST(Figures, Fig2MpWmbRmbForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(mpWmbRmb()), Verdict::Forbid);
+}
+
+TEST(Figures, MpAllowedWithoutFences)
+{
+    EXPECT_EQ(lkmmVerdict(mp()), Verdict::Allow);
+}
+
+TEST(Figures, Fig4LbCtrlMbForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(lbCtrlMb()), Verdict::Forbid);
+}
+
+TEST(Figures, LbAllowedWithoutSync)
+{
+    EXPECT_EQ(lkmmVerdict(lb()), Verdict::Allow);
+}
+
+TEST(Figures, LbDatasForbidden)
+{
+    // No out-of-thin-air: dependencies are respected (Section 7).
+    EXPECT_EQ(lkmmVerdict(lbDatas()), Verdict::Forbid);
+}
+
+TEST(Figures, Fig5WrcPoRelRmbForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(wrcPoRelRmb()), Verdict::Forbid);
+}
+
+TEST(Figures, WrcAllowedWithoutSync)
+{
+    EXPECT_EQ(lkmmVerdict(wrc()), Verdict::Allow);
+}
+
+TEST(Figures, Fig14WrcWmbAcqAllowed)
+{
+    // "there is no ideal equivalent of smp_wmb in C11": the LK
+    // model allows this, C11 forbids it (Section 5.2).
+    EXPECT_EQ(lkmmVerdict(wrcWmbAcq()), Verdict::Allow);
+}
+
+TEST(Figures, Fig6SbMbsForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(sbMbs()), Verdict::Forbid);
+}
+
+TEST(Figures, SbAllowedWithoutFences)
+{
+    EXPECT_EQ(lkmmVerdict(sb()), Verdict::Allow);
+}
+
+TEST(Figures, Fig7PeterZForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(peterZ()), Verdict::Forbid);
+}
+
+TEST(Figures, PeterZNoSynchroAllowed)
+{
+    EXPECT_EQ(lkmmVerdict(peterZNoSynchro()), Verdict::Allow);
+}
+
+TEST(Figures, Fig9MpWmbAddrAcqForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(mpWmbAddrAcq()), Verdict::Forbid);
+}
+
+TEST(Figures, Fig13RwcMbsForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(rwcMbs()), Verdict::Forbid);
+}
+
+TEST(Figures, RwcAllowedWithoutFences)
+{
+    EXPECT_EQ(lkmmVerdict(rwc()), Verdict::Allow);
+}
+
+TEST(Figures, Fig10RcuMpForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(rcuMp()), Verdict::Forbid);
+}
+
+TEST(Figures, Fig11RcuDeferredFreeForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(rcuDeferredFree()), Verdict::Forbid);
+}
+
+// Whole-table sweep against the paper's "Model" column.
+class Table5ModelColumn
+    : public ::testing::TestWithParam<std::size_t>
+{
+  public:
+    static std::vector<CatalogEntry> entries;
+};
+
+std::vector<CatalogEntry> Table5ModelColumn::entries = table5();
+
+TEST_P(Table5ModelColumn, MatchesPaper)
+{
+    const CatalogEntry &e = entries[GetParam()];
+    SCOPED_TRACE(e.prog.name);
+    EXPECT_EQ(lkmmVerdict(e.prog), e.lkmmExpected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, Table5ModelColumn,
+    ::testing::Range<std::size_t>(0, table5().size()),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        std::string name = table5()[info.param].prog.name;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// Violation diagnostics ------------------------------------------------
+
+TEST(Violations, Fig2ViolatesHb)
+{
+    LkmmModel model;
+    RunResult res = runTest(mpWmbRmb(), model);
+    ASSERT_TRUE(res.sampleViolation.has_value());
+    EXPECT_EQ(res.sampleViolation->axiom, "happens-before");
+    EXPECT_FALSE(res.violationText.empty());
+}
+
+TEST(Violations, Fig6ViolatesPb)
+{
+    LkmmModel model;
+    RunResult res = runTest(sbMbs(), model);
+    ASSERT_TRUE(res.sampleViolation.has_value());
+    EXPECT_EQ(res.sampleViolation->axiom, "propagates-before");
+}
+
+TEST(Violations, Fig10ViolatesRcu)
+{
+    LkmmModel model;
+    RunResult res = runTest(rcuMp(), model);
+    ASSERT_TRUE(res.sampleViolation.has_value());
+    EXPECT_EQ(res.sampleViolation->axiom, "rcu");
+}
+
+// Model hierarchy -------------------------------------------------------
+
+TEST(ModelHierarchy, ScForbidsEverythingTable5Forbids)
+{
+    // SC is the strongest *memory* model: anything the LK model
+    // forbids through ordering, SC forbids too.  The RCU rows are
+    // excluded: grace periods are a synchronisation guarantee beyond
+    // memory ordering, which plain SC does not interpret.
+    ScModel sc;
+    LkmmModel lk;
+    for (const CatalogEntry &e : table5()) {
+        if (!e.c11Expected.has_value())
+            continue; // RCU rows
+        SCOPED_TRACE(e.prog.name);
+        if (runTest(e.prog, lk).verdict == Verdict::Forbid) {
+            EXPECT_EQ(runTest(e.prog, sc).verdict, Verdict::Forbid);
+        }
+    }
+}
+
+TEST(ModelHierarchy, ScForbidsAllWeakIdioms)
+{
+    ScModel sc;
+    EXPECT_EQ(runTest(sb(), sc).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(mp(), sc).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(lb(), sc).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(wrc(), sc).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(rwc(), sc).verdict, Verdict::Forbid);
+}
+
+TEST(ModelHierarchy, TsoAllowsOnlySbAmongPlainIdioms)
+{
+    // The x86 column of Table 5: SB observed, MP/WRC/LB not.
+    TsoModel tso;
+    EXPECT_EQ(runTest(sb(), tso).verdict, Verdict::Allow);
+    EXPECT_EQ(runTest(mp(), tso).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(lb(), tso).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(wrc(), tso).verdict, Verdict::Forbid);
+    EXPECT_EQ(runTest(sbMbs(), tso).verdict, Verdict::Forbid);
+    // RWC and PeterZ-No-Synchro were observed on x86.
+    EXPECT_EQ(runTest(rwc(), tso).verdict, Verdict::Allow);
+    EXPECT_EQ(runTest(peterZNoSynchro(), tso).verdict, Verdict::Allow);
+}
+
+} // namespace
+} // namespace lkmm

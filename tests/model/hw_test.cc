@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The simulated-hardware side of Table 5: the Power, ARMv7, ARMv8,
+ * x86-TSO and Alpha models, under the kernel's per-architecture
+ * mapping of LK primitives.
+ *
+ * Two families of assertions reproduce the paper's experiment:
+ *  - soundness: every test the LK model forbids must be forbidden
+ *    by every architecture it targets (otherwise the kernel would
+ *    be broken on that machine);
+ *  - observability: every behaviour the paper *observed* on a
+ *    machine must be allowed by that machine's model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/alpha_model.hh"
+#include "model/armv8_model.hh"
+#include "model/lkmm_model.hh"
+#include "model/power_model.hh"
+#include "model/tso_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+bool
+isRcuTest(const CatalogEntry &e)
+{
+    return !e.c11Expected.has_value();
+}
+
+TEST(Hardware, LkmmSoundWrtEveryArchitecture)
+{
+    // LK-model-forbidden => architecture-forbidden, per test and
+    // per architecture (the kernel's portability contract).
+    LkmmModel lk;
+    PowerModel power(PowerModel::Flavor::Power);
+    PowerModel armv7(PowerModel::Flavor::Armv7);
+    Armv8Model armv8;
+    TsoModel tso;
+    AlphaModel alpha;
+    const std::vector<const Model *> archs{&power, &armv7, &armv8,
+                                           &tso, &alpha};
+
+    for (const CatalogEntry &e : table5()) {
+        if (isRcuTest(e))
+            continue; // hardware models do not interpret RCU
+        if (runTest(e.prog, lk).verdict != Verdict::Forbid)
+            continue;
+        for (const Model *m : archs) {
+            SCOPED_TRACE(e.prog.name + " on " + m->name());
+            EXPECT_EQ(quickVerdict(e.prog, *m), Verdict::Forbid);
+        }
+    }
+}
+
+TEST(Hardware, ObservedBehavioursAreAllowed)
+{
+    PowerModel power(PowerModel::Flavor::Power);
+    PowerModel armv7(PowerModel::Flavor::Armv7);
+    Armv8Model armv8;
+    TsoModel tso;
+
+    for (const CatalogEntry &e : table5()) {
+        SCOPED_TRACE(e.prog.name);
+        if (e.observedPower8) {
+            EXPECT_EQ(quickVerdict(e.prog, power), Verdict::Allow);
+        }
+        if (e.observedArmv7) {
+            EXPECT_EQ(quickVerdict(e.prog, armv7), Verdict::Allow);
+        }
+        if (e.observedArmv8) {
+            EXPECT_EQ(quickVerdict(e.prog, armv8), Verdict::Allow);
+        }
+        if (e.observedX86) {
+            EXPECT_EQ(quickVerdict(e.prog, tso), Verdict::Allow);
+        }
+    }
+}
+
+// Architecture-specific character tests --------------------------------
+
+TEST(Power, NotMultiCopyAtomic)
+{
+    // WRC with no synchronisation was observed on Power8
+    // (741k/7.7G): writes propagate to different observers at
+    // different times.
+    PowerModel power;
+    EXPECT_EQ(quickVerdict(wrc(), power), Verdict::Allow);
+    // TSO, being multi-copy atomic with ordered reads, forbids it.
+    TsoModel tso;
+    EXPECT_EQ(quickVerdict(wrc(), tso), Verdict::Forbid);
+}
+
+TEST(Power, LwsyncDoesNotOrderWriteToRead)
+{
+    // SB with smp_wmb/smp_rmb (lwsync on Power) stays allowed: only
+    // sync forbids store buffering.
+    LitmusBuilder b("SB+lwsyncs");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.wmb();
+    RegRef r1 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.wmb();
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 0), eq(r2, 0)));
+    Program p = b.build();
+
+    PowerModel power;
+    EXPECT_EQ(quickVerdict(p, power), Verdict::Allow);
+}
+
+TEST(Power, DependenciesPreserved)
+{
+    // LB+datas can never be observed on Power: no value speculation.
+    PowerModel power;
+    EXPECT_EQ(quickVerdict(lbDatas(), power), Verdict::Forbid);
+}
+
+TEST(Armv8, ReleaseAcquireIsSufficientForMp)
+{
+    LitmusBuilder b("MP+rel+acq");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.storeRelease(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.loadAcquire(y);
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    Program p = b.build();
+
+    Armv8Model armv8;
+    EXPECT_EQ(quickVerdict(p, armv8), Verdict::Forbid);
+}
+
+TEST(Armv8, DmbStOrdersOnlyWrites)
+{
+    // WRC+wmb+acq maps smp_wmb to dmb.ishst; the read before the
+    // fence is unordered, so ARMv8 allows it — consistent with the
+    // LK model allowing Figure 14.
+    Armv8Model armv8;
+    EXPECT_EQ(quickVerdict(wrcWmbAcq(), armv8), Verdict::Allow);
+}
+
+TEST(Armv8, OtherMultiCopyAtomic)
+{
+    // WRC with a data dependency in the middle thread and an
+    // address-ish ordering in the reader: the external
+    // communications + dob make it forbidden on ARMv8, unlike
+    // Power... but WRC with *no* dependencies stays allowed.
+    Armv8Model armv8;
+    EXPECT_EQ(quickVerdict(wrc(), armv8), Verdict::Allow);
+
+    LitmusBuilder b("WRC+data+rmb");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.readOnce(x);
+    t1.writeOnce(y, Expr(r1));
+    ThreadBuilder &t2 = b.thread();
+    RegRef r2 = t2.readOnce(y);
+    t2.rmb();
+    RegRef r3 = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), Cond::andOf(eq(r2, 1), eq(r3, 0))));
+    EXPECT_EQ(quickVerdict(b.build(), armv8), Verdict::Forbid);
+}
+
+TEST(Alpha, ReadReadAddressDependencyNotPreserved)
+{
+    // The reason smp_read_barrier_depends exists (Section 3.2.2).
+    // MP over a published pointer, no barrier: Alpha allows reading
+    // the new pointer but stale data.
+    auto make = [](bool with_rb_dep) {
+        LitmusBuilder b(with_rb_dep ? "MP+addr+rb-dep" : "MP+addr");
+        LocId u = b.loc("u");
+        LocId z = b.loc("z");
+        LocId p = b.loc("p");
+        b.initPtr(p, z);
+        ThreadBuilder &t0 = b.thread();
+        t0.writeOnce(u, 1);
+        t0.wmb();
+        t0.writeOnce(p, Expr::locRef(u));
+        ThreadBuilder &t1 = b.thread();
+        RegRef r1 = t1.readOnce(p);
+        if (with_rb_dep)
+            t1.readBarrierDepends();
+        RegRef r2 = t1.readOnce(Expr(r1));
+        b.exists(Cond::andOf(Cond::regEq(r1.tid, r1.reg, locToValue(u)),
+                             eq(r2, 0)));
+        return b.build();
+    };
+
+    AlphaModel alpha;
+    EXPECT_EQ(quickVerdict(make(false), alpha), Verdict::Allow);
+    EXPECT_EQ(quickVerdict(make(true), alpha), Verdict::Forbid);
+
+    // The LK model mirrors Alpha exactly here: without the barrier
+    // it must allow (it reflects "only the ordering provided by the
+    // hardware", Section 3.2.1), with it, forbid.
+    LkmmModel lk;
+    EXPECT_EQ(quickVerdict(make(false), lk), Verdict::Allow);
+    EXPECT_EQ(quickVerdict(make(true), lk), Verdict::Forbid);
+
+    // All other architectures preserve the dependency even without
+    // the barrier.
+    PowerModel power;
+    Armv8Model armv8;
+    TsoModel tso;
+    EXPECT_EQ(quickVerdict(make(false), power), Verdict::Forbid);
+    EXPECT_EQ(quickVerdict(make(false), armv8), Verdict::Forbid);
+    EXPECT_EQ(quickVerdict(make(false), tso), Verdict::Forbid);
+}
+
+TEST(Alpha, DependencyIntoWritePreserved)
+{
+    AlphaModel alpha;
+    EXPECT_EQ(quickVerdict(lbDatas(), alpha), Verdict::Forbid);
+}
+
+TEST(Armv7, AcquireCostsFullFence)
+{
+    // ARMv7 implements smp_load_acquire with a full fence
+    // (Section 3.2.2), so even SB-via-acquire shapes get ordered;
+    // at minimum, everything ARMv8 forbids in Table 5, ARMv7
+    // forbids too.
+    PowerModel armv7(PowerModel::Flavor::Armv7);
+    Armv8Model armv8;
+    for (const CatalogEntry &e : table5()) {
+        if (isRcuTest(e))
+            continue;
+        SCOPED_TRACE(e.prog.name);
+        if (quickVerdict(e.prog, armv8) == Verdict::Forbid) {
+            EXPECT_EQ(quickVerdict(e.prog, armv7), Verdict::Forbid);
+        }
+    }
+}
+
+TEST(Hierarchy, TsoStrongerThanPowerOnTable5)
+{
+    // Everything TSO allows, Power allows (Power is weaker).
+    TsoModel tso;
+    PowerModel power;
+    for (const CatalogEntry &e : table5()) {
+        if (isRcuTest(e))
+            continue;
+        SCOPED_TRACE(e.prog.name);
+        if (quickVerdict(e.prog, tso) == Verdict::Allow) {
+            EXPECT_EQ(quickVerdict(e.prog, power), Verdict::Allow);
+        }
+    }
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * The classic idiom families beyond Table 5 — IRIW, ISA2, R, S, LB
+ * variants — under the LK model, plus two systematic properties the
+ * paper states:
+ *
+ *  - "smp_mb restores SC" (Section 5.2): any critical cycle whose
+ *    program-order edges are all smp_mb-fenced is forbidden;
+ *  - acquire/release chains: rfe cycles closed entirely by acq-po /
+ *    po-rel edges are hb cycles, hence forbidden.
+ */
+
+#include <gtest/gtest.h>
+
+#include "diy/generator.hh"
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+#include "model/power_model.hh"
+#include "model/sc_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+Verdict
+lkmmVerdict(const Program &p)
+{
+    LkmmModel model;
+    return quickVerdict(p, model);
+}
+
+Program
+iriw(bool with_mbs)
+{
+    LitmusBuilder b(with_mbs ? "IRIW+mbs" : "IRIW");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &w0 = b.thread();
+    w0.writeOnce(x, 1);
+    ThreadBuilder &w1 = b.thread();
+    w1.writeOnce(y, 1);
+    ThreadBuilder &r0 = b.thread();
+    RegRef a = r0.readOnce(x);
+    if (with_mbs)
+        r0.mb();
+    RegRef c = r0.readOnce(y);
+    ThreadBuilder &r1 = b.thread();
+    RegRef d = r1.readOnce(y);
+    if (with_mbs)
+        r1.mb();
+    RegRef e = r1.readOnce(x);
+    // The two readers disagree on the order of the writes.
+    b.exists(Cond::andOf(Cond::andOf(eq(a, 1), eq(c, 0)),
+                         Cond::andOf(eq(d, 1), eq(e, 0))));
+    return b.build();
+}
+
+TEST(Idioms, IriwAllowedWithoutFences)
+{
+    // LK inherits non-multi-copy-atomicity from Power.
+    EXPECT_EQ(lkmmVerdict(iriw(false)), Verdict::Allow);
+}
+
+TEST(Idioms, IriwForbiddenWithMbs)
+{
+    EXPECT_EQ(lkmmVerdict(iriw(true)), Verdict::Forbid);
+}
+
+TEST(Idioms, IriwWithAddrDepsStillAllowed)
+{
+    // IRIW+addrs: dependencies do not restore multi-copy atomicity
+    // (observable on Power).
+    LitmusBuilder b("IRIW+addrs");
+    LocId x = b.array("x", 2);
+    LocId y = b.array("y", 2);
+    ThreadBuilder &w0 = b.thread();
+    w0.writeOnce(x, 1);
+    ThreadBuilder &w1 = b.thread();
+    w1.writeOnce(y, 1);
+    ThreadBuilder &r0 = b.thread();
+    RegRef a = r0.readOnce(x);
+    RegRef c = r0.readOnce(
+        Expr::index(y, Expr::binary(Expr::Op::Xor, a, a)));
+    ThreadBuilder &r1 = b.thread();
+    RegRef d = r1.readOnce(y);
+    RegRef e = r1.readOnce(
+        Expr::index(x, Expr::binary(Expr::Op::Xor, d, d)));
+    b.exists(Cond::andOf(Cond::andOf(eq(a, 1), eq(c, 0)),
+                         Cond::andOf(eq(d, 1), eq(e, 0))));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Allow);
+}
+
+TEST(Idioms, MpReleaseAcquireForbidden)
+{
+    // po-rel and acq-po are both in fence ⊆ ppo: the message-
+    // passing contract of smp_store_release/smp_load_acquire.
+    LitmusBuilder b("MP+po-rel+acq-po");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.storeRelease(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r1 = t1.loadAcquire(y);
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Forbid);
+}
+
+TEST(Idioms, Isa2ReleaseChainForbidden)
+{
+    // ISA2 with releases down the chain: cumul-fence composes
+    // (A-cumul(po-rel) chains through the rfe links), so the x
+    // ordering reaches T2 and prop ∩ int closes an hb cycle there.
+    LitmusBuilder b("ISA2+po-rel+po-rel+acq-po");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.storeRelease(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef a = t1.readOnce(y);
+    t1.storeRelease(z, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef c = t2.loadAcquire(z);
+    RegRef d = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(a, 1), Cond::andOf(eq(c, 1), eq(d, 0))));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Forbid);
+}
+
+TEST(Idioms, Isa2AcquireOnlyMiddleAllowedButPowerForbids)
+{
+    // With a *plain* write in the middle thread, the cumul-fence
+    // chain stops at T1 (acq-po is not A-cumulative): the paper's
+    // model allows the outcome.  Power's lwsync-implemented acquire
+    // is cumulative, so the Power model forbids it — the model is
+    // the envelope, not the intersection, of its targets.
+    LitmusBuilder b("ISA2+po-rel+acq-po+acq-po");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.storeRelease(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef a = t1.loadAcquire(y);
+    t1.writeOnce(z, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef c = t2.loadAcquire(z);
+    RegRef d = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(a, 1), Cond::andOf(eq(c, 1), eq(d, 0))));
+    Program p = b.build();
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Allow);
+    PowerModel power;
+    EXPECT_EQ(quickVerdict(p, power), Verdict::Forbid);
+}
+
+TEST(Idioms, Isa2UnsynchronisedAllowed)
+{
+    LitmusBuilder b("ISA2");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef a = t1.readOnce(y);
+    t1.writeOnce(z, 1);
+    ThreadBuilder &t2 = b.thread();
+    RegRef c = t2.readOnce(z);
+    RegRef d = t2.readOnce(x);
+    b.exists(Cond::andOf(eq(a, 1), Cond::andOf(eq(c, 1), eq(d, 0))));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Allow);
+}
+
+TEST(Idioms, LbWithAcquiresForbidden)
+{
+    // acq-po orders the read before the write on both threads.
+    LitmusBuilder b("LB+acq-pos");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    RegRef r1 = t0.loadAcquire(x);
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r2 = t1.loadAcquire(y);
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 1)));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Forbid);
+}
+
+TEST(Idioms, LbWithCtrlsForbidden)
+{
+    // "the LK respects control dependencies between a read and a
+    // write" — on both sides, LB is gone.
+    LitmusBuilder b("LB+ctrls");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    RegRef r1 = t0.readOnce(x);
+    t0.iff(Expr::binary(Expr::Op::Eq, r1, Expr::constant(1)),
+           [&](ThreadBuilder &t) { t.writeOnce(y, 1); });
+    ThreadBuilder &t1 = b.thread();
+    RegRef r2 = t1.readOnce(y);
+    t1.iff(Expr::binary(Expr::Op::Eq, r2, Expr::constant(1)),
+           [&](ThreadBuilder &t) { t.writeOnce(x, 1); });
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 1)));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Forbid);
+}
+
+TEST(Idioms, RWithMbsForbidden)
+{
+    // R: write-write race observed through a read.
+    LitmusBuilder b("R+mbs");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.mb();
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 2);
+    t1.mb();
+    RegRef r = t1.readOnce(x);
+    b.exists(Cond::andOf(Cond::memEq(y, 2), eq(r, 0)));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Forbid);
+}
+
+TEST(Idioms, RWithoutFencesAllowed)
+{
+    LitmusBuilder b("R");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.writeOnce(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 2);
+    RegRef r = t1.readOnce(x);
+    b.exists(Cond::andOf(Cond::memEq(y, 2), eq(r, 0)));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Allow);
+}
+
+TEST(Idioms, SWithReleaseAndDataAllowedButPowerForbids)
+{
+    // S: Wx=2 released into Wy; the reader writes x=1 (data dep),
+    // co places it before Wx=2.  The paper's model has no
+    // coherence-including propagation axiom, so this is Allowed —
+    // while the Power model (propagation: acyclic(co ∪ prop))
+    // forbids it.  Another "machines stronger than the model" case.
+    LitmusBuilder b("S+po-rel+data");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 2);
+    t0.storeRelease(y, 1);
+    ThreadBuilder &t1 = b.thread();
+    RegRef r = t1.readOnce(y);
+    t1.writeOnce(x, Expr(r)); // data dependency, writes 1
+    b.exists(Cond::andOf(eq(r, 1), Cond::memEq(x, 2)));
+    Program p = b.build();
+
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Forbid);
+    PowerModel power;
+    EXPECT_EQ(quickVerdict(p, power), Verdict::Forbid);
+}
+
+TEST(Idioms, ThreeThreadSbRing)
+{
+    auto make = [](bool fenced) {
+        LitmusBuilder b(fenced ? "3.SB+mbs" : "3.SB");
+        LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+        const LocId locs[3] = {x, y, z};
+        std::vector<RegRef> regs;
+        for (int t = 0; t < 3; ++t) {
+            ThreadBuilder &tb = b.thread();
+            tb.writeOnce(locs[t], 1);
+            if (fenced)
+                tb.mb();
+            regs.push_back(tb.readOnce(locs[(t + 1) % 3]));
+        }
+        b.exists(Cond::andOf(eq(regs[0], 0),
+                             Cond::andOf(eq(regs[1], 0),
+                                         eq(regs[2], 0))));
+        return b.build();
+    };
+    EXPECT_EQ(lkmmVerdict(make(false)), Verdict::Allow);
+    EXPECT_EQ(lkmmVerdict(make(true)), Verdict::Forbid);
+}
+
+// Systematic properties --------------------------------------------
+
+TEST(Property, SmpMbRestoresSc)
+{
+    // Section 5.2: "smp_mb 'restores SC'".  For any critical cycle
+    // whose po edges are ALL smp_mb-fenced, the LK verdict equals
+    // the SC verdict (Forbid, since critical cycles are non-SC).
+    const EvKind R = EvKind::Read;
+    const EvKind W = EvKind::Write;
+    using S = DiyEdge::Synchro;
+    std::vector<DiyEdge> alphabet{
+        DiyEdge::rfe(), DiyEdge::fre(), DiyEdge::coe(),
+        DiyEdge::po(R, R, S::Mb), DiyEdge::po(R, W, S::Mb),
+        DiyEdge::po(W, R, S::Mb), DiyEdge::po(W, W, S::Mb),
+    };
+    LkmmModel lk;
+    ScModel sc;
+    std::size_t checked = 0;
+    for (std::size_t len = 4; len <= 5; ++len) {
+        for (const Program &p : enumerateCycles(alphabet, len, 400)) {
+            if (checked++ % 5 != 0)
+                continue;
+            EXPECT_EQ(quickVerdict(p, lk), Verdict::Forbid) << p.name;
+            EXPECT_EQ(quickVerdict(p, sc), Verdict::Forbid) << p.name;
+        }
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(Property, ReleaseAcquireChainsForbidRfeCycles)
+{
+    // A cycle of rfe edges closed by acq-po / po-rel program-order
+    // edges is an hb cycle: every such test must be forbidden.
+    const EvKind R = EvKind::Read;
+    const EvKind W = EvKind::Write;
+    using S = DiyEdge::Synchro;
+    std::vector<DiyEdge> alphabet{
+        DiyEdge::rfe(),
+        DiyEdge::po(R, W, S::Acquire), // acquire read source
+        DiyEdge::po(R, W, S::Release), // release write target
+    };
+    LkmmModel lk;
+    std::size_t checked = 0;
+    for (std::size_t len = 4; len <= 6; ++len) {
+        for (const Program &p : enumerateCycles(alphabet, len, 200)) {
+            ++checked;
+            EXPECT_EQ(quickVerdict(p, lk), Verdict::Forbid) << p.name;
+        }
+    }
+    EXPECT_GT(checked, 10u);
+}
+
+} // namespace
+} // namespace lkmm

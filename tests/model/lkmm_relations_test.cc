@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The paper's Section 3.2 walkthroughs, as assertions on the
+ * LkmmRelations of concrete candidate executions: every "thus
+ * (x, y) ∈ r" sentence in the paper becomes an EXPECT_TRUE here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+/** The candidate satisfying the exists clause (the figures' one). */
+CandidateExecution
+witnessCandidate(const Program &p)
+{
+    CandidateExecution out;
+    bool found = false;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (ex.satisfiesCondition()) {
+            out = ex;
+            found = true;
+            return false;
+        }
+        return true;
+    });
+    EXPECT_TRUE(found) << p.name;
+    return out;
+}
+
+EventId
+findEvent(const CandidateExecution &ex, int tid, EvKind kind, LocId loc)
+{
+    for (const Event &e : ex.events) {
+        if (!e.isInit && e.tid == tid && e.kind == kind && e.loc == loc)
+            return e.id;
+    }
+    ADD_FAILURE() << "event not found";
+    return 0;
+}
+
+TEST(PaperWalkthrough, Fig4_CtrlInPpo)
+{
+    // "there is a control dependency between a and b; thus
+    // (a, b) ∈ ppo" and "(c, d) ∈ mb; thus (c, d) ∈ ppo"; the four
+    // edges close a cycle in hb.
+    CandidateExecution ex = witnessCandidate(lbCtrlMb());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId a = findEvent(ex, 0, EvKind::Read, 0);   // Rx
+    EventId b = findEvent(ex, 0, EvKind::Write, 1);  // Wy
+    EventId c = findEvent(ex, 1, EvKind::Read, 1);   // Ry
+    EventId d = findEvent(ex, 1, EvKind::Write, 0);  // Wx
+
+    EXPECT_TRUE(ex.ctrl.contains(a, b));
+    EXPECT_TRUE(r.ppo.contains(a, b));
+    EXPECT_TRUE(ex.mbRel().contains(c, d));
+    EXPECT_TRUE(r.ppo.contains(c, d));
+    EXPECT_TRUE(ex.rfe().contains(b, c));
+    EXPECT_TRUE(ex.rfe().contains(d, a));
+    EXPECT_FALSE(r.hb.acyclic());
+}
+
+TEST(PaperWalkthrough, Fig5_ACumulativity)
+{
+    // "Since b reads the write a, (a, b) ∈ rfe and thus
+    // (a, c) ∈ A-cumul(po-rel); hence (a, c) ∈ cumul-fence."
+    // Then "(e, d) ∈ (prop \ id) ∩ int" and "(d, e) ∈ ppo" close
+    // the hb cycle.
+    CandidateExecution ex = witnessCandidate(wrcPoRelRmb());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId a = findEvent(ex, 0, EvKind::Write, 0);  // Wx
+    EventId b = findEvent(ex, 1, EvKind::Read, 0);   // Rx
+    EventId c = findEvent(ex, 1, EvKind::Write, 1);  // Wy rel
+    EventId d = findEvent(ex, 2, EvKind::Read, 1);   // Ry
+    EventId e = findEvent(ex, 2, EvKind::Read, 0);   // Rx
+
+    EXPECT_TRUE(ex.rfe().contains(a, b));
+    EXPECT_TRUE(ex.poRel().contains(b, c));
+    EXPECT_TRUE(r.cumulFence.contains(a, c));
+    EXPECT_TRUE(r.prop.contains(e, d));
+    EXPECT_TRUE(ex.intRel().contains(e, d));
+    EXPECT_TRUE(r.hb.contains(e, d));
+    EXPECT_TRUE(r.ppo.contains(d, e));
+    EXPECT_FALSE(r.hb.acyclic());
+}
+
+TEST(PaperWalkthrough, Fig2_PropPairs)
+{
+    // "In Figure 2, a and b are separated by an smp_wmb fence; thus
+    // they are related by prop.  d is overwritten by a; thus
+    // (d, b) ∈ prop."
+    CandidateExecution ex = witnessCandidate(mpWmbRmb());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId a = findEvent(ex, 0, EvKind::Write, 0);  // Wx
+    EventId b = findEvent(ex, 0, EvKind::Write, 1);  // Wy
+    EventId d = findEvent(ex, 1, EvKind::Read, 0);   // Rx = 0
+
+    EXPECT_TRUE(r.prop.contains(a, b));
+    EXPECT_TRUE(r.overwrite.contains(d, a)); // d fr a
+    EXPECT_TRUE(r.prop.contains(d, b));
+}
+
+TEST(PaperWalkthrough, Fig6_PbCycle)
+{
+    // "(d, a) ∈ prop ... (d, b) ∈ pb.  By symmetry we also have
+    // (b, d) ∈ pb, hence a cycle in pb."
+    CandidateExecution ex = witnessCandidate(sbMbs());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId a = findEvent(ex, 0, EvKind::Write, 0);  // Wx
+    EventId b = findEvent(ex, 0, EvKind::Read, 1);   // Ry = 0
+    EventId c = findEvent(ex, 1, EvKind::Write, 1);  // Wy
+    EventId d = findEvent(ex, 1, EvKind::Read, 0);   // Rx = 0
+
+    EXPECT_TRUE(r.prop.contains(d, a));
+    EXPECT_TRUE(r.strongFence.contains(a, b));
+    EXPECT_TRUE(r.pb.contains(d, b));
+    EXPECT_TRUE(r.prop.contains(b, c));
+    EXPECT_TRUE(r.pb.contains(b, d));
+    EXPECT_FALSE(r.pb.acyclic());
+}
+
+TEST(PaperWalkthrough, Fig7_PropThroughRelease)
+{
+    // "b is overwritten by c and the release d is read by e; thus
+    // (b, e) ∈ prop" and the two strong fences close the pb cycle.
+    CandidateExecution ex = witnessCandidate(peterZ());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId a = findEvent(ex, 0, EvKind::Write, 0);  // Wx
+    EventId b = findEvent(ex, 0, EvKind::Read, 1);   // Ry = 0
+    EventId e = findEvent(ex, 2, EvKind::Read, 2);   // Rz = 1
+    EventId f = findEvent(ex, 2, EvKind::Read, 0);   // Rx = 0
+
+    EXPECT_TRUE(r.prop.contains(b, e));
+    EXPECT_TRUE(r.pb.contains(b, f));
+    EXPECT_TRUE(r.prop.contains(f, a));
+    EXPECT_TRUE(r.pb.contains(f, b));
+    EXPECT_FALSE(r.pb.acyclic());
+}
+
+TEST(PaperWalkthrough, Fig9_RrdepPrefix)
+{
+    // "d is address-dependent on c, thus (c, d) ∈ rrdep; and d is
+    // an acquire, thus (d, e) ∈ acq-po ... Therefore (c, e) ∈ ppo."
+    CandidateExecution ex = witnessCandidate(mpWmbAddrAcq());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId c = findEvent(ex, 1, EvKind::Read, 3);  // R p
+    EventId d = findEvent(ex, 1, EvKind::Read, 2);  // acquire R u
+    EventId e = findEvent(ex, 1, EvKind::Read, 0);  // R x
+
+    EXPECT_TRUE(r.rrdep.contains(c, d));
+    EXPECT_TRUE(ex.acqPo().contains(d, e));
+    EXPECT_TRUE(r.ppo.contains(c, e));
+}
+
+TEST(PaperWalkthrough, Fig10_RcuPathCycle)
+{
+    // Section 4.2: gp-link (c -> a) and rscs-link (a -> c) close
+    // the rcu-path cycle.
+    CandidateExecution ex = witnessCandidate(rcuMp());
+    LkmmModel model;
+    LkmmRelations r = model.buildRelations(ex);
+
+    EventId a = findEvent(ex, 0, EvKind::Read, 0);   // Rx = 1
+    EventId bb = findEvent(ex, 0, EvKind::Read, 1);  // Ry = 0
+    EventId c = findEvent(ex, 1, EvKind::Write, 1);  // Wy
+
+    EXPECT_TRUE(r.gpLink.contains(c, a));
+    EXPECT_TRUE(r.rscsLink.contains(a, c));
+    EXPECT_FALSE(r.rcuPath.irreflexive());
+
+    // And the pieces: (b, c) ∈ fre ⊆ prop ⊆ link.
+    EXPECT_TRUE(ex.fre().contains(bb, c));
+    EXPECT_TRUE(r.link.contains(bb, c));
+}
+
+TEST(PaperWalkthrough, ToWContainsInternalOverwrite)
+{
+    // to-w includes overwrite ∩ int: same-thread co/fr ordering.
+    LitmusBuilder b("internal-overwrite");
+    LocId x = b.loc("x");
+    ThreadBuilder &t0 = b.thread();
+    RegRef r0 = t0.readOnce(x);
+    t0.writeOnce(x, 1);
+    b.exists(eq(r0, 0));
+    Program p = b.build();
+
+    LkmmModel model;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (!ex.satisfiesCondition())
+            return true;
+        LkmmRelations r = model.buildRelations(ex);
+        EventId rd = findEvent(ex, 0, EvKind::Read, 0);
+        EventId wr = findEvent(ex, 0, EvKind::Write, 0);
+        // rd reads init, overwritten by wr: fr ∩ int ⊆ to-w ⊆ ppo.
+        EXPECT_TRUE(r.toW.contains(rd, wr));
+        EXPECT_TRUE(r.ppo.contains(rd, wr));
+        return false;
+    });
+}
+
+} // namespace
+} // namespace lkmm

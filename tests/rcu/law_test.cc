@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests of the fundamental law of RCU (Section 4.1): the precedes
+ * function F, the rcu-fence(F) relation, pb(F), and the grace-period
+ * counting rule of thumb (#GPs >= #RSCSes in a cycle).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+#include "rcu/law.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+/**
+ * One grace period vs two chained critical sections: the cycle has
+ * fewer GPs than RSCSes, so the rule of thumb says Allowed.
+ */
+Program
+oneGpTwoRscs()
+{
+    LitmusBuilder b("RCU+1gp+2rscs");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &u = b.thread();
+    u.writeOnce(x, 1);
+    u.synchronizeRcu();
+    u.writeOnce(y, 1);
+    ThreadBuilder &r1 = b.thread();
+    r1.rcuReadLock();
+    RegRef a = r1.readOnce(y);
+    r1.writeOnce(z, 1);
+    r1.rcuReadUnlock();
+    ThreadBuilder &r2 = b.thread();
+    r2.rcuReadLock();
+    RegRef c = r2.readOnce(z);
+    RegRef d = r2.readOnce(x);
+    r2.rcuReadUnlock();
+    b.exists(Cond::andOf(eq(a, 1), Cond::andOf(eq(c, 1), eq(d, 0))));
+    return b.build();
+}
+
+/** Two grace periods vs two critical sections: Forbidden. */
+Program
+twoGpTwoRscs()
+{
+    LitmusBuilder b("RCU+2gp+2rscs");
+    LocId x = b.loc("x"), y = b.loc("y");
+    LocId z = b.loc("z"), w = b.loc("w");
+    ThreadBuilder &u1 = b.thread();
+    u1.writeOnce(x, 1);
+    u1.synchronizeRcu();
+    u1.writeOnce(y, 1);
+    ThreadBuilder &r1 = b.thread();
+    r1.rcuReadLock();
+    RegRef a = r1.readOnce(y);
+    r1.writeOnce(z, 1);
+    r1.rcuReadUnlock();
+    ThreadBuilder &u2 = b.thread();
+    RegRef c = u2.readOnce(z);
+    u2.synchronizeRcu();
+    u2.writeOnce(w, 1);
+    ThreadBuilder &r2 = b.thread();
+    r2.rcuReadLock();
+    RegRef d = r2.readOnce(w);
+    RegRef e = r2.readOnce(x);
+    r2.rcuReadUnlock();
+    b.exists(Cond::andOf(
+        Cond::andOf(eq(a, 1), eq(c, 1)),
+        Cond::andOf(eq(d, 1), eq(e, 0))));
+    return b.build();
+}
+
+Verdict
+lkmmVerdict(const Program &p)
+{
+    LkmmModel model;
+    return runTest(p, model).verdict;
+}
+
+TEST(RcuLaw, Fig10ViolatesLawOnWitnessCandidates)
+{
+    Program p = rcuMp();
+    LkmmModel model;
+    bool saw_witness_shape = false;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (!ex.satisfiesCondition())
+            return true;
+        saw_witness_shape = true;
+        // The condition-satisfying executions violate the law: no
+        // precedes function saves them (Section 4.1's case split).
+        EXPECT_FALSE(satisfiesFundamentalLaw(ex));
+        return true;
+    });
+    EXPECT_TRUE(saw_witness_shape);
+}
+
+TEST(RcuLaw, Fig11ViolatesLawOnWitnessCandidates)
+{
+    Program p = rcuDeferredFree();
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (ex.satisfiesCondition()) {
+            EXPECT_FALSE(satisfiesFundamentalLaw(ex));
+        }
+        return true;
+    });
+}
+
+TEST(RcuLaw, AllowedCandidatesSatisfyLaw)
+{
+    // Every axiom-allowed candidate of RCU-MP satisfies the law.
+    Program p = rcuMp();
+    LkmmModel model;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        if (model.allows(ex)) {
+            EXPECT_TRUE(satisfiesFundamentalLaw(ex));
+        }
+        return true;
+    });
+}
+
+TEST(RcuLaw, CheckerFindsSectionsAndGps)
+{
+    Program p = rcuMp();
+    LkmmModel model;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        LkmmRelations rels = model.buildRelations(ex);
+        RcuLawChecker checker(ex, rels);
+        EXPECT_EQ(checker.criticalSections().size(), 1u);
+        EXPECT_EQ(checker.gracePeriods().size(), 1u);
+        EXPECT_EQ(checker.numPairs(), 1u);
+        return false; // one candidate suffices
+    });
+}
+
+TEST(RcuLaw, RcuFenceShapeMatchesPaper)
+{
+    // Section 4.1's walkthrough of Figure 10: with
+    // F(RSCS, GP) = RSCS, every event po-before the unlock is
+    // rcu-fence-related to the sync event and everything po-after.
+    Program p = rcuMp();
+    LkmmModel model;
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        LkmmRelations rels = model.buildRelations(ex);
+        RcuLawChecker checker(ex, rels);
+
+        // Identify events: reader's reads a (x) and b (y); updater's
+        // writes c (y) and d (x).
+        EventId a = 0, d = 0;
+        for (const Event &e : ex.events) {
+            if (e.isInit)
+                continue;
+            if (e.isRead() && e.loc == 0)
+                a = e.id; // reads x
+            if (e.isWrite() && e.loc == 0)
+                d = e.id; // writes x
+        }
+
+        Relation rscs_first = checker.rcuFence({Precedes::RscsFirst});
+        EXPECT_TRUE(rscs_first.contains(a, d));
+
+        Relation gp_first = checker.rcuFence({Precedes::GpFirst});
+        // c (the y write) precedes the GP in po; b (the y read)
+        // follows the lock: (c, b) must be in rcu-fence.
+        EventId bb = 0, c = 0;
+        for (const Event &e : ex.events) {
+            if (e.isInit)
+                continue;
+            if (e.isRead() && e.loc == 1)
+                bb = e.id;
+            if (e.isWrite() && e.loc == 1)
+                c = e.id;
+        }
+        EXPECT_TRUE(gp_first.contains(c, bb));
+        return false;
+    });
+}
+
+TEST(RcuLaw, RuleOfThumbOneGpTwoRscsAllowed)
+{
+    // "the fundamental law of RCU is invalidated iff there is a
+    // cycle in which the number of RSCSes is less than or equal to
+    // the number of GPs" [65, slide 42].
+    EXPECT_EQ(lkmmVerdict(oneGpTwoRscs()), Verdict::Allow);
+}
+
+TEST(RcuLaw, RuleOfThumbTwoGpTwoRscsForbidden)
+{
+    EXPECT_EQ(lkmmVerdict(twoGpTwoRscs()), Verdict::Forbid);
+}
+
+TEST(RcuLaw, SynchronizeRcuActsAsStrongFence)
+{
+    // gp ⊆ strong-fence: synchronize_rcu can replace smp_mb.
+    // SB with synchronize_rcu on both sides is forbidden.
+    LitmusBuilder b("SB+syncs");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.synchronizeRcu();
+    RegRef r1 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.synchronizeRcu();
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 0), eq(r2, 0)));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Forbid);
+}
+
+TEST(RcuLaw, EmptyRscsStillForbidsSpanning)
+{
+    // An RSCS with no memory accesses before/after still matters:
+    // reads inside it are what the law protects.  A lock/unlock
+    // pair with nothing inside produces no crit-based orderings
+    // beyond itself and the test stays allowed.
+    LitmusBuilder b("RCU+empty-rscs");
+    LocId x = b.loc("x");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    t0.rcuReadUnlock();
+    RegRef r = t0.readOnce(x);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(x, 1);
+    t1.synchronizeRcu();
+    b.exists(eq(r, 0));
+    EXPECT_EQ(lkmmVerdict(b.build()), Verdict::Allow);
+}
+
+TEST(RcuLaw, NestedRscsUsesOutermostPair)
+{
+    // crit connects each *outermost* lock to its matching unlock.
+    LitmusBuilder b("RCU+nested");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    t0.rcuReadLock();
+    RegRef r1 = t0.readOnce(x);
+    t0.rcuReadUnlock();
+    RegRef r2 = t0.readOnce(y);
+    t0.rcuReadUnlock();
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.synchronizeRcu();
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    Program p = b.build();
+
+    // The outermost section spans both reads, so the RCU-MP shape
+    // is still forbidden even though the x read sits in the inner
+    // section.
+    EXPECT_EQ(lkmmVerdict(p), Verdict::Forbid);
+
+    // And crit has exactly one (outermost) pair.
+    Enumerator en(p);
+    en.forEach([&](const CandidateExecution &ex) {
+        EXPECT_EQ(ex.crit().count(), 1u);
+        return false;
+    });
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Theorem 1 (RCU guarantee): "An LK candidate execution satisfies
+ * the Pb and RCU axioms iff it satisfies the fundamental law."
+ *
+ * The paper proves this; we check it *exhaustively* on every
+ * candidate execution of a family of RCU litmus tests — thousands
+ * of executions covering 0-2 grace periods, 0-2 critical sections,
+ * both aspects of the law, and non-RCU programs (where both sides
+ * degenerate to the Pb axiom).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/builder.hh"
+#include "lkmm/catalog.hh"
+#include "model/lkmm_model.hh"
+#include "rcu/law.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+/** Check the equivalence on every candidate of one program. */
+void
+checkTheorem1(const Program &prog)
+{
+    LkmmModel model;
+    std::size_t candidates = 0;
+    Enumerator en(prog);
+    en.forEach([&](const CandidateExecution &ex) {
+        ++candidates;
+        LkmmRelations rels = model.buildRelations(ex);
+        const bool axioms =
+            rels.pb.acyclic() && rels.rcuPath.irreflexive();
+        RcuLawChecker checker(ex, rels);
+        const bool law = checker.satisfiesLaw().has_value();
+        EXPECT_EQ(axioms, law)
+            << prog.name << ": candidate with final state "
+            << ex.finalStateString();
+        return true;
+    });
+    EXPECT_GT(candidates, 0u) << prog.name;
+}
+
+TEST(Theorem1, RcuMp)
+{
+    checkTheorem1(rcuMp());
+}
+
+TEST(Theorem1, RcuDeferredFree)
+{
+    checkTheorem1(rcuDeferredFree());
+}
+
+TEST(Theorem1, NonRcuProgramsDegenerateToPb)
+{
+    checkTheorem1(sbMbs());
+    checkTheorem1(mpWmbRmb());
+    checkTheorem1(peterZ());
+}
+
+TEST(Theorem1, GpWithoutRscs)
+{
+    LitmusBuilder b("gp-only");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.writeOnce(x, 1);
+    t0.synchronizeRcu();
+    RegRef r1 = t0.readOnce(y);
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.mb();
+    RegRef r2 = t1.readOnce(x);
+    b.exists(Cond::andOf(eq(r1, 0), eq(r2, 0)));
+    checkTheorem1(b.build());
+}
+
+TEST(Theorem1, RscsWithoutGp)
+{
+    LitmusBuilder b("rscs-only");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    RegRef r1 = t0.readOnce(x);
+    RegRef r2 = t0.readOnce(y);
+    t0.rcuReadUnlock();
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.wmb();
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    checkTheorem1(b.build());
+}
+
+TEST(Theorem1, TwoGpsOneRscs)
+{
+    LitmusBuilder b("2gp-1rscs");
+    LocId x = b.loc("x"), y = b.loc("y"), z = b.loc("z");
+    ThreadBuilder &u1 = b.thread();
+    u1.writeOnce(x, 1);
+    u1.synchronizeRcu();
+    u1.writeOnce(y, 1);
+    ThreadBuilder &u2 = b.thread();
+    RegRef a = u2.readOnce(y);
+    u2.synchronizeRcu();
+    u2.writeOnce(z, 1);
+    ThreadBuilder &r = b.thread();
+    r.rcuReadLock();
+    RegRef c = r.readOnce(z);
+    RegRef d = r.readOnce(x);
+    r.rcuReadUnlock();
+    b.exists(Cond::andOf(eq(a, 1), Cond::andOf(eq(c, 1), eq(d, 0))));
+    checkTheorem1(b.build());
+}
+
+TEST(Theorem1, TwoRscsSameThread)
+{
+    LitmusBuilder b("2rscs-1thread");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    RegRef r1 = t0.readOnce(x);
+    t0.rcuReadUnlock();
+    t0.rcuReadLock();
+    RegRef r2 = t0.readOnce(y);
+    t0.rcuReadUnlock();
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.synchronizeRcu();
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    checkTheorem1(b.build());
+}
+
+TEST(Theorem1, SyncInsideReadersWorld)
+{
+    // A writer whose grace period races two independent readers.
+    LitmusBuilder b("2readers");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &r1 = b.thread();
+    r1.rcuReadLock();
+    RegRef a = r1.readOnce(x);
+    RegRef bb = r1.readOnce(y);
+    r1.rcuReadUnlock();
+    ThreadBuilder &r2 = b.thread();
+    r2.rcuReadLock();
+    RegRef c = r2.readOnce(y);
+    RegRef d = r2.readOnce(x);
+    r2.rcuReadUnlock();
+    ThreadBuilder &u = b.thread();
+    u.writeOnce(y, 1);
+    u.synchronizeRcu();
+    u.writeOnce(x, 1);
+    b.exists(Cond::andOf(Cond::andOf(eq(a, 1), eq(bb, 0)),
+                         Cond::andOf(eq(c, 1), eq(d, 0))));
+    checkTheorem1(b.build());
+}
+
+TEST(Theorem1, RcuWithFencesMixed)
+{
+    // Fences and grace periods interacting in one test.
+    LitmusBuilder b("rcu+mb");
+    LocId x = b.loc("x"), y = b.loc("y");
+    ThreadBuilder &t0 = b.thread();
+    t0.rcuReadLock();
+    RegRef r1 = t0.readOnce(x);
+    t0.mb();
+    RegRef r2 = t0.readOnce(y);
+    t0.rcuReadUnlock();
+    ThreadBuilder &t1 = b.thread();
+    t1.writeOnce(y, 1);
+    t1.synchronizeRcu();
+    t1.writeOnce(x, 1);
+    b.exists(Cond::andOf(eq(r1, 1), eq(r2, 0)));
+    checkTheorem1(b.build());
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for the relational-algebra engine (src/relation),
+ * which implements the cat operators of Section 2 of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "relation/relation.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+TEST(EventSet, BasicMembership)
+{
+    EventSet s(100);
+    EXPECT_TRUE(s.empty());
+    s.add(0);
+    s.add(63);
+    s.add(64);
+    s.add(99);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.contains(63));
+    EXPECT_TRUE(s.contains(64));
+    EXPECT_FALSE(s.contains(65));
+    s.remove(64);
+    EXPECT_FALSE(s.contains(64));
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(EventSet, SetAlgebra)
+{
+    EventSet a(10), b(10);
+    a.add(1);
+    a.add(2);
+    b.add(2);
+    b.add(3);
+    EXPECT_EQ((a | b).count(), 3u);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_TRUE((a & b).contains(2));
+    EXPECT_EQ((a - b).count(), 1u);
+    EXPECT_TRUE((a - b).contains(1));
+}
+
+TEST(EventSet, ComplementRespectsUniverse)
+{
+    EventSet a(70);
+    a.add(0);
+    EventSet c = ~a;
+    EXPECT_EQ(c.count(), 69u);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(69));
+    // Padding bits beyond the universe must stay clear.
+    EXPECT_EQ((~c).count(), 1u);
+}
+
+TEST(EventSet, SubsetAndMembers)
+{
+    EventSet a(8), b(8);
+    a.add(1);
+    b.add(1);
+    b.add(5);
+    EXPECT_TRUE(a.subsetOf(b));
+    EXPECT_FALSE(b.subsetOf(a));
+    auto m = b.members();
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0], 1u);
+    EXPECT_EQ(m[1], 5u);
+}
+
+TEST(Relation, BasicPairs)
+{
+    Relation r(5);
+    EXPECT_TRUE(r.empty());
+    r.add(0, 1);
+    r.add(1, 2);
+    EXPECT_TRUE(r.contains(0, 1));
+    EXPECT_FALSE(r.contains(1, 0));
+    EXPECT_EQ(r.count(), 2u);
+}
+
+TEST(Relation, Identity)
+{
+    Relation id = Relation::identity(4);
+    EXPECT_EQ(id.count(), 4u);
+    for (EventId e = 0; e < 4; ++e)
+        EXPECT_TRUE(id.contains(e, e));
+}
+
+TEST(Relation, UnionIntersectionDifference)
+{
+    Relation a(4), b(4);
+    a.add(0, 1);
+    a.add(1, 2);
+    b.add(1, 2);
+    b.add(2, 3);
+    EXPECT_EQ((a | b).count(), 3u);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_TRUE((a & b).contains(1, 2));
+    EXPECT_EQ((a - b).count(), 1u);
+    EXPECT_TRUE((a - b).contains(0, 1));
+}
+
+TEST(Relation, ComplementClearsPadding)
+{
+    Relation r(3);
+    r.add(0, 0);
+    Relation c = ~r;
+    EXPECT_EQ(c.count(), 8u);
+    EXPECT_FALSE(c.contains(0, 0));
+    EXPECT_TRUE(c.contains(2, 2));
+}
+
+TEST(Relation, Inverse)
+{
+    Relation r(3);
+    r.add(0, 2);
+    Relation inv = r.inverse();
+    EXPECT_TRUE(inv.contains(2, 0));
+    EXPECT_EQ(inv.count(), 1u);
+}
+
+TEST(Relation, SequenceComposition)
+{
+    // r1 = {(0,1)}, r2 = {(1,2)}: r1;r2 = {(0,2)}.
+    Relation r1(4), r2(4);
+    r1.add(0, 1);
+    r2.add(1, 2);
+    Relation s = r1.seq(r2);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_TRUE(s.contains(0, 2));
+    // Empty when ranges do not meet.
+    EXPECT_TRUE(r2.seq(r1).empty());
+}
+
+TEST(Relation, TransitiveClosure)
+{
+    Relation r(5);
+    r.add(0, 1);
+    r.add(1, 2);
+    r.add(2, 3);
+    Relation p = r.plus();
+    EXPECT_TRUE(p.contains(0, 3));
+    EXPECT_TRUE(p.contains(0, 1));
+    EXPECT_FALSE(p.contains(3, 0));
+    EXPECT_EQ(p.count(), 6u);
+
+    Relation s = r.star();
+    EXPECT_EQ(s.count(), 6u + 5u);
+    EXPECT_TRUE(s.contains(4, 4));
+}
+
+TEST(Relation, OptionalClosure)
+{
+    Relation r(3);
+    r.add(0, 1);
+    Relation o = r.opt();
+    EXPECT_TRUE(o.contains(0, 1));
+    EXPECT_TRUE(o.contains(2, 2));
+    EXPECT_EQ(o.count(), 4u);
+}
+
+TEST(Relation, AcyclicityDetection)
+{
+    Relation r(4);
+    r.add(0, 1);
+    r.add(1, 2);
+    EXPECT_TRUE(r.acyclic());
+    r.add(2, 0);
+    EXPECT_FALSE(r.acyclic());
+    EXPECT_TRUE(r.irreflexive()); // cyclic but irreflexive
+    r.add(3, 3);
+    EXPECT_FALSE(r.irreflexive());
+}
+
+TEST(Relation, FindCycleWitness)
+{
+    Relation r(6);
+    r.add(0, 1);
+    r.add(1, 2);
+    r.add(3, 4);
+    EXPECT_FALSE(r.findCycle().has_value());
+    r.add(2, 1);
+    auto cycle = r.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    // The witness must actually be a cycle in r.
+    ASSERT_GE(cycle->size(), 2u);
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+        EventId from = (*cycle)[i];
+        EventId to = (*cycle)[(i + 1) % cycle->size()];
+        EXPECT_TRUE(r.contains(from, to));
+    }
+}
+
+TEST(Relation, FindCycleSelfLoop)
+{
+    Relation r(3);
+    r.add(1, 1);
+    auto cycle = r.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size(), 1u);
+    EXPECT_EQ((*cycle)[0], 1u);
+}
+
+TEST(Relation, DomainRangeRestrictions)
+{
+    Relation r(5);
+    r.add(0, 1);
+    r.add(2, 3);
+    EventSet dom(5);
+    dom.add(0);
+    Relation rd = r.restrictDomain(dom);
+    EXPECT_EQ(rd.count(), 1u);
+    EXPECT_TRUE(rd.contains(0, 1));
+
+    EventSet rng(5);
+    rng.add(3);
+    Relation rr = r.restrictRange(rng);
+    EXPECT_EQ(rr.count(), 1u);
+    EXPECT_TRUE(rr.contains(2, 3));
+
+    EXPECT_TRUE(r.domain().contains(0));
+    EXPECT_TRUE(r.domain().contains(2));
+    EXPECT_FALSE(r.domain().contains(1));
+    EXPECT_TRUE(r.range().contains(1));
+    EXPECT_TRUE(r.range().contains(3));
+}
+
+TEST(Relation, Product)
+{
+    EventSet x(4), y(4);
+    x.add(0);
+    x.add(1);
+    y.add(2);
+    Relation p = Relation::product(x, y);
+    EXPECT_EQ(p.count(), 2u);
+    EXPECT_TRUE(p.contains(0, 2));
+    EXPECT_TRUE(p.contains(1, 2));
+}
+
+TEST(Relation, SubsetOf)
+{
+    Relation a(3), b(3);
+    a.add(0, 1);
+    b.add(0, 1);
+    b.add(1, 2);
+    EXPECT_TRUE(a.subsetOf(b));
+    EXPECT_FALSE(b.subsetOf(a));
+}
+
+TEST(Relation, LeastFixpoint)
+{
+    // lfp of f(p) = base | p;base is the transitive closure of base.
+    Relation base(5);
+    base.add(0, 1);
+    base.add(1, 2);
+    base.add(2, 3);
+    Relation closed = Relation::lfp(5, [&](const Relation &p) {
+        return base | p.seq(base);
+    });
+    EXPECT_EQ(closed, base.plus());
+}
+
+TEST(Relation, FromPairsAndPairs)
+{
+    auto r = Relation::fromPairs(4, {{0, 1}, {2, 3}});
+    auto back = r.pairs();
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0], (std::pair<EventId, EventId>{0, 1}));
+    EXPECT_EQ(back[1], (std::pair<EventId, EventId>{2, 3}));
+}
+
+TEST(Relation, SuccessorsOfEvent)
+{
+    Relation r(4);
+    r.add(1, 0);
+    r.add(1, 3);
+    EventSet s = r.successors(1);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(3));
+}
+
+// Property-style sweep: closure laws on pseudo-random relations.
+class RelationPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+Relation
+pseudoRandomRelation(std::size_t n, unsigned seed)
+{
+    Relation r(n);
+    unsigned state = seed * 2654435761u + 1u;
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = 0; b < n; ++b) {
+            state = state * 1664525u + 1013904223u;
+            if ((state >> 28) < 4) // ~25% density
+                r.add(a, b);
+        }
+    }
+    return r;
+}
+
+TEST_P(RelationPropertyTest, ClosureLaws)
+{
+    const unsigned seed = static_cast<unsigned>(GetParam());
+    const std::size_t n = 9;
+    Relation r = pseudoRandomRelation(n, seed);
+    Relation s = pseudoRandomRelation(n, seed + 1000);
+
+    // plus is idempotent and transitive.
+    EXPECT_EQ(r.plus().plus(), r.plus());
+    EXPECT_TRUE(r.plus().seq(r.plus()).subsetOf(r.plus()));
+    // star = plus | id.
+    EXPECT_EQ(r.star(), r.plus() | Relation::identity(n));
+    // inverse is an involution and distributes over union.
+    EXPECT_EQ(r.inverse().inverse(), r);
+    EXPECT_EQ((r | s).inverse(), r.inverse() | s.inverse());
+    // seq distributes over union on the left.
+    EXPECT_EQ((r | s).seq(r), r.seq(r) | s.seq(r));
+    // (r;s)^-1 = s^-1; r^-1.
+    EXPECT_EQ(r.seq(s).inverse(), s.inverse().seq(r.inverse()));
+    // De Morgan for set operations.
+    EXPECT_EQ(~(r | s), (~r) & (~s));
+    // acyclic(r) iff r+ irreflexive.
+    EXPECT_EQ(r.acyclic(), r.plus().irreflexive());
+    // findCycle agrees with acyclic.
+    EXPECT_EQ(r.findCycle().has_value(), !r.acyclic());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationPropertyTest,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace lkmm
