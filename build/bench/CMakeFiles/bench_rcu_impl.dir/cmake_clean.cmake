@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rcu_impl.dir/bench_rcu_impl.cc.o"
+  "CMakeFiles/bench_rcu_impl.dir/bench_rcu_impl.cc.o.d"
+  "bench_rcu_impl"
+  "bench_rcu_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rcu_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_herd.dir/lkmm_herd.cpp.o"
+  "CMakeFiles/lkmm_herd.dir/lkmm_herd.cpp.o.d"
+  "lkmm_herd"
+  "lkmm_herd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_herd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

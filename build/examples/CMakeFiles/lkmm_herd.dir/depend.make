@@ -1,0 +1,2 @@
+# Empty dependencies file for lkmm_herd.
+# This may be replaced when dependencies are built.

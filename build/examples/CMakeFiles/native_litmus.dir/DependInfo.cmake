@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/native_litmus.cpp" "examples/CMakeFiles/native_litmus.dir/native_litmus.cpp.o" "gcc" "examples/CMakeFiles/native_litmus.dir/native_litmus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lkmm/CMakeFiles/lkmm_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcu/CMakeFiles/lkmm_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/lkmm_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lkmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/lkmm_diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lkmm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lkmm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lkmm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/lkmm_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lkmm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_litmus.dir/native_litmus.cpp.o"
+  "CMakeFiles/native_litmus.dir/native_litmus.cpp.o.d"
+  "native_litmus"
+  "native_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

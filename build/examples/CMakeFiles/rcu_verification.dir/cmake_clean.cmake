@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcu_verification.dir/rcu_verification.cpp.o"
+  "CMakeFiles/rcu_verification.dir/rcu_verification.cpp.o.d"
+  "rcu_verification"
+  "rcu_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcu_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

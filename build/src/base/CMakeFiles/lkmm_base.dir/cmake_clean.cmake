@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_base.dir/logging.cc.o"
+  "CMakeFiles/lkmm_base.dir/logging.cc.o.d"
+  "CMakeFiles/lkmm_base.dir/rng.cc.o"
+  "CMakeFiles/lkmm_base.dir/rng.cc.o.d"
+  "CMakeFiles/lkmm_base.dir/strutil.cc.o"
+  "CMakeFiles/lkmm_base.dir/strutil.cc.o.d"
+  "liblkmm_base.a"
+  "liblkmm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

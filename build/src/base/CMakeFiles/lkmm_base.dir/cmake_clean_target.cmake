@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblkmm_base.a"
+)

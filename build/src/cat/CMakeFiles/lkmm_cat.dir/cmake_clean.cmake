@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_cat.dir/eval.cc.o"
+  "CMakeFiles/lkmm_cat.dir/eval.cc.o.d"
+  "CMakeFiles/lkmm_cat.dir/parser.cc.o"
+  "CMakeFiles/lkmm_cat.dir/parser.cc.o.d"
+  "liblkmm_cat.a"
+  "liblkmm_cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

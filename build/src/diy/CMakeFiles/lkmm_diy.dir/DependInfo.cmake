@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diy/generator.cc" "src/diy/CMakeFiles/lkmm_diy.dir/generator.cc.o" "gcc" "src/diy/CMakeFiles/lkmm_diy.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/lkmm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lkmm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/lkmm_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lkmm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

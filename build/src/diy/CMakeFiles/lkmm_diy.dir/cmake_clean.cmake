@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_diy.dir/generator.cc.o"
+  "CMakeFiles/lkmm_diy.dir/generator.cc.o.d"
+  "liblkmm_diy.a"
+  "liblkmm_diy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_diy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

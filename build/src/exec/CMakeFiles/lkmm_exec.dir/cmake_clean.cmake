@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_exec.dir/enumerate.cc.o"
+  "CMakeFiles/lkmm_exec.dir/enumerate.cc.o.d"
+  "CMakeFiles/lkmm_exec.dir/execution.cc.o"
+  "CMakeFiles/lkmm_exec.dir/execution.cc.o.d"
+  "CMakeFiles/lkmm_exec.dir/unroll.cc.o"
+  "CMakeFiles/lkmm_exec.dir/unroll.cc.o.d"
+  "liblkmm_exec.a"
+  "liblkmm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litmus/builder.cc" "src/litmus/CMakeFiles/lkmm_litmus.dir/builder.cc.o" "gcc" "src/litmus/CMakeFiles/lkmm_litmus.dir/builder.cc.o.d"
+  "/root/repo/src/litmus/expr.cc" "src/litmus/CMakeFiles/lkmm_litmus.dir/expr.cc.o" "gcc" "src/litmus/CMakeFiles/lkmm_litmus.dir/expr.cc.o.d"
+  "/root/repo/src/litmus/parser.cc" "src/litmus/CMakeFiles/lkmm_litmus.dir/parser.cc.o" "gcc" "src/litmus/CMakeFiles/lkmm_litmus.dir/parser.cc.o.d"
+  "/root/repo/src/litmus/program.cc" "src/litmus/CMakeFiles/lkmm_litmus.dir/program.cc.o" "gcc" "src/litmus/CMakeFiles/lkmm_litmus.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lkmm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

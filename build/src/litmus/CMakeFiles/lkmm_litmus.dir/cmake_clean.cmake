@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_litmus.dir/builder.cc.o"
+  "CMakeFiles/lkmm_litmus.dir/builder.cc.o.d"
+  "CMakeFiles/lkmm_litmus.dir/expr.cc.o"
+  "CMakeFiles/lkmm_litmus.dir/expr.cc.o.d"
+  "CMakeFiles/lkmm_litmus.dir/parser.cc.o"
+  "CMakeFiles/lkmm_litmus.dir/parser.cc.o.d"
+  "CMakeFiles/lkmm_litmus.dir/program.cc.o"
+  "CMakeFiles/lkmm_litmus.dir/program.cc.o.d"
+  "liblkmm_litmus.a"
+  "liblkmm_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_facade.dir/catalog.cc.o"
+  "CMakeFiles/lkmm_facade.dir/catalog.cc.o.d"
+  "CMakeFiles/lkmm_facade.dir/dot.cc.o"
+  "CMakeFiles/lkmm_facade.dir/dot.cc.o.d"
+  "CMakeFiles/lkmm_facade.dir/runner.cc.o"
+  "CMakeFiles/lkmm_facade.dir/runner.cc.o.d"
+  "liblkmm_facade.a"
+  "liblkmm_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

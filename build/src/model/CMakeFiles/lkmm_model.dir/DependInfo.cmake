@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/alpha_model.cc" "src/model/CMakeFiles/lkmm_model.dir/alpha_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/alpha_model.cc.o.d"
+  "/root/repo/src/model/armv8_model.cc" "src/model/CMakeFiles/lkmm_model.dir/armv8_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/armv8_model.cc.o.d"
+  "/root/repo/src/model/c11_model.cc" "src/model/CMakeFiles/lkmm_model.dir/c11_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/c11_model.cc.o.d"
+  "/root/repo/src/model/hw_common.cc" "src/model/CMakeFiles/lkmm_model.dir/hw_common.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/hw_common.cc.o.d"
+  "/root/repo/src/model/lkmm_model.cc" "src/model/CMakeFiles/lkmm_model.dir/lkmm_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/lkmm_model.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/model/CMakeFiles/lkmm_model.dir/model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/model.cc.o.d"
+  "/root/repo/src/model/power_model.cc" "src/model/CMakeFiles/lkmm_model.dir/power_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/power_model.cc.o.d"
+  "/root/repo/src/model/sc_model.cc" "src/model/CMakeFiles/lkmm_model.dir/sc_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/sc_model.cc.o.d"
+  "/root/repo/src/model/tso_model.cc" "src/model/CMakeFiles/lkmm_model.dir/tso_model.cc.o" "gcc" "src/model/CMakeFiles/lkmm_model.dir/tso_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/lkmm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/lkmm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/lkmm_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lkmm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_model.dir/alpha_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/alpha_model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/armv8_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/armv8_model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/c11_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/c11_model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/hw_common.cc.o"
+  "CMakeFiles/lkmm_model.dir/hw_common.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/lkmm_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/lkmm_model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/model.cc.o"
+  "CMakeFiles/lkmm_model.dir/model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/power_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/power_model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/sc_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/sc_model.cc.o.d"
+  "CMakeFiles/lkmm_model.dir/tso_model.cc.o"
+  "CMakeFiles/lkmm_model.dir/tso_model.cc.o.d"
+  "liblkmm_model.a"
+  "liblkmm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

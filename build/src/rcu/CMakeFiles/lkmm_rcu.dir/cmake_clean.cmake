@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_rcu.dir/law.cc.o"
+  "CMakeFiles/lkmm_rcu.dir/law.cc.o.d"
+  "CMakeFiles/lkmm_rcu.dir/transform.cc.o"
+  "CMakeFiles/lkmm_rcu.dir/transform.cc.o.d"
+  "CMakeFiles/lkmm_rcu.dir/urcu.cc.o"
+  "CMakeFiles/lkmm_rcu.dir/urcu.cc.o.d"
+  "liblkmm_rcu.a"
+  "liblkmm_rcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_rcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

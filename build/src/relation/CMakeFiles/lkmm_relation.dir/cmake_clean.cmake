@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_relation.dir/event_set.cc.o"
+  "CMakeFiles/lkmm_relation.dir/event_set.cc.o.d"
+  "CMakeFiles/lkmm_relation.dir/relation.cc.o"
+  "CMakeFiles/lkmm_relation.dir/relation.cc.o.d"
+  "liblkmm_relation.a"
+  "liblkmm_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_sim.dir/machine.cc.o"
+  "CMakeFiles/lkmm_sim.dir/machine.cc.o.d"
+  "liblkmm_sim.a"
+  "liblkmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c11_test.dir/model/c11_test.cc.o"
+  "CMakeFiles/c11_test.dir/model/c11_test.cc.o.d"
+  "c11_test"
+  "c11_test.pdb"
+  "c11_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c11_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

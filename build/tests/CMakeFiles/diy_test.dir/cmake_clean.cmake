@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diy_test.dir/diy/generator_test.cc.o"
+  "CMakeFiles/diy_test.dir/diy/generator_test.cc.o.d"
+  "diy_test"
+  "diy_test.pdb"
+  "diy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idioms_test.dir/model/idioms_test.cc.o"
+  "CMakeFiles/idioms_test.dir/model/idioms_test.cc.o.d"
+  "idioms_test"
+  "idioms_test.pdb"
+  "idioms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idioms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

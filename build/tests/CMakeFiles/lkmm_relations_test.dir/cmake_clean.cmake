@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkmm_relations_test.dir/model/lkmm_relations_test.cc.o"
+  "CMakeFiles/lkmm_relations_test.dir/model/lkmm_relations_test.cc.o.d"
+  "lkmm_relations_test"
+  "lkmm_relations_test.pdb"
+  "lkmm_relations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkmm_relations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcu_impl_test.dir/rcu/impl_test.cc.o"
+  "CMakeFiles/rcu_impl_test.dir/rcu/impl_test.cc.o.d"
+  "rcu_impl_test"
+  "rcu_impl_test.pdb"
+  "rcu_impl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcu_impl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcu_law_test.dir/rcu/law_test.cc.o"
+  "CMakeFiles/rcu_law_test.dir/rcu/law_test.cc.o.d"
+  "rcu_law_test"
+  "rcu_law_test.pdb"
+  "rcu_law_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcu_law_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

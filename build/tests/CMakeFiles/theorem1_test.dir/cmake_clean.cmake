@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_test.dir/rcu/theorem1_test.cc.o"
+  "CMakeFiles/theorem1_test.dir/rcu/theorem1_test.cc.o.d"
+  "theorem1_test"
+  "theorem1_test.pdb"
+  "theorem1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcu_test.dir/rcu/urcu_test.cc.o"
+  "CMakeFiles/urcu_test.dir/rcu/urcu_test.cc.o.d"
+  "urcu_test"
+  "urcu_test.pdb"
+  "urcu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

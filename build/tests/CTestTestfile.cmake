@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/execution_test[1]_include.cmake")
+include("/root/repo/build/tests/lkmm_relations_test[1]_include.cmake")
+include("/root/repo/build/tests/idioms_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/enumerate_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")
+include("/root/repo/build/tests/c11_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/cat_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/diy_test[1]_include.cmake")
+include("/root/repo/build/tests/rcu_law_test[1]_include.cmake")
+include("/root/repo/build/tests/theorem1_test[1]_include.cmake")
+include("/root/repo/build/tests/urcu_test[1]_include.cmake")
+include("/root/repo/build/tests/rcu_impl_test[1]_include.cmake")
