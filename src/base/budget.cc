@@ -1,0 +1,119 @@
+#include "base/budget.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace lkmm
+{
+
+const char *
+boundKindName(BoundKind kind)
+{
+    switch (kind) {
+      case BoundKind::None: return "none";
+      case BoundKind::WallClock: return "wall-clock";
+      case BoundKind::Candidates: return "candidates";
+      case BoundKind::RfAssignments: return "rf-assignments";
+      case BoundKind::EvalSteps: return "eval-steps";
+      case BoundKind::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+const char *
+completenessName(Completeness c)
+{
+    return c == Completeness::Complete ? "complete" : "truncated";
+}
+
+namespace
+{
+
+std::size_t
+scaleCount(std::size_t count, double factor)
+{
+    if (count == 0)
+        return 0; // unlimited stays unlimited
+    const double scaled = static_cast<double>(count) * factor;
+    const double max =
+        static_cast<double>(std::numeric_limits<std::size_t>::max());
+    if (scaled >= max)
+        return std::numeric_limits<std::size_t>::max();
+    return scaled < 1.0 ? 1 : static_cast<std::size_t>(scaled);
+}
+
+std::string
+countToString(std::size_t count)
+{
+    return count == 0 ? "unlimited" : std::to_string(count);
+}
+
+} // namespace
+
+RunBudget
+RunBudget::scaled(double factor) const
+{
+    RunBudget b = *this;
+    if (b.wallClock.count() > 0) {
+        const double ns =
+            static_cast<double>(b.wallClock.count()) * factor;
+        const double max = static_cast<double>(
+            std::numeric_limits<std::chrono::nanoseconds::rep>::max());
+        b.wallClock = std::chrono::nanoseconds(
+            ns >= max
+                ? std::numeric_limits<std::chrono::nanoseconds::rep>::max()
+                : static_cast<std::chrono::nanoseconds::rep>(ns));
+    }
+    b.maxCandidates = scaleCount(maxCandidates, factor);
+    b.maxRfAssignments = scaleCount(maxRfAssignments, factor);
+    b.maxEvalSteps = scaleCount(maxEvalSteps, factor);
+    return b;
+}
+
+std::string
+RunBudget::toString() const
+{
+    if (isUnlimited())
+        return "unlimited";
+    std::string s = "wall-clock=";
+    if (wallClock.count() == 0) {
+        s += "unlimited";
+    } else {
+        s += std::to_string(
+            std::chrono::duration_cast<std::chrono::milliseconds>(wallClock)
+                .count());
+        s += "ms";
+    }
+    s += " candidates=" + countToString(maxCandidates);
+    s += " rf=" + countToString(maxRfAssignments);
+    s += " eval-steps=" + countToString(maxEvalSteps);
+    if (cancel)
+        s += " cancellable";
+    return s;
+}
+
+BudgetTracker::BudgetTracker(const RunBudget &budget) : budget_(budget)
+{
+    if (budget_.wallClock.count() > 0) {
+        deadline_ = std::chrono::steady_clock::now() + budget_.wallClock;
+        hasDeadline_ = true;
+    }
+}
+
+bool
+BudgetTracker::checkNow()
+{
+    if (bound_ != BoundKind::None)
+        return false;
+    if (budget_.cancel && budget_.cancel->cancelled()) {
+        bound_ = BoundKind::Cancelled;
+        return false;
+    }
+    if (hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) {
+        bound_ = BoundKind::WallClock;
+        return false;
+    }
+    return true;
+}
+
+} // namespace lkmm

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Run budgets: bounded execution for the exponential search core.
+ *
+ * The herd-style enumerator explores every (path, rf, co)
+ * combination — exponential in test size — so any catalog sweep over
+ * generated or fuzzed inputs needs bounds: a wall-clock deadline, a
+ * cap on candidate executions, a cap on rf assignments, and a
+ * cooperative cancellation token.  RunBudget describes the bounds;
+ * BudgetTracker enforces them with O(1) integer checks on the hot
+ * path (the clock is only consulted every kTimeCheckInterval
+ * events, keeping overhead in the noise).
+ *
+ * A bounded run that trips a bound is *truncated*, not wrong: the
+ * caller reports Completeness::Truncated plus which bound fired, and
+ * verdict logic degrades to Unknown where the evidence seen so far
+ * is not conclusive (see lkmm/runner.hh).
+ */
+
+#ifndef LKMM_BASE_BUDGET_HH
+#define LKMM_BASE_BUDGET_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace lkmm
+{
+
+/**
+ * Cooperative cancellation: set once from any thread, polled by the
+ * enumeration loops at the same cadence as the deadline check.
+ */
+class CancelToken
+{
+  public:
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** Which bound of a RunBudget fired. */
+enum class BoundKind
+{
+    None,
+    WallClock,
+    Candidates,
+    RfAssignments,
+    EvalSteps,
+    Cancelled,
+};
+
+/** Short stable name, e.g. "wall-clock". */
+const char *boundKindName(BoundKind kind);
+
+/** Did a bounded run see the whole search space? */
+enum class Completeness
+{
+    Complete,
+    Truncated,
+};
+
+const char *completenessName(Completeness c);
+
+/**
+ * Resource bounds for one verification run.
+ *
+ * A zero value means "unlimited" for every numeric field; the
+ * default-constructed budget is fully unlimited, so existing
+ * call sites keep their semantics.
+ */
+struct RunBudget
+{
+    /** Wall-clock deadline for the run (0 = none). */
+    std::chrono::nanoseconds wallClock{0};
+    /** Maximum candidate executions delivered (0 = unlimited). */
+    std::size_t maxCandidates = 0;
+    /** Maximum rf assignments explored (0 = unlimited). */
+    std::size_t maxRfAssignments = 0;
+    /** Maximum cat-interpreter evaluation steps (0 = unlimited). */
+    std::size_t maxEvalSteps = 0;
+    /** Optional cancellation token (not owned; may be null). */
+    const CancelToken *cancel = nullptr;
+
+    static RunBudget unlimited() { return RunBudget{}; }
+
+    bool
+    isUnlimited() const
+    {
+        return wallClock.count() == 0 && maxCandidates == 0 &&
+            maxRfAssignments == 0 && maxEvalSteps == 0 &&
+            cancel == nullptr;
+    }
+
+    /**
+     * The escalation policy of the batch runner: every numeric bound
+     * multiplied by factor (saturating; unlimited stays unlimited).
+     */
+    RunBudget scaled(double factor) const;
+
+    /** "wall-clock=50ms candidates=1000 rf=unlimited ...". */
+    std::string toString() const;
+};
+
+/**
+ * Enforces one RunBudget over one run.
+ *
+ * The on*() hooks return false when the run must stop; the tracker
+ * latches the first bound that fired.  Hooks are called *before*
+ * consuming the corresponding unit of work, so a budget of N
+ * candidates delivers exactly N candidates and is only reported
+ * exhausted when an (N+1)-th was attempted.
+ */
+class BudgetTracker
+{
+  public:
+    explicit BudgetTracker(const RunBudget &budget);
+
+    /** About to explore one more rf assignment. */
+    bool
+    onRfAssignment()
+    {
+        if (bound_ != BoundKind::None)
+            return false;
+        if (budget_.maxRfAssignments &&
+            ++rfAssignments_ > budget_.maxRfAssignments) {
+            bound_ = BoundKind::RfAssignments;
+            return false;
+        }
+        return checkTimeEvery();
+    }
+
+    /** About to deliver one more candidate execution. */
+    bool
+    onCandidate()
+    {
+        if (bound_ != BoundKind::None)
+            return false;
+        if (budget_.maxCandidates && ++candidates_ > budget_.maxCandidates) {
+            bound_ = BoundKind::Candidates;
+            return false;
+        }
+        return checkTimeEvery();
+    }
+
+    /** About to execute one more cat-interpreter step. */
+    bool
+    onEvalStep()
+    {
+        if (bound_ != BoundKind::None)
+            return false;
+        if (budget_.maxEvalSteps && ++evalSteps_ > budget_.maxEvalSteps) {
+            bound_ = BoundKind::EvalSteps;
+            return false;
+        }
+        return checkTimeEvery();
+    }
+
+    /** Unconditional deadline/cancellation poll (cold path). */
+    bool checkNow();
+
+    bool exhausted() const { return bound_ != BoundKind::None; }
+    BoundKind bound() const { return bound_; }
+
+  private:
+    /** Clock/cancel polls are amortised over this many events. */
+    static constexpr std::size_t kTimeCheckInterval = 256;
+
+    bool
+    checkTimeEvery()
+    {
+        if (++sinceTimeCheck_ < kTimeCheckInterval)
+            return true;
+        sinceTimeCheck_ = 0;
+        return checkNow();
+    }
+
+    RunBudget budget_;
+    std::chrono::steady_clock::time_point deadline_;
+    bool hasDeadline_ = false;
+    std::size_t candidates_ = 0;
+    std::size_t rfAssignments_ = 0;
+    std::size_t evalSteps_ = 0;
+    std::size_t sinceTimeCheck_ = 0;
+    BoundKind bound_ = BoundKind::None;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_BASE_BUDGET_HH

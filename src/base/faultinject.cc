@@ -1,0 +1,108 @@
+#include "base/faultinject.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/status.hh"
+#include "base/strutil.hh"
+
+namespace lkmm::faultinject
+{
+
+namespace
+{
+
+std::atomic<bool> g_armed[kNumPoints];
+
+/** Parse LKMM_FAULT_INJECT once, on first use of any point. */
+std::once_flag g_env_once;
+
+void
+armFromEnv()
+{
+    const char *spec = std::getenv("LKMM_FAULT_INJECT");
+    if (spec && *spec)
+        armFromSpec(spec);
+}
+
+void
+ensureEnvLoaded()
+{
+    std::call_once(g_env_once, armFromEnv);
+}
+
+} // namespace
+
+const char *
+pointName(Point p)
+{
+    switch (p) {
+      case Point::LitmusParse: return "litmus-parse";
+      case Point::CatParse: return "cat-parse";
+      case Point::CatEval: return "cat-eval";
+      case Point::Enumerate: return "enumerate";
+    }
+    return "unknown";
+}
+
+void
+arm(Point p)
+{
+    g_armed[static_cast<int>(p)].store(true, std::memory_order_relaxed);
+}
+
+void
+armFromSpec(const std::string &spec)
+{
+    for (std::string name : split(spec, ',')) {
+        name = trim(name);
+        if (name.empty())
+            continue;
+        bool known = false;
+        for (int i = 0; i < kNumPoints; ++i) {
+            const Point p = static_cast<Point>(i);
+            if (name == pointName(p)) {
+                arm(p);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            throw StatusError(Status(
+                StatusCode::InvalidArgument,
+                "unknown fault-injection point '" + name + "'"));
+        }
+    }
+}
+
+void
+reset()
+{
+    for (auto &a : g_armed)
+        a.store(false, std::memory_order_relaxed);
+}
+
+bool
+armed(Point p)
+{
+    ensureEnvLoaded();
+    return g_armed[static_cast<int>(p)].load(std::memory_order_relaxed);
+}
+
+void
+maybeFail(Point p, const char *what)
+{
+    ensureEnvLoaded();
+    auto &flag = g_armed[static_cast<int>(p)];
+    if (!flag.load(std::memory_order_relaxed))
+        return;
+    // One-shot: disarm before throwing so a retry can succeed.
+    if (!flag.exchange(false, std::memory_order_relaxed))
+        return;
+    throw StatusError(Status(
+        StatusCode::Internal,
+        std::string("injected fault at ") + pointName(p) + ": " + what));
+}
+
+} // namespace lkmm::faultinject

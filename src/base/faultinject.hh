@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic fault injection for error-path testing.
+ *
+ * The robustness layer (status taxonomy, batch failure isolation)
+ * is only trustworthy if its error paths run in tests.  This hook
+ * plants named injection points in the litmus parser, the cat
+ * parser, the cat evaluator and the enumerator; arming a point
+ * makes the next passage through it throw a StatusError with
+ * StatusCode::Internal, deterministically.
+ *
+ * Arming is programmatic (tests call arm()/reset()) or via the
+ * LKMM_FAULT_INJECT environment variable, a comma-separated list of
+ * point names, e.g. LKMM_FAULT_INJECT=litmus-parse,cat-eval —
+ * useful for exercising a release binary's failure handling.
+ * Injection is one-shot per arm: a point disarms itself when it
+ * fires, so a batch retry after an injected fault succeeds.
+ */
+
+#ifndef LKMM_BASE_FAULTINJECT_HH
+#define LKMM_BASE_FAULTINJECT_HH
+
+#include <string>
+
+namespace lkmm::faultinject
+{
+
+/** The planted injection points. */
+enum class Point
+{
+    LitmusParse,
+    CatParse,
+    CatEval,
+    Enumerate,
+};
+
+constexpr int kNumPoints = 4;
+
+/** Stable name used by LKMM_FAULT_INJECT, e.g. "litmus-parse". */
+const char *pointName(Point p);
+
+/** Arm one point: its next passage throws. */
+void arm(Point p);
+
+/** Arm from a spec like "litmus-parse,cat-eval"; unknown names throw. */
+void armFromSpec(const std::string &spec);
+
+/** Disarm every point. */
+void reset();
+
+/** Is the point currently armed? */
+bool armed(Point p);
+
+/**
+ * The injection point itself: no-op unless armed, in which case it
+ * disarms the point and throws StatusError(Internal).  Called on
+ * entry to the instrumented operations; the armed check is a single
+ * relaxed atomic load, so release-path overhead is negligible.
+ */
+void maybeFail(Point p, const char *what);
+
+} // namespace lkmm::faultinject
+
+#endif // LKMM_BASE_FAULTINJECT_HH

@@ -2,7 +2,9 @@
 
 #include <functional>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/status.hh"
 #include "cat/parser.hh"
 
 namespace lkmm
@@ -25,7 +27,8 @@ struct CatFunction
 class Evaluator
 {
   public:
-    Evaluator(const CandidateExecution &ex) : ex_(ex), n_(ex.numEvents())
+    Evaluator(const CandidateExecution &ex, std::size_t maxSteps = 0)
+        : ex_(ex), n_(ex.numEvents()), maxSteps_(maxSteps)
     {
         installBuiltins();
     }
@@ -81,6 +84,10 @@ class Evaluator
             env_[binding.name] = CatValue::ofRel(Relation(n_));
         }
         for (;;) {
+            if (!stepOk()) {
+                stepOverflow("recursive definition of '" +
+                             st.bindings[0].name + "'");
+            }
             bool changed = false;
             for (const auto &binding : st.bindings) {
                 CatValue next = eval(*binding.body);
@@ -121,14 +128,41 @@ class Evaluator
         return r;
     }
 
+    /**
+     * Account one interpreter step against the eval budget
+     * (CatModel::setEvalBudget); the check is one compare on the
+     * unbudgeted fast path.
+     */
+    bool
+    stepOk()
+    {
+        return !maxSteps_ || ++steps_ <= maxSteps_;
+    }
+
+    [[noreturn]] void
+    stepOverflow(const std::string &what)
+    {
+        throw StatusError(Status(
+            StatusCode::BudgetExceeded,
+            "cat eval budget (" + std::to_string(maxSteps_) +
+                " steps) exceeded while evaluating " + what));
+    }
+
     CatValue
     eval(const CatExpr &e)
     {
+        if (!stepOk()) {
+            stepOverflow(e.kind == CatExpr::Kind::Id
+                             ? "'" + e.name + "'" : "an expression");
+        }
         switch (e.kind) {
           case CatExpr::Kind::Id: {
             auto it = env_.find(e.name);
-            if (it == env_.end())
-                fatal("cat: undefined identifier '" + e.name + "'");
+            if (it == env_.end()) {
+                throw StatusError(Status(
+                    StatusCode::EvalError,
+                    "cat: undefined identifier '" + e.name + "'"));
+            }
             return it->second;
           }
           case CatExpr::Kind::Union: {
@@ -201,8 +235,11 @@ class Evaluator
             return CatValue::ofSet(relOf(eval(*e.args[0])).range());
 
         auto it = funcs_.find(e.name);
-        if (it == funcs_.end())
-            fatal("cat: undefined function '" + e.name + "'");
+        if (it == funcs_.end()) {
+            throw StatusError(Status(
+                StatusCode::EvalError,
+                "cat: undefined function '" + e.name + "'"));
+        }
         const CatFunction &fn = it->second;
         panicIf(fn.params.size() != e.args.size(),
                 "cat: wrong arity for '" + e.name + "'");
@@ -279,6 +316,8 @@ class Evaluator
 
     const CandidateExecution &ex_;
     const std::size_t n_;
+    const std::size_t maxSteps_;
+    std::size_t steps_ = 0;
     std::map<std::string, CatValue> env_;
     std::map<std::string, CatFunction> funcs_;
 };
@@ -306,7 +345,8 @@ CatModel::fromFile(const std::string &path)
 std::optional<Violation>
 CatModel::check(const CandidateExecution &ex) const
 {
-    Evaluator evaluator(ex);
+    faultinject::maybeFail(faultinject::Point::CatEval, name_.c_str());
+    Evaluator evaluator(ex, maxEvalSteps_);
     for (const CatStatement &st : file_.statements) {
         if (auto v = evaluator.run(st))
             return v;
@@ -317,7 +357,7 @@ CatModel::check(const CandidateExecution &ex) const
 std::map<std::string, CatValue>
 CatModel::evalBindings(const CandidateExecution &ex) const
 {
-    Evaluator evaluator(ex);
+    Evaluator evaluator(ex, maxEvalSteps_);
     for (const CatStatement &st : file_.statements)
         evaluator.run(st);
     return evaluator.env();

@@ -75,6 +75,17 @@ class CatModel : public Model
 
     std::string name() const override { return name_; }
 
+    /**
+     * Bound the interpreter: at most maxSteps evaluation steps
+     * (expression-node evaluations plus recursion-fixpoint
+     * iterations) per check()/evalBindings() call.  Exceeding the
+     * bound throws StatusError(StatusCode::BudgetExceeded) — a
+     * guard against pathological or adversarial cat input, not a
+     * graceful degradation: a partly-evaluated model has no sound
+     * partial verdict.  0 (the default) means unlimited.
+     */
+    void setEvalBudget(std::size_t maxSteps) { maxEvalSteps_ = maxSteps; }
+
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
 
@@ -91,6 +102,7 @@ class CatModel : public Model
 
     std::string name_;
     cat::CatFile file_;
+    std::size_t maxEvalSteps_ = 0;
 };
 
 } // namespace lkmm

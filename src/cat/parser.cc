@@ -4,7 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/status.hh"
 
 namespace lkmm::cat
 {
@@ -39,6 +41,7 @@ struct Token
     Tok kind;
     std::string text;
     int line;
+    int col;
 };
 
 class Lexer
@@ -61,9 +64,9 @@ class Lexer
     advance()
     {
         skipSpaceAndComments();
-        tok_.line = line_;
+        const int col = column();
         if (pos_ >= src_.size()) {
-            tok_ = {Tok::End, "", line_};
+            tok_ = {Tok::End, "", line_, col};
             return;
         }
         const char c = src_[pos_];
@@ -71,44 +74,59 @@ class Lexer
             std::size_t start = pos_;
             while (pos_ < src_.size() && isIdentChar(src_[pos_]))
                 ++pos_;
-            tok_ = {Tok::Ident, src_.substr(start, pos_ - start), line_};
+            tok_ = {Tok::Ident, src_.substr(start, pos_ - start), line_,
+                    col};
             return;
         }
         if (c == '"') {
             std::size_t start = ++pos_;
-            while (pos_ < src_.size() && src_[pos_] != '"')
+            while (pos_ < src_.size() && src_[pos_] != '"') {
+                if (src_[pos_] == '\n') {
+                    throw ParseError("cat lexer: unterminated string",
+                                     line_, col, "\"");
+                }
                 ++pos_;
-            tok_ = {Tok::String, src_.substr(start, pos_ - start), line_};
-            if (pos_ < src_.size())
-                ++pos_; // closing quote
+            }
+            if (pos_ >= src_.size()) {
+                throw ParseError("cat lexer: unterminated string",
+                                 line_, col, "\"");
+            }
+            tok_ = {Tok::String, src_.substr(start, pos_ - start), line_,
+                    col};
+            ++pos_; // closing quote
             return;
         }
         if (c == '^' && src_.compare(pos_, 3, "^-1") == 0) {
             pos_ += 3;
-            tok_ = {Tok::Inverse, "^-1", line_};
+            tok_ = {Tok::Inverse, "^-1", line_, col};
             return;
         }
         ++pos_;
         switch (c) {
-          case '|': tok_ = {Tok::Pipe, "|", line_}; return;
-          case '&': tok_ = {Tok::Amp, "&", line_}; return;
-          case '\\': tok_ = {Tok::Backslash, "\\", line_}; return;
-          case ';': tok_ = {Tok::Semi, ";", line_}; return;
-          case '*': tok_ = {Tok::Star, "*", line_}; return;
-          case '+': tok_ = {Tok::Plus, "+", line_}; return;
-          case '?': tok_ = {Tok::Question, "?", line_}; return;
-          case '~': tok_ = {Tok::Tilde, "~", line_}; return;
-          case '(': tok_ = {Tok::LParen, "(", line_}; return;
-          case ')': tok_ = {Tok::RParen, ")", line_}; return;
-          case '[': tok_ = {Tok::LBracket, "[", line_}; return;
-          case ']': tok_ = {Tok::RBracket, "]", line_}; return;
-          case '=': tok_ = {Tok::Equals, "=", line_}; return;
-          case ',': tok_ = {Tok::Comma, ",", line_}; return;
+          case '|': tok_ = {Tok::Pipe, "|", line_, col}; return;
+          case '&': tok_ = {Tok::Amp, "&", line_, col}; return;
+          case '\\': tok_ = {Tok::Backslash, "\\", line_, col}; return;
+          case ';': tok_ = {Tok::Semi, ";", line_, col}; return;
+          case '*': tok_ = {Tok::Star, "*", line_, col}; return;
+          case '+': tok_ = {Tok::Plus, "+", line_, col}; return;
+          case '?': tok_ = {Tok::Question, "?", line_, col}; return;
+          case '~': tok_ = {Tok::Tilde, "~", line_, col}; return;
+          case '(': tok_ = {Tok::LParen, "(", line_, col}; return;
+          case ')': tok_ = {Tok::RParen, ")", line_, col}; return;
+          case '[': tok_ = {Tok::LBracket, "[", line_, col}; return;
+          case ']': tok_ = {Tok::RBracket, "]", line_, col}; return;
+          case '=': tok_ = {Tok::Equals, "=", line_, col}; return;
+          case ',': tok_ = {Tok::Comma, ",", line_, col}; return;
           default:
-            fatal("cat lexer: unexpected character '" +
-                  std::string(1, c) + "' at line " +
-                  std::to_string(line_));
+            throw ParseError("cat lexer: unexpected character", line_,
+                             col, std::string(1, c));
         }
+    }
+
+    int
+    column() const
+    {
+        return static_cast<int>(pos_ - lineStart_) + 1;
     }
 
     static bool
@@ -124,8 +142,10 @@ class Lexer
         for (;;) {
             while (pos_ < src_.size() &&
                    std::isspace(static_cast<unsigned char>(src_[pos_]))) {
-                if (src_[pos_] == '\n')
+                if (src_[pos_] == '\n') {
                     ++line_;
+                    lineStart_ = pos_ + 1;
+                }
                 ++pos_;
             }
             // (* ... *) comments, possibly nested.
@@ -134,8 +154,10 @@ class Lexer
                 int depth = 1;
                 pos_ += 2;
                 while (pos_ < src_.size() && depth > 0) {
-                    if (src_[pos_] == '\n')
+                    if (src_[pos_] == '\n') {
                         ++line_;
+                        lineStart_ = pos_ + 1;
+                    }
                     if (pos_ + 1 < src_.size() && src_[pos_] == '(' &&
                         src_[pos_ + 1] == '*') {
                         ++depth;
@@ -164,8 +186,9 @@ class Lexer
 
     const std::string &src_;
     std::size_t pos_ = 0;
+    std::size_t lineStart_ = 0;
     int line_ = 1;
-    Token tok_{Tok::End, "", 1};
+    Token tok_{Tok::End, "", 1, 1};
 };
 
 class Parser
@@ -191,9 +214,9 @@ class Parser
     [[noreturn]] void
     error(const std::string &what)
     {
-        fatal("cat parser: " + what + " at line " +
-              std::to_string(lex_.peek().line) + " (near '" +
-              lex_.peek().text + "')");
+        const Token &t = lex_.peek();
+        throw ParseError("cat parser: " + what, t.line, t.col,
+                         t.kind == Tok::End ? "end of input" : t.text);
     }
 
     Token
@@ -449,6 +472,7 @@ class Parser
 CatFile
 parseCat(const std::string &source)
 {
+    faultinject::maybeFail(faultinject::Point::CatParse, "parseCat");
     Parser parser(source);
     return parser.parse();
 }
@@ -457,8 +481,10 @@ CatFile
 parseCatFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot open cat file: " + path);
+    if (!in) {
+        throw StatusError(Status(StatusCode::IoError,
+                                 "cannot open cat file: " + path));
+    }
     std::ostringstream ss;
     ss << in.rdbuf();
     return parseCat(ss.str());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "exec/unroll.hh"
 
@@ -340,6 +341,13 @@ buildRelations(const Layout &lay, const Valuation &val,
 void
 Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
 {
+    faultinject::maybeFail(faultinject::Point::Enumerate,
+                           prog_.name.c_str());
+
+    completeness_ = Completeness::Complete;
+    tripped_ = BoundKind::None;
+    BudgetTracker tracker(budget_);
+
     std::vector<std::vector<ThreadPath>> all_paths;
     all_paths.reserve(prog_.threads.size());
     for (const Thread &t : prog_.threads)
@@ -359,6 +367,10 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
     };
 
     do {
+        // Budget: poll the deadline/cancel token per path combo; the
+        // per-rf and per-candidate caps are checked on their hooks.
+        if (!tracker.checkNow())
+            break;
         ++stats_.pathCombos;
         std::vector<const ThreadPath *> combo;
         combo.reserve(path_idx.size());
@@ -395,6 +407,10 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
             if (stop)
                 return;
             if (read_idx == lay.readIds.size()) {
+                if (!tracker.onRfAssignment()) {
+                    stop = true;
+                    return;
+                }
                 ++stats_.rfAssignments;
                 Valuation val = valuate(lay, rf_src);
                 if (!val.consistent) {
@@ -416,6 +432,10 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
                     if (stop)
                         return;
                     if (loc_i == by_loc.size()) {
+                        if (!tracker.onCandidate()) {
+                            stop = true;
+                            return;
+                        }
                         CandidateExecution ex;
                         buildRelations(lay, val, rf_src, ex);
                         ex.co = co;
@@ -456,6 +476,10 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
         };
         chooseRf(0);
     } while (!stop && advance());
+
+    tripped_ = tracker.bound();
+    if (tripped_ != BoundKind::None)
+        completeness_ = Completeness::Truncated;
 }
 
 std::vector<CandidateExecution>

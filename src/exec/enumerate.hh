@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/budget.hh"
 #include "exec/execution.hh"
 #include "litmus/program.hh"
 
@@ -37,8 +38,17 @@ class Enumerator
 
     explicit Enumerator(const Program &prog) : prog_(prog) {}
 
+    /** Enumerate under a budget: the run stops at the first bound. */
+    Enumerator(const Program &prog, const RunBudget &budget)
+        : prog_(prog), budget_(budget)
+    {}
+
     /**
      * Visit every consistent candidate execution.
+     *
+     * A budgeted enumeration that trips a bound stops early and
+     * reports Completeness::Truncated; the candidates delivered up
+     * to that point are all valid.
      *
      * @param fn Called with each finalized candidate; return false
      *           to stop the enumeration early.
@@ -50,9 +60,18 @@ class Enumerator
 
     const Stats &stats() const { return stats_; }
 
+    /** Did the last forEach() see the whole search space? */
+    Completeness completeness() const { return completeness_; }
+
+    /** The bound that truncated the last forEach(), if any. */
+    BoundKind trippedBound() const { return tripped_; }
+
   private:
     const Program &prog_;
+    RunBudget budget_;
     Stats stats_;
+    Completeness completeness_ = Completeness::Complete;
+    BoundKind tripped_ = BoundKind::None;
 };
 
 } // namespace lkmm

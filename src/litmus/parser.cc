@@ -6,7 +6,9 @@
 #include <map>
 #include <sstream>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/status.hh"
 
 namespace lkmm
 {
@@ -26,8 +28,10 @@ class Cursor
         for (;;) {
             while (pos_ < src_.size() &&
                    std::isspace(static_cast<unsigned char>(src_[pos_]))) {
-                if (src_[pos_] == '\n')
+                if (src_[pos_] == '\n') {
                     ++line_;
+                    lineStart_ = pos_ + 1;
+                }
                 ++pos_;
             }
             if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
@@ -41,8 +45,10 @@ class Cursor
                 pos_ += 2;
                 while (pos_ + 1 < src_.size() &&
                        !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
-                    if (src_[pos_] == '\n')
+                    if (src_[pos_] == '\n') {
                         ++line_;
+                        lineStart_ = pos_ + 1;
+                    }
                     ++pos_;
                 }
                 pos_ = std::min(pos_ + 2, src_.size());
@@ -50,6 +56,45 @@ class Cursor
             }
             break;
         }
+    }
+
+    /** 1-based column of the cursor on its current line. */
+    int
+    column() const
+    {
+        return static_cast<int>(pos_ - lineStart_) + 1;
+    }
+
+    /** The token under the cursor, for error messages. */
+    std::string
+    nearToken() const
+    {
+        if (pos_ >= src_.size())
+            return "end of input";
+        std::size_t end = pos_;
+        if (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+            src_[end] == '_') {
+            while (end < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+                    src_[end] == '_')) {
+                ++end;
+            }
+        } else {
+            ++end;
+        }
+        return src_.substr(pos_, end - pos_);
+    }
+
+    /**
+     * Report a syntax error at the next token, with line, column
+     * and the offending token text.
+     */
+    [[noreturn]] void
+    error(const std::string &what)
+    {
+        skipSpace();
+        throw ParseError("litmus parser: " + what, line_, column(),
+                         nearToken());
     }
 
     bool
@@ -77,7 +122,8 @@ class Cursor
     get()
     {
         skipSpace();
-        panicIf(pos_ >= src_.size(), "litmus parser ran off the end");
+        if (pos_ >= src_.size())
+            error("unexpected end of input");
         return src_[pos_++];
     }
 
@@ -105,10 +151,8 @@ class Cursor
     void
     expect(const std::string &token)
     {
-        if (!tryConsume(token)) {
-            fatal("litmus parser: expected '" + token + "' at line " +
-                  std::to_string(line_));
-        }
+        if (!tryConsume(token))
+            error("expected '" + token + "'");
     }
 
     std::string
@@ -121,10 +165,8 @@ class Cursor
                 src_[pos_] == '_')) {
             ++pos_;
         }
-        if (start == pos_) {
-            fatal("litmus parser: expected identifier at line " +
-                  std::to_string(line_));
-        }
+        if (start == pos_)
+            error("expected identifier");
         return src_.substr(start, pos_ - start);
     }
 
@@ -135,11 +177,15 @@ class Cursor
         std::size_t start = pos_;
         if (pos_ < src_.size() && src_[pos_] == '-')
             ++pos_;
+        std::size_t digits_start = pos_;
         while (pos_ < src_.size() &&
                std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
             ++pos_;
         }
-        panicIf(start == pos_, "litmus parser: expected number");
+        if (digits_start == pos_) {
+            pos_ = start;
+            error("expected number");
+        }
         return std::stoll(src_.substr(start, pos_ - start));
     }
 
@@ -148,6 +194,7 @@ class Cursor
   private:
     const std::string &src_;
     std::size_t pos_ = 0;
+    std::size_t lineStart_ = 0;
     int line_ = 1;
 };
 
@@ -177,7 +224,7 @@ class LitmusParser
             prog_.quantifier = Quantifier::Forall;
             prog_.condition = parseCond();
         } else {
-            fatal("litmus parser: expected exists/forall clause");
+            cur_.error("expected exists/forall clause");
         }
         return std::move(prog_);
     }
@@ -254,12 +301,21 @@ class LitmusParser
     parseThread()
     {
         const std::string header = cur_.ident();
-        if (header.size() < 2 || header[0] != 'P')
-            fatal("litmus parser: expected thread header Pn, got '" +
-                  header + "'");
+        bool well_formed = header.size() >= 2 && header[0] == 'P';
+        for (std::size_t i = 1; well_formed && i < header.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(header[i])))
+                well_formed = false;
+        }
+        if (!well_formed) {
+            cur_.error("expected thread header Pn, got '" + header +
+                       "'");
+        }
         const long long index = std::stoll(header.substr(1));
-        panicIf(index != static_cast<long long>(prog_.threads.size()),
-                "litmus parser: thread indices must be consecutive");
+        if (index != static_cast<long long>(prog_.threads.size())) {
+            cur_.error("thread indices must be consecutive, got '" +
+                       header + "' for thread " +
+                       std::to_string(prog_.threads.size()));
+        }
         // Parameter list: declares the shared locations (ignored
         // beyond registering names).
         cur_.expect("(");
@@ -629,13 +685,16 @@ class LitmusParser
             cur_.expect(":");
             std::string reg_name = cur_.ident();
             cur_.expect("=");
-            panicIf(t < 0 ||
-                    t >= static_cast<long long>(regNames_.size()),
-                    "litmus: bad thread id in condition");
+            if (t < 0 || t >= static_cast<long long>(regNames_.size())) {
+                cur_.error("bad thread id " + std::to_string(t) +
+                           " in condition (" +
+                           std::to_string(regNames_.size()) +
+                           " threads)");
+            }
             auto it = regNames_[t].find(reg_name);
             if (it == regNames_[t].end()) {
-                fatal("litmus: unknown register " + std::to_string(t) +
-                      ":" + reg_name + " in condition");
+                cur_.error("unknown register " + std::to_string(t) +
+                           ":" + reg_name + " in condition");
             }
             return Cond::regEq(static_cast<int>(t), it->second,
                                condValue());
@@ -644,8 +703,7 @@ class LitmusParser
         std::string name = cur_.ident();
         cur_.expect("=");
         if (!isLoc(name))
-            fatal("litmus: unknown location '" + name +
-                  "' in condition");
+            cur_.error("unknown location '" + name + "' in condition");
         return Cond::memEq(loc(name), condValue());
     }
 
@@ -684,6 +742,8 @@ class LitmusParser
 Program
 parseLitmus(const std::string &source)
 {
+    faultinject::maybeFail(faultinject::Point::LitmusParse,
+                           "parseLitmus");
     LitmusParser parser(source);
     return parser.parse();
 }
@@ -692,8 +752,10 @@ Program
 parseLitmusFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot open litmus file: " + path);
+    if (!in) {
+        throw StatusError(Status(StatusCode::IoError,
+                                 "cannot open litmus file: " + path));
+    }
     std::ostringstream ss;
     ss << in.rdbuf();
     return parseLitmus(ss.str());

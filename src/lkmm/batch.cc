@@ -1,0 +1,141 @@
+#include "lkmm/batch.hh"
+
+#include "base/strutil.hh"
+#include "litmus/parser.hh"
+
+namespace lkmm
+{
+
+std::string
+TestFailure::toString() const
+{
+    return test + " [" + phase + "]: " + status.toString();
+}
+
+std::string
+Divergence::toString() const
+{
+    return test + ": primary=" + verdictName(primary) +
+        " reference=" + verdictName(reference);
+}
+
+std::size_t
+BatchReport::completeCount() const
+{
+    std::size_t n = 0;
+    for (const BatchItemResult &r : results) {
+        if (!r.result.truncated())
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+BatchReport::truncatedCount() const
+{
+    return results.size() - completeCount();
+}
+
+std::string
+BatchReport::summary() const
+{
+    return format("%zu tests: %zu complete, %zu truncated, "
+                  "%zu failed, %zu divergences",
+                  results.size() + failures.size(), completeCount(),
+                  truncatedCount(), failures.size(), divergences.size());
+}
+
+const BatchItemResult *
+BatchReport::find(const std::string &name) const
+{
+    for (const BatchItemResult &r : results) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+BatchRunner::BatchRunner(const Model &model, BatchOptions opts)
+    : model_(model), opts_(std::move(opts))
+{
+}
+
+void
+BatchRunner::add(std::string name, Program prog)
+{
+    Item item;
+    item.name = std::move(name);
+    item.prog = std::move(prog);
+    items_.push_back(std::move(item));
+}
+
+void
+BatchRunner::addLitmusSource(std::string name, std::string source)
+{
+    Item item;
+    item.name = std::move(name);
+    item.source = std::move(source);
+    items_.push_back(std::move(item));
+}
+
+BatchReport
+BatchRunner::run()
+{
+    BatchReport report;
+
+    for (Item &item : items_) {
+        // Parse stage (failure-isolated).
+        if (!item.prog) {
+            try {
+                item.prog = parseLitmus(item.source);
+            } catch (const std::exception &e) {
+                report.failures.push_back(
+                    TestFailure{item.name, "parse", statusOf(e)});
+                continue;
+            }
+        }
+
+        // Run stage with the escalating-budget retry policy.
+        BatchItemResult res;
+        res.name = item.name;
+        try {
+            RunBudget budget = opts_.budget;
+            for (;;) {
+                res.result = runTest(*item.prog, model_, budget);
+                if (!res.result.truncated() ||
+                    res.attempts > opts_.maxRetries) {
+                    break;
+                }
+                budget = budget.scaled(opts_.escalation);
+                ++res.attempts;
+            }
+        } catch (const std::exception &e) {
+            report.failures.push_back(
+                TestFailure{item.name, "run", statusOf(e)});
+            continue;
+        }
+
+        // Cross-check stage: divergences are recorded, not thrown;
+        // an error in the reference model is a TestFailure for this
+        // test but the primary result stands.
+        if (opts_.crossCheck && !res.result.truncated()) {
+            try {
+                RunResult ref =
+                    runTest(*item.prog, *opts_.crossCheck, opts_.budget);
+                if (!ref.truncated() &&
+                    ref.verdict != res.result.verdict) {
+                    report.divergences.push_back(Divergence{
+                        item.name, res.result.verdict, ref.verdict});
+                }
+            } catch (const std::exception &e) {
+                report.failures.push_back(
+                    TestFailure{item.name, "cross-check", statusOf(e)});
+            }
+        }
+
+        report.results.push_back(std::move(res));
+    }
+    return report;
+}
+
+} // namespace lkmm

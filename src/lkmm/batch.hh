@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A hardened batch runner for catalog/corpus sweeps.
+ *
+ * The Table 5 sweeps and diy-generated families run thousands of
+ * tests; one malformed litmus file or one pathological search space
+ * must not abort or hang the whole run.  BatchRunner provides:
+ *
+ *  - per-test failure isolation: parser, evaluator and enumerator
+ *    errors become structured TestFailure records (see
+ *    base/status.hh) and the sweep continues;
+ *  - per-test budgets with a retry-with-escalating-budget policy:
+ *    a truncated run is retried with every bound scaled by
+ *    BatchOptions::escalation, up to maxRetries extra attempts,
+ *    and otherwise reported as Completeness::Truncated with the
+ *    bound that fired;
+ *  - a cross-check mode: every test that completes under the
+ *    primary model is re-run under a reference model (typically
+ *    CatModel on lkmm.cat vs the native LkmmModel) and verdict
+ *    disagreements are recorded as Divergence records instead of
+ *    aborting.
+ */
+
+#ifndef LKMM_LKMM_BATCH_HH
+#define LKMM_LKMM_BATCH_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/budget.hh"
+#include "base/status.hh"
+#include "lkmm/runner.hh"
+
+namespace lkmm
+{
+
+/** One test that could not produce a result at all. */
+struct TestFailure
+{
+    std::string test;
+    /** Which stage failed: "parse" or "run". */
+    std::string phase;
+    Status status;
+
+    /** "LB+bad [parse]: parse-error: ...". */
+    std::string toString() const;
+};
+
+/** A native-vs-reference verdict disagreement (cross-check mode). */
+struct Divergence
+{
+    std::string test;
+    Verdict primary = Verdict::Unknown;
+    Verdict reference = Verdict::Unknown;
+
+    std::string toString() const;
+};
+
+/** The outcome of one test that did run. */
+struct BatchItemResult
+{
+    std::string name;
+    RunResult result;
+    /** Total runTest attempts (1 + retries actually taken). */
+    int attempts = 1;
+};
+
+/** Everything a sweep produced. */
+struct BatchReport
+{
+    std::vector<BatchItemResult> results;
+    std::vector<TestFailure> failures;
+    std::vector<Divergence> divergences;
+
+    std::size_t completeCount() const;
+    std::size_t truncatedCount() const;
+
+    /** One-line sweep summary for logs. */
+    std::string summary() const;
+
+    /** Result for a test by name (null when it failed or is absent). */
+    const BatchItemResult *find(const std::string &name) const;
+};
+
+struct BatchOptions
+{
+    /** Initial per-test budget (unlimited by default). */
+    RunBudget budget;
+    /** Extra attempts granted to truncated tests. */
+    int maxRetries = 0;
+    /** Budget scale factor per retry (see RunBudget::scaled). */
+    double escalation = 8.0;
+    /**
+     * Reference model for cross-check mode (not owned; null
+     * disables).  Must outlive the runner.
+     */
+    const Model *crossCheck = nullptr;
+};
+
+/** Runs a set of tests against one model, isolating failures. */
+class BatchRunner
+{
+  public:
+    /** The model is not owned and must outlive the runner. */
+    explicit BatchRunner(const Model &model, BatchOptions opts = {});
+
+    /** Queue an already-built program. */
+    void add(std::string name, Program prog);
+
+    /**
+     * Queue litmus source text.  Parsing happens inside run() with
+     * failure isolation: a malformed test becomes a TestFailure in
+     * the report, never an exception out of the sweep.
+     */
+    void addLitmusSource(std::string name, std::string source);
+
+    std::size_t size() const { return items_.size(); }
+
+    /**
+     * Run the sweep.  Never throws on per-test errors; every queued
+     * test ends up in exactly one of results or failures.
+     */
+    BatchReport run();
+
+  private:
+    struct Item
+    {
+        std::string name;
+        /** Set for add(); unset for addLitmusSource(). */
+        std::optional<Program> prog;
+        std::string source;
+    };
+
+    const Model &model_;
+    BatchOptions opts_;
+    std::vector<Item> items_;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_LKMM_BATCH_HH

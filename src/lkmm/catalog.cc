@@ -395,7 +395,7 @@ table5()
     return t;
 }
 
-const CatalogEntry &
+std::optional<CatalogEntry>
 findEntry(const std::vector<CatalogEntry> &entries,
           const std::string &name)
 {
@@ -403,7 +403,7 @@ findEntry(const std::vector<CatalogEntry> &entries,
         if (e.prog.name == name)
             return e;
     }
-    fatal("no catalog entry named " + name);
+    return std::nullopt;
 }
 
 } // namespace lkmm

@@ -64,9 +64,16 @@ Program rcuDeferredFree();     ///< Figure 11
 /** All of Table 5, in the paper's row order. */
 std::vector<CatalogEntry> table5();
 
-/** Find a catalog entry by test name; throws FatalError if absent. */
-const CatalogEntry &findEntry(const std::vector<CatalogEntry> &entries,
-                              const std::string &name);
+/**
+ * Find a catalog entry by test name; nullopt when absent.
+ *
+ * Non-throwing by design: catalog lookups happen inside sweeps
+ * (bench tables, batch runs) where a missing name is a data issue
+ * to report, not a reason to abort the process.
+ */
+std::optional<CatalogEntry>
+findEntry(const std::vector<CatalogEntry> &entries,
+          const std::string &name);
 
 } // namespace lkmm
 

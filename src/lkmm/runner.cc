@@ -4,10 +4,10 @@ namespace lkmm
 {
 
 RunResult
-runTest(const Program &prog, const Model &model)
+runTest(const Program &prog, const Model &model, const RunBudget &budget)
 {
     RunResult res;
-    Enumerator en(prog);
+    Enumerator en(prog, budget);
     en.forEach([&](const CandidateExecution &ex) {
         ++res.candidates;
         auto violation = model.check(ex);
@@ -26,23 +26,35 @@ runTest(const Program &prog, const Model &model)
         }
         return true;
     });
+    res.completeness = en.completeness();
+    res.trippedBound = en.trippedBound();
 
     if (prog.quantifier == Quantifier::Exists) {
-        res.verdict = res.witnesses > 0 ? Verdict::Allow : Verdict::Forbid;
+        if (res.witnesses > 0) {
+            // A witness proves Allow even when the run truncated.
+            res.verdict = Verdict::Allow;
+        } else {
+            res.verdict = res.truncated() ? Verdict::Unknown
+                                          : Verdict::Forbid;
+        }
     } else {
         // forall: Allow when every allowed candidate satisfies the
-        // condition.
-        res.verdict = res.witnesses == res.allowedCandidates
-            ? Verdict::Allow : Verdict::Forbid;
+        // condition; a counterexample proves Forbid even truncated.
+        if (res.witnesses < res.allowedCandidates)
+            res.verdict = Verdict::Forbid;
+        else
+            res.verdict = res.truncated() ? Verdict::Unknown
+                                          : Verdict::Allow;
     }
     return res;
 }
 
 Verdict
-quickVerdict(const Program &prog, const Model &model)
+quickVerdict(const Program &prog, const Model &model,
+             const RunBudget &budget)
 {
     bool found = false;
-    Enumerator en(prog);
+    Enumerator en(prog, budget);
     en.forEach([&](const CandidateExecution &ex) {
         if (ex.satisfiesCondition() && model.allows(ex)) {
             found = true;
@@ -50,7 +62,10 @@ quickVerdict(const Program &prog, const Model &model)
         }
         return true;
     });
-    return found ? Verdict::Allow : Verdict::Forbid;
+    if (found)
+        return Verdict::Allow;
+    return en.completeness() == Completeness::Truncated
+        ? Verdict::Unknown : Verdict::Forbid;
 }
 
 } // namespace lkmm

@@ -20,17 +20,29 @@
 namespace lkmm
 {
 
-/** Verdict of a litmus test under a model. */
+/**
+ * Verdict of a litmus test under a model.
+ *
+ * Unknown is the degraded verdict of a truncated (budgeted) run
+ * whose evidence is inconclusive: reporting Allow or Forbid there
+ * would be silently wrong.  Complete runs never yield Unknown.
+ */
 enum class Verdict
 {
     Allow,
     Forbid,
+    Unknown,
 };
 
 inline const char *
 verdictName(Verdict v)
 {
-    return v == Verdict::Allow ? "Allow" : "Forbid";
+    switch (v) {
+      case Verdict::Allow: return "Allow";
+      case Verdict::Forbid: return "Forbid";
+      case Verdict::Unknown: return "Unknown";
+    }
+    return "?";
 }
 
 /** Everything the runner learned about one test under one model. */
@@ -58,16 +70,40 @@ struct RunResult
 
     /** A witness execution when the verdict is Allow. */
     std::optional<CandidateExecution> witness;
+
+    /** Did the enumeration cover the whole search space? */
+    Completeness completeness = Completeness::Complete;
+    /** The budget bound that truncated the run (None if complete). */
+    BoundKind trippedBound = BoundKind::None;
+
+    bool
+    truncated() const
+    {
+        return completeness == Completeness::Truncated;
+    }
 };
 
-/** Run one program against one model. */
-RunResult runTest(const Program &prog, const Model &model);
+/**
+ * Run one program against one model, optionally under a budget.
+ *
+ * With a budget, the verdict degrades gracefully on truncation
+ * instead of being silently wrong:
+ *  - exists: a witness already found still proves Allow; otherwise
+ *    a truncated run reports Unknown (the witness may lie in the
+ *    unexplored part).
+ *  - forall: a counterexample already found still proves Forbid;
+ *    otherwise a truncated run reports Unknown.
+ */
+RunResult runTest(const Program &prog, const Model &model,
+                  const RunBudget &budget = RunBudget::unlimited());
 
 /**
  * Fast verdict: stops at the first witness.  Used by the soundness
- * sweeps in bench/ where only Allow/Forbid matters.
+ * sweeps in bench/ where only Allow/Forbid matters.  Under a budget
+ * the same degradation as runTest applies.
  */
-Verdict quickVerdict(const Program &prog, const Model &model);
+Verdict quickVerdict(const Program &prog, const Model &model,
+                     const RunBudget &budget = RunBudget::unlimited());
 
 } // namespace lkmm
 

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the robustness base layer: RunBudget/BudgetTracker
+ * (base/budget.hh), the status taxonomy (base/status.hh) and the
+ * fault-injection hooks (base/faultinject.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "base/budget.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "base/status.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+using namespace std::chrono_literals;
+
+// RunBudget ----------------------------------------------------------
+
+TEST(RunBudget, DefaultIsUnlimited)
+{
+    RunBudget b;
+    EXPECT_TRUE(b.isUnlimited());
+    EXPECT_TRUE(RunBudget::unlimited().isUnlimited());
+
+    b.maxCandidates = 10;
+    EXPECT_FALSE(b.isUnlimited());
+}
+
+TEST(RunBudget, ScaledMultipliesEveryBound)
+{
+    RunBudget b;
+    b.wallClock = 10ms;
+    b.maxCandidates = 100;
+    b.maxRfAssignments = 50;
+    b.maxEvalSteps = 7;
+
+    RunBudget s = b.scaled(4.0);
+    EXPECT_EQ(s.wallClock, 40ms);
+    EXPECT_EQ(s.maxCandidates, 400u);
+    EXPECT_EQ(s.maxRfAssignments, 200u);
+    EXPECT_EQ(s.maxEvalSteps, 28u);
+}
+
+TEST(RunBudget, ScaledKeepsUnlimitedUnlimited)
+{
+    RunBudget b;
+    b.maxCandidates = 100;
+    // The other bounds are 0 = unlimited and must stay that way
+    // (0 * k == 0 happens to work, but saturation must not turn
+    // "unlimited" into a finite bound either).
+    RunBudget s = b.scaled(1000.0);
+    EXPECT_EQ(s.maxCandidates, 100000u);
+    EXPECT_EQ(s.maxRfAssignments, 0u);
+    EXPECT_EQ(s.maxEvalSteps, 0u);
+    EXPECT_EQ(s.wallClock.count(), 0);
+
+    EXPECT_TRUE(RunBudget::unlimited().scaled(8.0).isUnlimited());
+}
+
+TEST(RunBudget, ScaledSaturatesInsteadOfWrapping)
+{
+    RunBudget b;
+    b.maxCandidates = std::numeric_limits<std::size_t>::max() / 2;
+    RunBudget s = b.scaled(1e12);
+    // Saturated to max, not wrapped to something small (and not 0,
+    // which would mean "unlimited" — saturation is fine for an
+    // escalation policy, silent unlimiting is not the contract).
+    EXPECT_EQ(s.maxCandidates, std::numeric_limits<std::size_t>::max());
+}
+
+TEST(RunBudget, ToStringMentionsBounds)
+{
+    RunBudget b;
+    b.maxCandidates = 42;
+    const std::string s = b.toString();
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(RunBudget::unlimited().toString(), "");
+}
+
+// BudgetTracker ------------------------------------------------------
+
+TEST(BudgetTracker, CandidateCapDeliversExactlyN)
+{
+    RunBudget b;
+    b.maxCandidates = 3;
+    BudgetTracker t(b);
+    // A budget of N admits exactly N candidates ...
+    EXPECT_TRUE(t.onCandidate());
+    EXPECT_TRUE(t.onCandidate());
+    EXPECT_TRUE(t.onCandidate());
+    EXPECT_FALSE(t.exhausted());
+    // ... and trips on the (N+1)-th attempt.
+    EXPECT_FALSE(t.onCandidate());
+    EXPECT_TRUE(t.exhausted());
+    EXPECT_EQ(t.bound(), BoundKind::Candidates);
+    // Latched: everything fails afterwards.
+    EXPECT_FALSE(t.onCandidate());
+    EXPECT_FALSE(t.onRfAssignment());
+}
+
+TEST(BudgetTracker, RfAssignmentCap)
+{
+    RunBudget b;
+    b.maxRfAssignments = 2;
+    BudgetTracker t(b);
+    EXPECT_TRUE(t.onRfAssignment());
+    EXPECT_TRUE(t.onRfAssignment());
+    EXPECT_FALSE(t.onRfAssignment());
+    EXPECT_EQ(t.bound(), BoundKind::RfAssignments);
+}
+
+TEST(BudgetTracker, EvalStepCap)
+{
+    RunBudget b;
+    b.maxEvalSteps = 1;
+    BudgetTracker t(b);
+    EXPECT_TRUE(t.onEvalStep());
+    EXPECT_FALSE(t.onEvalStep());
+    EXPECT_EQ(t.bound(), BoundKind::EvalSteps);
+}
+
+TEST(BudgetTracker, UnlimitedNeverTrips)
+{
+    BudgetTracker t(RunBudget::unlimited());
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(t.onCandidate());
+        ASSERT_TRUE(t.onRfAssignment());
+    }
+    EXPECT_TRUE(t.checkNow());
+    EXPECT_FALSE(t.exhausted());
+    EXPECT_EQ(t.bound(), BoundKind::None);
+}
+
+TEST(BudgetTracker, ExpiredDeadlineTripsOnCheckNow)
+{
+    RunBudget b;
+    b.wallClock = 1ns;
+    BudgetTracker t(b);
+    // The deadline is effectively already past; the unconditional
+    // poll must see it.
+    while (t.checkNow()) {}
+    EXPECT_EQ(t.bound(), BoundKind::WallClock);
+    EXPECT_FALSE(t.onCandidate());
+}
+
+TEST(BudgetTracker, CancellationTripsOnCheckNow)
+{
+    CancelToken token;
+    RunBudget b;
+    b.cancel = &token;
+    BudgetTracker t(b);
+    EXPECT_TRUE(t.checkNow());
+    token.cancel();
+    EXPECT_FALSE(t.checkNow());
+    EXPECT_EQ(t.bound(), BoundKind::Cancelled);
+
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(BudgetTracker, NamesAreStable)
+{
+    EXPECT_STREQ(boundKindName(BoundKind::WallClock), "wall-clock");
+    EXPECT_STREQ(boundKindName(BoundKind::Candidates), "candidates");
+    EXPECT_STREQ(completenessName(Completeness::Complete), "complete");
+    EXPECT_STREQ(completenessName(Completeness::Truncated), "truncated");
+}
+
+// Status taxonomy ----------------------------------------------------
+
+TEST(Status, CodeAndMessage)
+{
+    Status s(StatusCode::BudgetExceeded, "candidate cap");
+    EXPECT_EQ(s.code(), StatusCode::BudgetExceeded);
+    EXPECT_FALSE(s.isOk());
+    EXPECT_NE(s.toString().find("candidate cap"), std::string::npos);
+    EXPECT_NE(s.toString().find(statusCodeName(s.code())),
+              std::string::npos);
+
+    EXPECT_TRUE(Status::ok().isOk());
+}
+
+TEST(Status, StatusOfClassifiesExceptions)
+{
+    StatusError se(Status(StatusCode::IoError, "no such file"));
+    EXPECT_EQ(statusOf(se).code(), StatusCode::IoError);
+    EXPECT_EQ(statusOf(se).message(), se.status().message());
+
+    FatalError fe("fatal: bad input");
+    EXPECT_EQ(statusOf(fe).code(), StatusCode::InvalidArgument);
+
+    PanicError pe("panic: impossible");
+    EXPECT_EQ(statusOf(pe).code(), StatusCode::Internal);
+
+    std::runtime_error re("plain");
+    EXPECT_EQ(statusOf(re).code(), StatusCode::Internal);
+}
+
+TEST(Status, ParseErrorCarriesCoordinates)
+{
+    ParseError e("litmus parser: expected ')'", 3, 14, ";");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 14);
+    EXPECT_EQ(e.token(), ";");
+    EXPECT_EQ(e.status().code(), StatusCode::ParseError);
+    // The rendered message must carry the coordinates and token.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3:14"), std::string::npos);
+    EXPECT_NE(what.find(";"), std::string::npos);
+}
+
+TEST(Status, StatusErrorIsAFatalError)
+{
+    // The bridge property existing catch-sites rely on.
+    EXPECT_THROW(
+        throw StatusError(Status(StatusCode::EvalError, "x")),
+        FatalError);
+    EXPECT_THROW(throw ParseError("p", 1, 1, "t"), StatusError);
+}
+
+// Fault injection ----------------------------------------------------
+
+class FaultInjectTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { faultinject::reset(); }
+    void TearDown() override { faultinject::reset(); }
+};
+
+TEST_F(FaultInjectTest, ArmFireDisarm)
+{
+    using faultinject::Point;
+    EXPECT_FALSE(faultinject::armed(Point::CatEval));
+    faultinject::arm(Point::CatEval);
+    EXPECT_TRUE(faultinject::armed(Point::CatEval));
+    // Other points stay disarmed.
+    EXPECT_FALSE(faultinject::armed(Point::LitmusParse));
+    faultinject::maybeFail(Point::LitmusParse, "noop");
+
+    try {
+        faultinject::maybeFail(Point::CatEval, "test-site");
+        FAIL() << "armed point did not fire";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::Internal);
+        EXPECT_NE(e.status().message().find("test-site"),
+                  std::string::npos);
+    }
+    // One-shot: the point disarmed itself.
+    EXPECT_FALSE(faultinject::armed(Point::CatEval));
+    faultinject::maybeFail(Point::CatEval, "test-site");
+}
+
+TEST_F(FaultInjectTest, ArmFromSpec)
+{
+    faultinject::armFromSpec(" litmus-parse , enumerate ");
+    EXPECT_TRUE(faultinject::armed(faultinject::Point::LitmusParse));
+    EXPECT_TRUE(faultinject::armed(faultinject::Point::Enumerate));
+    EXPECT_FALSE(faultinject::armed(faultinject::Point::CatParse));
+
+    faultinject::reset();
+    EXPECT_FALSE(faultinject::armed(faultinject::Point::LitmusParse));
+    EXPECT_FALSE(faultinject::armed(faultinject::Point::Enumerate));
+}
+
+TEST_F(FaultInjectTest, UnknownSpecNameThrows)
+{
+    try {
+        faultinject::armFromSpec("litmus-parse,flux-capacitor");
+        FAIL() << "unknown point accepted";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidArgument);
+    }
+}
+
+TEST_F(FaultInjectTest, PointNamesRoundTrip)
+{
+    using faultinject::Point;
+    const Point points[] = {Point::LitmusParse, Point::CatParse,
+                            Point::CatEval, Point::Enumerate};
+    for (Point p : points) {
+        faultinject::armFromSpec(faultinject::pointName(p));
+        EXPECT_TRUE(faultinject::armed(p)) << faultinject::pointName(p);
+        faultinject::reset();
+    }
+}
+
+} // namespace
+} // namespace lkmm

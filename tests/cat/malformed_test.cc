@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Malformed-cat regression corpus: every file under tests/cat/corpus
+ * must fail with a structured ParseError (line, column, offending
+ * token), and inline cases pin exact coordinates for the lexer and
+ * parser error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "base/status.hh"
+#include "cat/parser.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+corpusFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(LKMM_CAT_CORPUS_DIR)) {
+        if (entry.path().extension() == ".cat")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(MalformedCat, EveryCorpusFileFailsStructurally)
+{
+    const std::vector<fs::path> files = corpusFiles();
+    // truncated, unbalanced-parens, unknown-keyword, bad-char,
+    // unterminated-string.
+    ASSERT_GE(files.size(), 5u);
+
+    for (const fs::path &f : files) {
+        try {
+            (void)cat::parseCatFile(f.string());
+            FAIL() << f.filename() << " parsed successfully";
+        } catch (const ParseError &e) {
+            EXPECT_GE(e.line(), 1) << f.filename();
+            EXPECT_GE(e.column(), 1) << f.filename();
+            EXPECT_FALSE(e.token().empty()) << f.filename();
+            EXPECT_EQ(e.status().code(), StatusCode::ParseError)
+                << f.filename();
+        } catch (const std::exception &e) {
+            FAIL() << f.filename()
+                   << " threw an unstructured error: " << e.what();
+        }
+    }
+}
+
+TEST(MalformedCat, TruncatedExpressionReportsEndOfInput)
+{
+    try {
+        (void)cat::parseCat("let a = po |");
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_EQ(e.token(), "end of input");
+        EXPECT_NE(std::string(e.what()).find("expected expression"),
+                  std::string::npos);
+    }
+}
+
+TEST(MalformedCat, UnknownKeywordCoordinates)
+{
+    try {
+        (void)cat::parseCat("\"m\"\nfrobnicate po as x\n");
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_EQ(e.column(), 1);
+        EXPECT_EQ(e.token(), "frobnicate");
+    }
+}
+
+TEST(MalformedCat, BadCharacterCoordinates)
+{
+    try {
+        (void)cat::parseCat("let a = po @ rf\n");
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_EQ(e.column(), 12);
+        EXPECT_EQ(e.token(), "@");
+    }
+}
+
+TEST(MalformedCat, UnterminatedStringCoordinates)
+{
+    try {
+        (void)cat::parseCat("\"unterminated model\nlet a = po\n");
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_EQ(e.column(), 1);
+        EXPECT_NE(std::string(e.what()).find("unterminated"),
+                  std::string::npos);
+    }
+}
+
+TEST(MalformedCat, MissingFileIsIoError)
+{
+    try {
+        (void)cat::parseCatFile("/nonexistent/no-such.cat");
+        FAIL() << "opened";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::IoError);
+    }
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Malformed-litmus regression corpus: every file under
+ * tests/litmus/corpus must fail with a structured ParseError
+ * carrying a plausible line, column and offending token — never a
+ * raw crash, a bare FatalError, or a silent success.  Inline cases
+ * pin exact coordinates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "base/status.hh"
+#include "litmus/parser.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+corpusFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(LKMM_LITMUS_CORPUS_DIR)) {
+        if (entry.path().extension() == ".litmus")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(MalformedLitmus, EveryCorpusFileFailsStructurally)
+{
+    const std::vector<fs::path> files = corpusFiles();
+    // Keep the corpus honest: truncated input, bad register,
+    // unbalanced parens, unknown fence, bad thread header, bad
+    // init, missing condition.
+    ASSERT_GE(files.size(), 7u);
+
+    for (const fs::path &f : files) {
+        try {
+            (void)parseLitmusFile(f.string());
+            FAIL() << f.filename() << " parsed successfully";
+        } catch (const ParseError &e) {
+            EXPECT_GE(e.line(), 1) << f.filename();
+            EXPECT_GE(e.column(), 1) << f.filename();
+            EXPECT_FALSE(e.token().empty()) << f.filename();
+            EXPECT_EQ(e.status().code(), StatusCode::ParseError)
+                << f.filename();
+        } catch (const std::exception &e) {
+            FAIL() << f.filename()
+                   << " threw an unstructured error: " << e.what();
+        }
+    }
+}
+
+TEST(MalformedLitmus, BadThreadHeaderCoordinates)
+{
+    const std::string src = "C t\n"
+                            "{ x=0; }\n"
+                            "Px(int *x) { }\n"
+                            "exists (true)\n";
+    try {
+        (void)parseLitmus(src);
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("Px"), std::string::npos);
+    }
+}
+
+TEST(MalformedLitmus, UnknownRegisterCoordinates)
+{
+    const std::string src = "C t\n"
+                            "{ x=0; }\n"
+                            "P0(int *x) {\n"
+                            "    int r0 = READ_ONCE(*x);\n"
+                            "}\n"
+                            "exists (0:r1=0)\n";
+    try {
+        (void)parseLitmus(src);
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 6);
+        EXPECT_EQ(e.column(), 14);
+        EXPECT_EQ(e.token(), "0");
+        EXPECT_NE(std::string(e.what()).find("unknown register"),
+                  std::string::npos);
+    }
+}
+
+TEST(MalformedLitmus, UnbalancedParensCoordinates)
+{
+    const std::string src = "C t\n"
+                            "{ x=0; }\n"
+                            "P0(int *x) {\n"
+                            "    WRITE_ONCE(*x, (1 + 2;\n"
+                            "}\n"
+                            "exists (true)\n";
+    try {
+        (void)parseLitmus(src);
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 4);
+        EXPECT_EQ(e.token(), ";");
+        EXPECT_NE(std::string(e.what()).find("')'"), std::string::npos);
+    }
+}
+
+TEST(MalformedLitmus, TruncatedInputReportsEndOfInput)
+{
+    const std::string src = "C t\n"
+                            "{ x=0; }\n"
+                            "P0(int *x) {\n";
+    try {
+        (void)parseLitmus(src);
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.token(), "end of input");
+        EXPECT_GE(e.line(), 3);
+    }
+}
+
+TEST(MalformedLitmus, MissingFileIsIoError)
+{
+    try {
+        (void)parseLitmusFile("/nonexistent/no-such.litmus");
+        FAIL() << "opened";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::IoError);
+    }
+}
+
+} // namespace
+} // namespace lkmm

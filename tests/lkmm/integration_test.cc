@@ -43,11 +43,25 @@ const ShippedTest SHIPPED[] = {
 TEST(Integration, ShippedLitmusFilesMatchCatalogVerdicts)
 {
     LkmmModel model;
+    const std::vector<CatalogEntry> entries = table5();
     for (const ShippedTest &t : SHIPPED) {
         SCOPED_TRACE(t.file);
         Program p = parseLitmusFile(litmusPath(t.file));
         EXPECT_EQ(quickVerdict(p, model), t.expected);
+        // Where the test is a Table 5 row, the catalog must agree.
+        if (auto e = findEntry(entries, p.name)) {
+            EXPECT_EQ(e->lkmmExpected, t.expected) << p.name;
+        }
     }
+}
+
+TEST(Integration, FindEntryIsNonThrowing)
+{
+    const std::vector<CatalogEntry> entries = table5();
+    EXPECT_FALSE(findEntry(entries, "no-such-test").has_value());
+    auto sb_entry = findEntry(entries, "SB");
+    ASSERT_TRUE(sb_entry.has_value());
+    EXPECT_EQ(sb_entry->lkmmExpected, Verdict::Allow);
 }
 
 TEST(Integration, ShippedFilesAgreeWithBuiltinCatalog)
