@@ -1,7 +1,9 @@
 #include "base/faultinject.hh"
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 #include "base/status.hh"
@@ -15,6 +17,13 @@ namespace
 
 std::atomic<bool> g_armed[kNumPoints];
 
+/**
+ * Context filter (empty = match everything).  Guarded by a mutex;
+ * the common disarmed path never takes it.
+ */
+std::mutex g_filter_mutex;
+std::string g_filter;
+
 /** Parse LKMM_FAULT_INJECT once, on first use of any point. */
 std::once_flag g_env_once;
 
@@ -24,6 +33,16 @@ armFromEnv()
     const char *spec = std::getenv("LKMM_FAULT_INJECT");
     if (spec && *spec)
         armFromSpec(spec);
+    const char *filter = std::getenv("LKMM_FAULT_INJECT_FILTER");
+    if (filter && *filter)
+        setFilter(filter);
+}
+
+bool
+filterMatches(const char *what)
+{
+    std::lock_guard<std::mutex> lock(g_filter_mutex);
+    return g_filter.empty() || (what && g_filter == what);
 }
 
 void
@@ -42,6 +61,9 @@ pointName(Point p)
       case Point::CatParse: return "cat-parse";
       case Point::CatEval: return "cat-eval";
       case Point::Enumerate: return "enumerate";
+      case Point::CrashSegv: return "crash-segv";
+      case Point::CrashAbort: return "crash-abort";
+      case Point::Hang: return "hang";
     }
     return "unknown";
 }
@@ -81,6 +103,14 @@ reset()
 {
     for (auto &a : g_armed)
         a.store(false, std::memory_order_relaxed);
+    setFilter("");
+}
+
+void
+setFilter(const std::string &filter)
+{
+    std::lock_guard<std::mutex> lock(g_filter_mutex);
+    g_filter = filter;
 }
 
 bool
@@ -97,9 +127,30 @@ maybeFail(Point p, const char *what)
     auto &flag = g_armed[static_cast<int>(p)];
     if (!flag.load(std::memory_order_relaxed))
         return;
-    // One-shot: disarm before throwing so a retry can succeed.
+    if (!filterMatches(what))
+        return;
+    // One-shot: disarm before failing so a retry can succeed.  For
+    // the crash points this only matters to the forked child's copy
+    // of the flag; the parent stays armed, which is why crash tests
+    // always pair arming with a filter.
     if (!flag.exchange(false, std::memory_order_relaxed))
         return;
+    switch (p) {
+      case Point::CrashSegv:
+        std::raise(SIGSEGV);
+        return;
+      case Point::CrashAbort:
+        std::abort();
+      case Point::Hang:
+        // Spin until a watchdog SIGKILL arrives; nanosleep keeps
+        // the loop cheap without consuming the CPU rlimit.
+        for (;;) {
+            struct timespec ts = {0, 50 * 1000 * 1000};
+            nanosleep(&ts, nullptr);
+        }
+      default:
+        break;
+    }
     throw StatusError(Status(
         StatusCode::Internal,
         std::string("injected fault at ") + pointName(p) + ": " + what));

@@ -32,9 +32,22 @@ enum class Point
     CatParse,
     CatEval,
     Enumerate,
+    /**
+     * Hard-crash actions for exercising the process-isolation layer
+     * (base/subprocess, forked batch mode).  Unlike the points
+     * above, firing one of these does not throw: CrashSegv raises
+     * SIGSEGV, CrashAbort calls std::abort(), and Hang spins until
+     * killed — the three child-death shapes the sandbox must decode
+     * (signal, abort, watchdog timeout).  Arm them only around
+     * sandboxed work: in-process they take the whole process down,
+     * which is exactly what the sandbox exists to contain.
+     */
+    CrashSegv,
+    CrashAbort,
+    Hang,
 };
 
-constexpr int kNumPoints = 4;
+constexpr int kNumPoints = 7;
 
 /** Stable name used by LKMM_FAULT_INJECT, e.g. "litmus-parse". */
 const char *pointName(Point p);
@@ -45,17 +58,30 @@ void arm(Point p);
 /** Arm from a spec like "litmus-parse,cat-eval"; unknown names throw. */
 void armFromSpec(const std::string &spec);
 
-/** Disarm every point. */
+/** Disarm every point and clear the context filter. */
 void reset();
+
+/**
+ * Restrict firing to passages whose context string equals filter
+ * (empty = fire anywhere).  The batch runner passes the test name
+ * as context, so a filter targets one test of a sweep — essential
+ * for the crash points, whose armed state is inherited by every
+ * forked child and never disarms in the parent.  Also settable via
+ * LKMM_FAULT_INJECT_FILTER.
+ */
+void setFilter(const std::string &filter);
 
 /** Is the point currently armed? */
 bool armed(Point p);
 
 /**
- * The injection point itself: no-op unless armed, in which case it
- * disarms the point and throws StatusError(Internal).  Called on
- * entry to the instrumented operations; the armed check is a single
- * relaxed atomic load, so release-path overhead is negligible.
+ * The injection point itself: no-op unless armed (and the context
+ * filter, if set, matches what), in which case it disarms the point
+ * and throws StatusError(Internal) — or, for the crash points,
+ * raises the corresponding hard failure instead of throwing.
+ * Called on entry to the instrumented operations; the armed check
+ * is a single relaxed atomic load, so release-path overhead is
+ * negligible.
  */
 void maybeFail(Point p, const char *what);
 

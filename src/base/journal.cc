@@ -1,0 +1,200 @@
+#include "base/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "base/status.hh"
+#include "base/strutil.hh"
+
+namespace lkmm::journal
+{
+
+namespace
+{
+
+[[noreturn]] void
+ioError(const std::string &what, const std::string &path)
+{
+    throw StatusError(Status(
+        StatusCode::IoError,
+        what + " '" + path + "': " + std::strerror(errno)));
+}
+
+struct Crc32Table
+{
+    std::uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    static const Crc32Table table;
+    std::uint32_t c = 0xffffffffu;
+    for (unsigned char byte : data)
+        c = table.entries[(c ^ byte) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::string
+encodeLine(const json::Value &record)
+{
+    const std::string payload = record.serialize();
+    json::Object wrapper;
+    wrapper["crc"] = json::Value(format("%08x", crc32(payload)));
+    wrapper["data"] = record;
+    // Serializing the wrapper re-serializes data identically
+    // (serialize() is canonical), so the checksum the reader
+    // recomputes matches the one stored here.
+    return json::Value(std::move(wrapper)).serialize() + "\n";
+}
+
+std::optional<json::Value>
+decodeLine(const std::string &line)
+{
+    json::Value wrapper;
+    try {
+        wrapper = json::Value::parse(line);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+    const json::Value *data = wrapper.get("data");
+    if (!data)
+        return std::nullopt;
+    if (wrapper.getString("crc") != format("%08x", crc32(data->serialize())))
+        return std::nullopt;
+    return *data;
+}
+
+RecoverResult
+recover(const std::string &path)
+{
+    RecoverResult result;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        // Missing file == empty journal; any other failure mode
+        // (EACCES, EISDIR) also lands here but surfaces on the
+        // Writer open, which reports errno.
+        return result;
+    }
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+
+    std::uint64_t offset = 0;
+    while (offset < content.size()) {
+        const std::size_t nl = content.find('\n', offset);
+        if (nl == std::string::npos)
+            break; // torn tail: no terminating newline
+        std::optional<json::Value> rec =
+            decodeLine(content.substr(offset, nl - offset));
+        if (!rec)
+            break; // corrupt line: stop trusting the file here
+        result.records.push_back(std::move(*rec));
+        offset = nl + 1;
+    }
+    result.validBytes = offset;
+    result.droppedTail = offset < content.size();
+    return result;
+}
+
+Writer
+Writer::create(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0)
+        ioError("cannot create journal", path);
+    return Writer(fd);
+}
+
+Writer
+Writer::append(const std::string &path, std::uint64_t validBytes)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0)
+        ioError("cannot open journal", path);
+    if (::ftruncate(fd, static_cast<off_t>(validBytes)) != 0 ||
+        ::lseek(fd, 0, SEEK_END) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        ioError("cannot truncate journal", path);
+    }
+    return Writer(fd);
+}
+
+Writer::Writer(Writer &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Writer &
+Writer::operator=(Writer &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Writer::~Writer()
+{
+    close();
+}
+
+void
+Writer::append(const json::Value &record)
+{
+    if (fd_ < 0) {
+        throw StatusError(Status(StatusCode::Internal,
+                                 "append on a closed journal writer"));
+    }
+    const std::string line = encodeLine(record);
+    std::size_t written = 0;
+    while (written < line.size()) {
+        ssize_t n = ::write(fd_, line.data() + written,
+                            line.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("journal write failed", "");
+        }
+        written += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Writer::sync()
+{
+    if (fd_ >= 0)
+        ::fdatasync(fd_);
+}
+
+void
+Writer::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace lkmm::journal

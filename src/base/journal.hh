@@ -1,0 +1,113 @@
+/**
+ * @file
+ * An append-only, crash-tolerant JSONL result journal.
+ *
+ * Catalog sweeps run for hours; a sweep killed at any point — child
+ * crash taking the parent down, OOM kill, operator Ctrl-C, power
+ * loss — must not lose completed work.  The journal is the durable
+ * record: one JSON object per line, each wrapped with a CRC-32 of
+ * its canonical serialization:
+ *
+ *   {"crc":"9ae0daaf","data":{...record...}}
+ *
+ * Recovery scans the file from the start and accepts the longest
+ * prefix of intact lines.  A torn final line (the classic
+ * crash-mid-append shape) is dropped silently; recover() reports
+ * how many bytes of the file are trustworthy so Writer::append()
+ * can truncate the garbage before continuing.  A corrupt line in
+ * the *middle* of the file is treated the same way — everything
+ * from the first bad line on is discarded — because an append-only
+ * writer can't vouch for anything written after a corruption.
+ *
+ * The journal is deliberately generic: records are json::Value
+ * objects; the sweep-record schema lives in lkmm/sweep_journal.hh.
+ */
+
+#ifndef LKMM_BASE_JOURNAL_HH
+#define LKMM_BASE_JOURNAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace lkmm::journal
+{
+
+/** CRC-32 (IEEE, zlib polynomial) of a byte string. */
+std::uint32_t crc32(const std::string &data);
+
+/** One record rendered as a checksummed journal line (with '\n'). */
+std::string encodeLine(const json::Value &record);
+
+/**
+ * Decode one line (without trailing '\n').  nullopt when the line
+ * is torn, malformed, or fails its checksum.
+ */
+std::optional<json::Value> decodeLine(const std::string &line);
+
+/** What recover() salvaged from a journal file. */
+struct RecoverResult
+{
+    /** The intact records, in write order. */
+    std::vector<json::Value> records;
+    /** Length of the trustworthy prefix of the file, in bytes. */
+    std::uint64_t validBytes = 0;
+    /** Did the file contain garbage past the valid prefix? */
+    bool droppedTail = false;
+};
+
+/**
+ * Read back a journal, tolerating a torn tail.  A missing file is
+ * an empty journal, not an error; an unreadable file throws
+ * StatusError(IoError).
+ */
+RecoverResult recover(const std::string &path);
+
+/**
+ * Appends checksummed records to a journal file.
+ *
+ * Writers are move-only and flush each record eagerly: after
+ * append() returns, the record is in the kernel page cache (and a
+ * torn write of it is recoverable).  sync() additionally issues
+ * fdatasync for callers that want power-loss durability.
+ */
+class Writer
+{
+  public:
+    /** Start a fresh journal, truncating any existing file. */
+    static Writer create(const std::string &path);
+
+    /**
+     * Continue a recovered journal: truncate to validBytes (cutting
+     * any torn tail) and append from there.
+     */
+    static Writer append(const std::string &path, std::uint64_t validBytes);
+
+    Writer(Writer &&other) noexcept;
+    Writer &operator=(Writer &&other) noexcept;
+    Writer(const Writer &) = delete;
+    Writer &operator=(const Writer &) = delete;
+    ~Writer();
+
+    /** Append one record and flush it to the file. */
+    void append(const json::Value &record);
+
+    /** fdatasync the file. */
+    void sync();
+
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    explicit Writer(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+};
+
+} // namespace lkmm::journal
+
+#endif // LKMM_BASE_JOURNAL_HH

@@ -1,7 +1,15 @@
 #include "lkmm/batch.hh"
 
+#include <algorithm>
+#include <cerrno>
+
+#include <poll.h>
+
+#include "base/faultinject.hh"
 #include "base/strutil.hh"
+#include "base/subprocess.hh"
 #include "litmus/parser.hh"
+#include "lkmm/sweep_journal.hh"
 
 namespace lkmm
 {
@@ -39,10 +47,16 @@ BatchReport::truncatedCount() const
 std::string
 BatchReport::summary() const
 {
-    return format("%zu tests: %zu complete, %zu truncated, "
-                  "%zu failed, %zu divergences",
-                  results.size() + failures.size(), completeCount(),
-                  truncatedCount(), failures.size(), divergences.size());
+    std::string s = format("%zu tests: %zu complete, %zu truncated, "
+                           "%zu failed, %zu divergences",
+                           results.size() + failures.size(),
+                           completeCount(), truncatedCount(),
+                           failures.size(), divergences.size());
+    if (resumedCount)
+        s += format(" (%zu resumed from journal)", resumedCount);
+    if (cancelled)
+        s += " [cancelled]";
+    return s;
 }
 
 const BatchItemResult *
@@ -61,79 +75,374 @@ BatchRunner::BatchRunner(const Model &model, BatchOptions opts)
 }
 
 void
+BatchRunner::checkDuplicate(const std::string &name) const
+{
+    if (names_.count(name)) {
+        throw StatusError(Status(
+            StatusCode::InvalidArgument,
+            "duplicate test name '" + name +
+                "': journal resume is keyed by name"));
+    }
+}
+
+void
 BatchRunner::add(std::string name, Program prog)
 {
+    checkDuplicate(name);
     Item item;
     item.name = std::move(name);
     item.prog = std::move(prog);
+    names_.insert(item.name);
     items_.push_back(std::move(item));
 }
 
 void
 BatchRunner::addLitmusSource(std::string name, std::string source)
 {
+    checkDuplicate(name);
     Item item;
     item.name = std::move(name);
     item.source = std::move(source);
+    names_.insert(item.name);
     items_.push_back(std::move(item));
+}
+
+bool
+BatchRunner::cancelled() const
+{
+    return opts_.budget.cancel && opts_.budget.cancel->cancelled();
+}
+
+std::optional<ItemOutcome>
+BatchRunner::runItem(Item &item) const
+{
+    ItemOutcome outcome;
+
+    // Crash-injection points for the isolation layer's tests: these
+    // take the *process* down, so only a forked child survives them.
+    faultinject::maybeFail(faultinject::Point::CrashSegv,
+                           item.name.c_str());
+    faultinject::maybeFail(faultinject::Point::CrashAbort,
+                           item.name.c_str());
+    faultinject::maybeFail(faultinject::Point::Hang, item.name.c_str());
+
+    // Parse stage (failure-isolated).
+    if (!item.prog) {
+        try {
+            item.prog = parseLitmus(item.source);
+        } catch (const std::exception &e) {
+            outcome.failures.push_back(
+                TestFailure{item.name, "parse", statusOf(e)});
+            return outcome;
+        }
+    }
+
+    // Run stage with the escalating-budget retry policy.
+    BatchItemResult res;
+    res.name = item.name;
+    try {
+        RunBudget budget = opts_.budget;
+        for (;;) {
+            res.result = runTest(*item.prog, model_, budget);
+            if (res.result.truncated() &&
+                res.result.trippedBound == BoundKind::Cancelled) {
+                // Cancellation is not a per-test property; the
+                // caller drops the item so a resume reruns it.
+                return std::nullopt;
+            }
+            if (!res.result.truncated() ||
+                res.attempts > opts_.maxRetries) {
+                break;
+            }
+            budget = budget.scaled(opts_.escalation);
+            ++res.attempts;
+        }
+    } catch (const std::exception &e) {
+        outcome.failures.push_back(
+            TestFailure{item.name, "run", statusOf(e)});
+        return outcome;
+    }
+
+    // Cross-check stage: divergences are recorded, not thrown; an
+    // error in the reference model is a TestFailure for this test
+    // but the primary result stands.
+    if (opts_.crossCheck && !res.result.truncated()) {
+        try {
+            RunResult ref =
+                runTest(*item.prog, *opts_.crossCheck, opts_.budget);
+            if (!ref.truncated() && ref.verdict != res.result.verdict) {
+                outcome.divergences.push_back(Divergence{
+                    item.name, res.result.verdict, ref.verdict});
+            }
+        } catch (const std::exception &e) {
+            outcome.failures.push_back(
+                TestFailure{item.name, "cross-check", statusOf(e)});
+        }
+    }
+
+    outcome.result = std::move(res);
+    return outcome;
+}
+
+void
+BatchRunner::record(const std::string &name, ItemOutcome outcome,
+                    std::map<std::string, ItemOutcome> &outcomes,
+                    journal::Writer *writer)
+{
+    if (writer) {
+        for (const json::Value &rec : toRecords(outcome))
+            writer->append(rec);
+    }
+    outcomes[name] = std::move(outcome);
+}
+
+void
+BatchRunner::runInProcess(std::vector<Item *> &pending,
+                          std::map<std::string, ItemOutcome> &outcomes,
+                          journal::Writer *writer, BatchReport &report)
+{
+    for (Item *item : pending) {
+        if (cancelled()) {
+            report.cancelled = true;
+            return;
+        }
+        std::optional<ItemOutcome> outcome = runItem(*item);
+        if (!outcome) {
+            report.cancelled = true;
+            return;
+        }
+        record(item->name, std::move(*outcome), outcomes, writer);
+    }
+}
+
+namespace
+{
+
+/** Map a child's exit protocol onto an outcome for its test. */
+ItemOutcome
+decodeChildOutcome(const std::string &name,
+                   const subprocess::Outcome &child)
+{
+    ItemOutcome outcome;
+    switch (child.kind) {
+      case subprocess::ExitKind::TimedOut:
+        outcome.failures.push_back(TestFailure{
+            name, "timeout",
+            Status(StatusCode::BudgetExceeded,
+                   "task deadline exceeded; child killed by watchdog")});
+        return outcome;
+      case subprocess::ExitKind::Signaled:
+        outcome.failures.push_back(TestFailure{
+            name, "crash",
+            Status(StatusCode::Internal, "child " + child.describe())});
+        return outcome;
+      case subprocess::ExitKind::Exited:
+        break;
+    }
+    if (child.exitCode == 0) {
+        // Decode the {"records":[...]} payload the child's
+        // serializer produced — the same schema the journal uses.
+        try {
+            json::Value payload = json::Value::parse(child.output);
+            const json::Value *records = payload.get("records");
+            if (records) {
+                std::map<std::string, ItemOutcome> decoded;
+                for (const json::Value &rec : records->asArray())
+                    decodeRecord(rec, decoded, nullptr);
+                auto it = decoded.find(name);
+                if (it != decoded.end())
+                    return std::move(it->second);
+                if (decoded.empty())
+                    return outcome; // cancelled child: nothing to record
+            }
+        } catch (const std::exception &) {
+            // Fall through to the crash record below.
+        }
+    }
+    // A nonzero exit, a payload that doesn't parse, or records for
+    // the wrong test all mean the child died between doing the work
+    // and reporting it: record a crash so the sweep stays honest.
+    outcome.failures.push_back(TestFailure{
+        name, "crash",
+        Status(StatusCode::Internal,
+               "child " + child.describe() + " without a usable result")});
+    return outcome;
+}
+
+} // namespace
+
+void
+BatchRunner::runForked(std::vector<Item *> &pending,
+                       std::map<std::string, ItemOutcome> &outcomes,
+                       journal::Writer *writer, BatchReport &report)
+{
+    struct Live
+    {
+        subprocess::Child child;
+        Item *item;
+    };
+
+    const std::size_t workers =
+        static_cast<std::size_t>(std::max(1, opts_.workers));
+    subprocess::Limits limits;
+    limits.deadline = opts_.taskDeadline;
+    limits.cpuSeconds = opts_.taskCpuSeconds;
+    limits.memoryBytes = opts_.taskMemoryBytes;
+
+    std::vector<Live> live;
+    std::size_t next = 0;
+
+    while (next < pending.size() || !live.empty()) {
+        if (cancelled()) {
+            // Kill in-flight children without recording them: their
+            // tests rerun on resume.  The journal already has every
+            // finished test.
+            for (Live &l : live) {
+                l.child.killTimedOut();
+                l.child.finish();
+            }
+            live.clear();
+            report.cancelled = true;
+            return;
+        }
+
+        while (live.size() < workers && next < pending.size()) {
+            Item *item = pending[next++];
+            auto work = [this, item]() {
+                json::Object payload;
+                json::Array records;
+                std::optional<ItemOutcome> outcome = runItem(*item);
+                if (outcome) {
+                    for (json::Value &rec : toRecords(*outcome))
+                        records.push_back(std::move(rec));
+                }
+                payload["records"] = json::Value(std::move(records));
+                return json::Value(std::move(payload)).serialize();
+            };
+            live.push_back({subprocess::Child::spawn(work, limits), item});
+        }
+
+        // Wait for output or the nearest deadline.
+        std::vector<struct pollfd> fds;
+        fds.reserve(live.size());
+        int timeoutMs = -1;
+        const auto now = std::chrono::steady_clock::now();
+        for (Live &l : live) {
+            fds.push_back({l.child.fd(), POLLIN, 0});
+            if (l.child.hasDeadline()) {
+                auto left =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        l.child.deadline() - now)
+                        .count();
+                int ms = left <= 0 ? 0 : static_cast<int>(left) + 1;
+                timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
+            }
+        }
+        int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                        timeoutMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue; // e.g. SIGINT: re-check the cancel token
+            throw StatusError(Status(StatusCode::Internal,
+                                     "poll failed in forked sweep"));
+        }
+
+        // Reap children that finished or overran their deadline.
+        const auto after = std::chrono::steady_clock::now();
+        std::vector<Live> still;
+        still.reserve(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            Live &l = live[i];
+            bool done = false;
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                done = l.child.onReadable();
+            if (!done && l.child.pastDeadline(after)) {
+                l.child.killTimedOut();
+                done = true;
+            }
+            if (done) {
+                subprocess::Outcome out = l.child.finish();
+                record(l.item->name,
+                       decodeChildOutcome(l.item->name, out), outcomes,
+                       writer);
+            } else {
+                still.push_back(std::move(l));
+            }
+        }
+        live = std::move(still);
+    }
 }
 
 BatchReport
 BatchRunner::run()
 {
     BatchReport report;
+    std::map<std::string, ItemOutcome> outcomes;
+    std::set<std::string> resumedNames;
+    std::optional<journal::Writer> writer;
 
+    if (!opts_.journalPath.empty()) {
+        bool needMeta = true;
+        if (opts_.resume) {
+            journal::RecoverResult recovered =
+                journal::recover(opts_.journalPath);
+            SweepJournalContents contents =
+                decodeSweepJournal(recovered.records);
+            if (!contents.model.empty() &&
+                contents.model != model_.name()) {
+                throw StatusError(Status(
+                    StatusCode::InvalidArgument,
+                    "journal '" + opts_.journalPath +
+                        "' was written for model '" + contents.model +
+                        "', not '" + model_.name() + "'"));
+            }
+            needMeta = contents.model.empty();
+            for (auto &[name, outcome] : contents.outcomes) {
+                if (outcome.done()) {
+                    resumedNames.insert(name);
+                    outcomes[name] = std::move(outcome);
+                }
+            }
+            writer = journal::Writer::append(opts_.journalPath,
+                                             recovered.validBytes);
+        } else {
+            writer = journal::Writer::create(opts_.journalPath);
+        }
+        if (needMeta)
+            writer->append(sweepMetaRecord(model_.name()));
+    }
+
+    std::vector<Item *> pending;
     for (Item &item : items_) {
-        // Parse stage (failure-isolated).
-        if (!item.prog) {
-            try {
-                item.prog = parseLitmus(item.source);
-            } catch (const std::exception &e) {
-                report.failures.push_back(
-                    TestFailure{item.name, "parse", statusOf(e)});
-                continue;
-            }
-        }
+        if (!outcomes.count(item.name))
+            pending.push_back(&item);
+    }
 
-        // Run stage with the escalating-budget retry policy.
-        BatchItemResult res;
-        res.name = item.name;
-        try {
-            RunBudget budget = opts_.budget;
-            for (;;) {
-                res.result = runTest(*item.prog, model_, budget);
-                if (!res.result.truncated() ||
-                    res.attempts > opts_.maxRetries) {
-                    break;
-                }
-                budget = budget.scaled(opts_.escalation);
-                ++res.attempts;
-            }
-        } catch (const std::exception &e) {
-            report.failures.push_back(
-                TestFailure{item.name, "run", statusOf(e)});
-            continue;
-        }
+    journal::Writer *w = writer ? &*writer : nullptr;
+    if (opts_.isolation == IsolationMode::Forked)
+        runForked(pending, outcomes, w, report);
+    else
+        runInProcess(pending, outcomes, w, report);
 
-        // Cross-check stage: divergences are recorded, not thrown;
-        // an error in the reference model is a TestFailure for this
-        // test but the primary result stands.
-        if (opts_.crossCheck && !res.result.truncated()) {
-            try {
-                RunResult ref =
-                    runTest(*item.prog, *opts_.crossCheck, opts_.budget);
-                if (!ref.truncated() &&
-                    ref.verdict != res.result.verdict) {
-                    report.divergences.push_back(Divergence{
-                        item.name, res.result.verdict, ref.verdict});
-                }
-            } catch (const std::exception &e) {
-                report.failures.push_back(
-                    TestFailure{item.name, "cross-check", statusOf(e)});
-            }
-        }
+    if (writer)
+        writer->sync();
 
-        report.results.push_back(std::move(res));
+    // Assemble the report in queue order, merging journal-recovered
+    // and freshly-run outcomes: a resumed sweep reports exactly what
+    // the uninterrupted sweep would have.
+    for (const Item &item : items_) {
+        auto it = outcomes.find(item.name);
+        if (it == outcomes.end())
+            continue; // cancelled before this test ran
+        ItemOutcome &outcome = it->second;
+        if (resumedNames.count(item.name))
+            ++report.resumedCount;
+        if (outcome.result)
+            report.results.push_back(std::move(*outcome.result));
+        for (TestFailure &f : outcome.failures)
+            report.failures.push_back(std::move(f));
+        for (Divergence &d : outcome.divergences)
+            report.divergences.push_back(std::move(d));
     }
     return report;
 }

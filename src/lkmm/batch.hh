@@ -18,17 +18,32 @@
  *    primary model is re-run under a reference model (typically
  *    CatModel on lkmm.cat vs the native LkmmModel) and verdict
  *    disagreements are recorded as Divergence records instead of
- *    aborting.
+ *    aborting;
+ *  - process isolation (IsolationMode::Forked): each test runs in
+ *    a forked child under setrlimit caps and a parent watchdog
+ *    (base/subprocess.hh), with up to `workers` children in
+ *    flight; a SIGSEGV or OOM kill in one test becomes a
+ *    TestFailure{phase:"crash"} record, a deadline overrun a
+ *    TestFailure{phase:"timeout"}, and the sweep continues;
+ *  - checkpoint/resume: with journalPath set, every outcome is
+ *    appended to a crash-tolerant result journal
+ *    (base/journal.hh); a sweep killed at any point resumes with
+ *    resume=true, skips completed tests, and produces a report
+ *    with the same per-test verdicts as an uninterrupted run.
  */
 
 #ifndef LKMM_LKMM_BATCH_HH
 #define LKMM_LKMM_BATCH_HH
 
+#include <chrono>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "base/budget.hh"
+#include "base/journal.hh"
 #include "base/status.hh"
 #include "lkmm/runner.hh"
 
@@ -39,7 +54,9 @@ namespace lkmm
 struct TestFailure
 {
     std::string test;
-    /** Which stage failed: "parse" or "run". */
+    /** Which stage failed: "parse", "run", "cross-check", "crash"
+     *  (child died on a signal or without a result) or "timeout"
+     *  (child SIGKILLed by the watchdog). */
     std::string phase;
     Status status;
 
@@ -66,12 +83,37 @@ struct BatchItemResult
     int attempts = 1;
 };
 
+/**
+ * Everything one test contributed to a sweep: at most one result,
+ * plus any failures (a cross-check failure can ride along with a
+ * result) and divergences.  This is both the unit the forked child
+ * ships back to the parent and the unit the journal replays on
+ * resume (see lkmm/sweep_journal.hh).
+ */
+struct ItemOutcome
+{
+    std::optional<BatchItemResult> result;
+    std::vector<TestFailure> failures;
+    std::vector<Divergence> divergences;
+
+    /**
+     * A test is done (skippable on resume) once it has a terminal
+     * record: a result, or a failure.
+     */
+    bool done() const { return result.has_value() || !failures.empty(); }
+};
+
 /** Everything a sweep produced. */
 struct BatchReport
 {
     std::vector<BatchItemResult> results;
     std::vector<TestFailure> failures;
     std::vector<Divergence> divergences;
+
+    /** Tests recovered from the journal rather than re-run. */
+    std::size_t resumedCount = 0;
+    /** Was the sweep cut short by cancellation (Ctrl-C)? */
+    bool cancelled = false;
 
     std::size_t completeCount() const;
     std::size_t truncatedCount() const;
@@ -81,6 +123,15 @@ struct BatchReport
 
     /** Result for a test by name (null when it failed or is absent). */
     const BatchItemResult *find(const std::string &name) const;
+};
+
+/** Where a queued test executes. */
+enum class IsolationMode
+{
+    /** In the calling process: fastest, no crash protection. */
+    InProcess,
+    /** One forked, rlimited, watchdog-supervised child per test. */
+    Forked,
 };
 
 struct BatchOptions
@@ -96,6 +147,32 @@ struct BatchOptions
      * disables).  Must outlive the runner.
      */
     const Model *crossCheck = nullptr;
+
+    /** Execution mode; Forked adds crash isolation. */
+    IsolationMode isolation = IsolationMode::InProcess;
+    /** Concurrent children in forked mode (min 1). */
+    int workers = 1;
+    /**
+     * Per-child wall-clock deadline in forked mode (0 = none);
+     * overruns are SIGKILLed by the parent watchdog.
+     */
+    std::chrono::nanoseconds taskDeadline{0};
+    /** Per-child RLIMIT_CPU seconds in forked mode (0 = none). */
+    unsigned taskCpuSeconds = 0;
+    /**
+     * Per-child RLIMIT_AS bytes in forked mode (0 = none).  Leave
+     * unset under AddressSanitizer.
+     */
+    std::size_t taskMemoryBytes = 0;
+
+    /** Result-journal path ("" disables journaling). */
+    std::string journalPath;
+    /**
+     * Recover journalPath and skip tests it already covers; the
+     * journal must have been written for the same model.  Without
+     * resume an existing journal is truncated.
+     */
+    bool resume = false;
 };
 
 /** Runs a set of tests against one model, isolating failures. */
@@ -105,13 +182,19 @@ class BatchRunner
     /** The model is not owned and must outlive the runner. */
     explicit BatchRunner(const Model &model, BatchOptions opts = {});
 
-    /** Queue an already-built program. */
+    /**
+     * Queue an already-built program.  Throws
+     * StatusError(InvalidArgument) on a duplicate test name:
+     * journal resume is keyed by name, so duplicates would silently
+     * corrupt recovery.
+     */
     void add(std::string name, Program prog);
 
     /**
      * Queue litmus source text.  Parsing happens inside run() with
      * failure isolation: a malformed test becomes a TestFailure in
-     * the report, never an exception out of the sweep.
+     * the report, never an exception out of the sweep.  Duplicate
+     * names are rejected as for add().
      */
     void addLitmusSource(std::string name, std::string source);
 
@@ -119,7 +202,10 @@ class BatchRunner
 
     /**
      * Run the sweep.  Never throws on per-test errors; every queued
-     * test ends up in exactly one of results or failures.
+     * test ends up in exactly one of results or failures.  With a
+     * cancel token in the budget, cancellation stops dispatching,
+     * leaves the in-flight test unrecorded (it reruns on resume),
+     * and returns the partial report with cancelled=true.
      */
     BatchReport run();
 
@@ -132,9 +218,28 @@ class BatchRunner
         std::string source;
     };
 
+    void checkDuplicate(const std::string &name) const;
+    bool cancelled() const;
+
+    /** Parse + run + cross-check one item; nullopt on cancellation. */
+    std::optional<ItemOutcome> runItem(Item &item) const;
+
+    /** Record one finished item (journal + outcome map). */
+    static void record(const std::string &name, ItemOutcome outcome,
+                       std::map<std::string, ItemOutcome> &outcomes,
+                       journal::Writer *writer);
+
+    void runInProcess(std::vector<Item *> &pending,
+                      std::map<std::string, ItemOutcome> &outcomes,
+                      journal::Writer *writer, BatchReport &report);
+    void runForked(std::vector<Item *> &pending,
+                   std::map<std::string, ItemOutcome> &outcomes,
+                   journal::Writer *writer, BatchReport &report);
+
     const Model &model_;
     BatchOptions opts_;
     std::vector<Item> items_;
+    std::set<std::string> names_;
 };
 
 } // namespace lkmm

@@ -1,0 +1,207 @@
+#include "lkmm/sweep_journal.hh"
+
+#include "base/status.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+
+[[noreturn]] void
+schemaError(const std::string &what)
+{
+    throw StatusError(Status(StatusCode::ParseError,
+                             "sweep journal: " + what));
+}
+
+Verdict
+verdictFromName(const std::string &name)
+{
+    for (Verdict v : {Verdict::Allow, Verdict::Forbid, Verdict::Unknown}) {
+        if (name == verdictName(v))
+            return v;
+    }
+    schemaError("unknown verdict '" + name + "'");
+}
+
+BoundKind
+boundFromName(const std::string &name)
+{
+    for (BoundKind k :
+         {BoundKind::None, BoundKind::WallClock, BoundKind::Candidates,
+          BoundKind::RfAssignments, BoundKind::EvalSteps,
+          BoundKind::Cancelled}) {
+        if (name == boundKindName(k))
+            return k;
+    }
+    schemaError("unknown bound kind '" + name + "'");
+}
+
+StatusCode
+statusCodeFromName(const std::string &name)
+{
+    for (StatusCode c :
+         {StatusCode::Ok, StatusCode::ParseError, StatusCode::EvalError,
+          StatusCode::BudgetExceeded, StatusCode::InvalidArgument,
+          StatusCode::IoError, StatusCode::Internal}) {
+        if (name == statusCodeName(c))
+            return c;
+    }
+    schemaError("unknown status code '" + name + "'");
+}
+
+std::string
+requireTest(const json::Value &record)
+{
+    const std::string test = record.getString("test");
+    if (test.empty())
+        schemaError("record without a test name");
+    return test;
+}
+
+} // namespace
+
+json::Value
+sweepMetaRecord(const std::string &model)
+{
+    json::Object o;
+    o["type"] = json::Value("meta");
+    o["version"] = json::Value(kSweepJournalVersion);
+    o["model"] = json::Value(model);
+    return json::Value(std::move(o));
+}
+
+json::Value
+toJson(const BatchItemResult &result)
+{
+    json::Object o;
+    o["type"] = json::Value("result");
+    o["test"] = json::Value(result.name);
+    o["attempts"] = json::Value(result.attempts);
+    o["verdict"] = json::Value(verdictName(result.result.verdict));
+    o["candidates"] = json::Value(result.result.candidates);
+    o["allowedCandidates"] = json::Value(result.result.allowedCandidates);
+    o["witnesses"] = json::Value(result.result.witnesses);
+    o["completeness"] =
+        json::Value(completenessName(result.result.completeness));
+    o["bound"] = json::Value(boundKindName(result.result.trippedBound));
+    json::Array states;
+    for (const std::string &s : result.result.allowedFinalStates)
+        states.push_back(json::Value(s));
+    o["finalStates"] = json::Value(std::move(states));
+    if (!result.result.violationText.empty())
+        o["violation"] = json::Value(result.result.violationText);
+    return json::Value(std::move(o));
+}
+
+json::Value
+toJson(const TestFailure &failure)
+{
+    json::Object o;
+    o["type"] = json::Value("failure");
+    o["test"] = json::Value(failure.test);
+    o["phase"] = json::Value(failure.phase);
+    o["code"] = json::Value(statusCodeName(failure.status.code()));
+    o["message"] = json::Value(failure.status.message());
+    return json::Value(std::move(o));
+}
+
+json::Value
+toJson(const Divergence &divergence)
+{
+    json::Object o;
+    o["type"] = json::Value("divergence");
+    o["test"] = json::Value(divergence.test);
+    o["primary"] = json::Value(verdictName(divergence.primary));
+    o["reference"] = json::Value(verdictName(divergence.reference));
+    return json::Value(std::move(o));
+}
+
+std::vector<json::Value>
+toRecords(const ItemOutcome &outcome)
+{
+    std::vector<json::Value> records;
+    if (outcome.result)
+        records.push_back(toJson(*outcome.result));
+    for (const TestFailure &f : outcome.failures)
+        records.push_back(toJson(f));
+    for (const Divergence &d : outcome.divergences)
+        records.push_back(toJson(d));
+    return records;
+}
+
+void
+decodeRecord(const json::Value &record,
+             std::map<std::string, ItemOutcome> &outcomes,
+             std::string *model)
+{
+    const std::string type = record.getString("type");
+    if (type == "meta") {
+        if (record.getInt("version") != kSweepJournalVersion) {
+            schemaError("unsupported journal version " +
+                        std::to_string(record.getInt("version")));
+        }
+        if (model)
+            *model = record.getString("model");
+        return;
+    }
+    if (type == "result") {
+        const std::string test = requireTest(record);
+        BatchItemResult res;
+        res.name = test;
+        res.attempts = static_cast<int>(record.getInt("attempts", 1));
+        res.result.verdict = verdictFromName(record.getString("verdict"));
+        res.result.candidates =
+            static_cast<std::size_t>(record.getInt("candidates"));
+        res.result.allowedCandidates =
+            static_cast<std::size_t>(record.getInt("allowedCandidates"));
+        res.result.witnesses =
+            static_cast<std::size_t>(record.getInt("witnesses"));
+        res.result.completeness =
+            record.getString("completeness") == "truncated"
+                ? Completeness::Truncated
+                : Completeness::Complete;
+        res.result.trippedBound =
+            boundFromName(record.getString("bound", "none"));
+        if (const json::Value *states = record.get("finalStates")) {
+            for (const json::Value &s : states->asArray())
+                res.result.allowedFinalStates.insert(s.asString());
+        }
+        res.result.violationText = record.getString("violation");
+        outcomes[test].result = std::move(res);
+        return;
+    }
+    if (type == "failure") {
+        const std::string test = requireTest(record);
+        TestFailure f;
+        f.test = test;
+        f.phase = record.getString("phase");
+        f.status = Status(statusCodeFromName(record.getString("code")),
+                          record.getString("message"));
+        outcomes[test].failures.push_back(std::move(f));
+        return;
+    }
+    if (type == "divergence") {
+        const std::string test = requireTest(record);
+        Divergence d;
+        d.test = test;
+        d.primary = verdictFromName(record.getString("primary"));
+        d.reference = verdictFromName(record.getString("reference"));
+        outcomes[test].divergences.push_back(std::move(d));
+        return;
+    }
+    schemaError("unknown record type '" + type + "'");
+}
+
+SweepJournalContents
+decodeSweepJournal(const std::vector<json::Value> &records)
+{
+    SweepJournalContents contents;
+    for (const json::Value &record : records)
+        decodeRecord(record, contents.outcomes, &contents.model);
+    return contents;
+}
+
+} // namespace lkmm

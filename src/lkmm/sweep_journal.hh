@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The sweep-journal record schema: how batch outcomes are written
+ * to and recovered from a result journal (base/journal.hh).
+ *
+ * Three record types mirror the three BatchReport vectors, plus a
+ * header that pins the journal to one model:
+ *
+ *   {"type":"meta","version":1,"model":"lkmm"}
+ *   {"type":"result","test":"SB","verdict":"Allow",...}
+ *   {"type":"failure","test":"bad","phase":"parse","code":...}
+ *   {"type":"divergence","test":"SB","primary":...,"reference":...}
+ *
+ * The same encoding doubles as the forked-mode wire format: a
+ * sandboxed child serializes its ItemOutcome as {"records":[...]},
+ * the parent decodes it with the functions here, so journal replay
+ * and child decoding can never drift apart.
+ *
+ * Deliberately not serialized: the witness execution and the
+ * structural sampleViolation (their event ids are meaningless
+ * outside the producing process).  violationText, the stable
+ * human-readable rendering, is kept.
+ */
+
+#ifndef LKMM_LKMM_SWEEP_JOURNAL_HH
+#define LKMM_LKMM_SWEEP_JOURNAL_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "lkmm/batch.hh"
+
+namespace lkmm
+{
+
+/** Schema version written to meta records. */
+constexpr int kSweepJournalVersion = 1;
+
+/** The journal header record. */
+json::Value sweepMetaRecord(const std::string &model);
+
+json::Value toJson(const BatchItemResult &result);
+json::Value toJson(const TestFailure &failure);
+json::Value toJson(const Divergence &divergence);
+
+/** All of an outcome's records, in stable order. */
+std::vector<json::Value> toRecords(const ItemOutcome &outcome);
+
+/**
+ * Decode one result/failure/divergence record into the outcome map,
+ * keyed by test name.  Meta records update *model.  Throws
+ * StatusError(ParseError) on an unknown type or version — the CRC
+ * layer already vouches for integrity, so a bad record means a
+ * schema mismatch worth failing loudly on.
+ */
+void decodeRecord(const json::Value &record,
+                  std::map<std::string, ItemOutcome> &outcomes,
+                  std::string *model);
+
+/** What a recovered journal contained. */
+struct SweepJournalContents
+{
+    /** Model name from the meta record ("" when absent). */
+    std::string model;
+    std::map<std::string, ItemOutcome> outcomes;
+};
+
+SweepJournalContents
+decodeSweepJournal(const std::vector<json::Value> &records);
+
+} // namespace lkmm
+
+#endif // LKMM_LKMM_SWEEP_JOURNAL_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The minimal JSON module (base/json): parse/serialize round trips,
+ * canonical serialization (the journal checksums depend on it),
+ * escape handling, and structured errors on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+#include "base/status.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+using json::Array;
+using json::Object;
+
+TEST(Json, ScalarRoundTrips)
+{
+    EXPECT_EQ(json::Value::parse("null"), json::Value(nullptr));
+    EXPECT_EQ(json::Value::parse("true"), json::Value(true));
+    EXPECT_EQ(json::Value::parse("false"), json::Value(false));
+    EXPECT_EQ(json::Value::parse("42").asInt(), 42);
+    EXPECT_EQ(json::Value::parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(json::Value::parse("2.5").asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(json::Value::parse("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(json::Value::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, SerializeIsCanonical)
+{
+    Object o;
+    o["zebra"] = json::Value(1);
+    o["alpha"] = json::Value(2);
+    Array a;
+    a.push_back(json::Value("x"));
+    a.push_back(json::Value(true));
+    o["list"] = json::Value(std::move(a));
+    const json::Value v{std::move(o)};
+    // Keys sorted, no whitespace: byte-stable across runs, which is
+    // what the journal crc relies on.
+    EXPECT_EQ(v.serialize(),
+              "{\"alpha\":2,\"list\":[\"x\",true],\"zebra\":1}");
+    // Pretty form parses back to the same value.
+    EXPECT_EQ(json::Value::parse(v.pretty()), v);
+}
+
+TEST(Json, StringEscapes)
+{
+    const std::string raw = "a\"b\\c\nd\te\x01f";
+    const json::Value v{raw};
+    EXPECT_EQ(json::Value::parse(v.serialize()).asString(), raw);
+    // Unicode escapes decode to UTF-8.
+    EXPECT_EQ(json::Value::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(json::Value::parse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    const std::string text =
+        "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":[true,false]}}";
+    const json::Value v = json::Value::parse(text);
+    EXPECT_EQ(v.serialize(), text);
+    EXPECT_EQ(json::Value::parse(v.serialize()), v);
+}
+
+TEST(Json, ObjectHelpers)
+{
+    const json::Value v =
+        json::Value::parse("{\"s\":\"x\",\"n\":3,\"b\":true}");
+    EXPECT_EQ(v.getString("s"), "x");
+    EXPECT_EQ(v.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(v.getInt("n"), 3);
+    EXPECT_EQ(v.getInt("s", -1), -1); // wrong type -> default
+    EXPECT_TRUE(v.getBool("b"));
+    EXPECT_EQ(v.get("nope"), nullptr);
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    const json::Value v{std::string("str")};
+    try {
+        v.asInt();
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidArgument);
+    }
+}
+
+TEST(Json, MalformedInputThrowsParseError)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "\"unterminated", "{\"a\" 1}", "tru",
+          "01abc", "[1] trailing", "{\"a\":}", "\"bad\\escape\"",
+          "\"\\ud800\""}) {
+        try {
+            json::Value::parse(bad);
+            FAIL() << "expected throw for: " << bad;
+        } catch (const StatusError &e) {
+            EXPECT_EQ(e.status().code(), StatusCode::ParseError) << bad;
+        }
+    }
+}
+
+TEST(Json, DeepNestingIsBounded)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_THROW(json::Value::parse(deep), StatusError);
+}
+
+} // namespace
+} // namespace lkmm

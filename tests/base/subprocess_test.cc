@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The fork-per-task sandbox (base/subprocess): result-pipe payload
+ * delivery, exit-status decoding for every child death shape
+ * (clean exit, thrown exception, signal, watchdog timeout), and
+ * rlimit enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <ctime>
+#include <string>
+
+#include "base/subprocess.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+using namespace std::chrono_literals;
+using subprocess::ExitKind;
+using subprocess::Limits;
+using subprocess::Outcome;
+using subprocess::runIsolated;
+
+TEST(Subprocess, DeliversPayload)
+{
+    Outcome out = runIsolated([] { return std::string("hello sweep"); });
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.kind, ExitKind::Exited);
+    EXPECT_EQ(out.exitCode, 0);
+    EXPECT_EQ(out.output, "hello sweep");
+}
+
+TEST(Subprocess, LargePayloadCrossesPipeBuffer)
+{
+    // Well past the 64K default pipe capacity: the parent must
+    // drain while the child is still writing or this deadlocks.
+    const std::string big(1 << 20, 'x');
+    Outcome out = runIsolated([&] { return big; });
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.output.size(), big.size());
+    EXPECT_EQ(out.output, big);
+}
+
+TEST(Subprocess, ThrowingCallbackExitsWithErrorCode)
+{
+    Outcome out = runIsolated(
+        []() -> std::string { throw std::runtime_error("boom"); });
+    EXPECT_EQ(out.kind, ExitKind::Exited);
+    EXPECT_EQ(out.exitCode, subprocess::Child::kCallbackError);
+    EXPECT_TRUE(out.output.empty());
+    EXPECT_FALSE(out.ok());
+}
+
+TEST(Subprocess, SignalDeathIsDecoded)
+{
+    // SIGKILL: not interceptable, so the decode is identical under
+    // sanitizers (unlike SIGSEGV, which ASan turns into an exit).
+    Outcome out = runIsolated([]() -> std::string {
+        std::raise(SIGKILL);
+        return "unreachable";
+    });
+    EXPECT_EQ(out.kind, ExitKind::Signaled);
+    EXPECT_EQ(out.signal, SIGKILL);
+    EXPECT_FALSE(out.describe().empty());
+}
+
+TEST(Subprocess, WatchdogKillsPastDeadlineChild)
+{
+    Limits limits;
+    limits.deadline = 200ms;
+    const auto start = std::chrono::steady_clock::now();
+    Outcome out = runIsolated(
+        []() -> std::string {
+            for (;;) {
+                struct timespec ts = {1, 0};
+                nanosleep(&ts, nullptr);
+            }
+        },
+        limits);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(out.kind, ExitKind::TimedOut);
+    // Killed promptly, not after the child's own schedule.
+    EXPECT_LT(elapsed, 10s);
+}
+
+TEST(Subprocess, PartialOutputSurvivesTimeout)
+{
+    // A child that reports progress then hangs: the parent keeps
+    // what arrived before the kill.
+    Limits limits;
+    limits.deadline = 200ms;
+    Outcome out = runIsolated(
+        []() -> std::string {
+            // Write directly so the bytes leave the process before
+            // the hang; the return value is never reached.
+            for (;;) {
+                struct timespec ts = {1, 0};
+                nanosleep(&ts, nullptr);
+            }
+        },
+        limits);
+    EXPECT_EQ(out.kind, ExitKind::TimedOut);
+}
+
+TEST(Subprocess, CpuLimitKillsSpinningChild)
+{
+    Limits limits;
+    limits.cpuSeconds = 1;
+    // Wall-clock backstop in case RLIMIT_CPU misbehaves in some
+    // environment; the CPU limit should fire first.
+    limits.deadline = 30s;
+    Outcome out = runIsolated(
+        []() -> std::string {
+            volatile unsigned long x = 0;
+            for (;;)
+                ++x;
+        },
+        limits);
+    EXPECT_EQ(out.kind, ExitKind::Signaled);
+    EXPECT_TRUE(out.signal == SIGXCPU || out.signal == SIGKILL);
+}
+
+TEST(Subprocess, DestructorReapsUnfinishedChild)
+{
+    // Spawn a sleeper and drop the handle: the destructor must
+    // SIGKILL + reap, leaving no zombie (and not blocking).
+    const auto start = std::chrono::steady_clock::now();
+    {
+        subprocess::Child child =
+            subprocess::Child::spawn([]() -> std::string {
+                struct timespec ts = {30, 0};
+                nanosleep(&ts, nullptr);
+                return "";
+            });
+        EXPECT_GT(child.pid(), 0);
+    }
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 10s);
+}
+
+TEST(Subprocess, OutcomeDescribeShapes)
+{
+    Outcome exited;
+    exited.kind = ExitKind::Exited;
+    exited.exitCode = 3;
+    EXPECT_EQ(exited.describe(), "exited 3");
+
+    Outcome timedOut;
+    timedOut.kind = ExitKind::TimedOut;
+    EXPECT_EQ(timedOut.describe(), "timed out (killed by watchdog)");
+
+    Outcome signaled;
+    signaled.kind = ExitKind::Signaled;
+    signaled.signal = SIGKILL;
+    EXPECT_NE(signaled.describe().find("signal 9"), std::string::npos);
+}
+
+} // namespace
+} // namespace lkmm

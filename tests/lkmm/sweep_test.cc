@@ -1,0 +1,380 @@
+/**
+ * @file
+ * The crash-isolated, resumable sweep engine: forked-mode crash and
+ * deadline isolation (injected SIGSEGV/abort/hang), journal record
+ * round trips, resume-after-kill equivalence with an uninterrupted
+ * run, torn-tail recovery, and duplicate-name hardening.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/faultinject.hh"
+#include "base/journal.hh"
+#include "lkmm/batch.hh"
+#include "lkmm/catalog.hh"
+#include "lkmm/sweep_journal.hh"
+#include "model/lkmm_model.hh"
+#include "model/sc_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+using namespace std::chrono_literals;
+
+/** Ten small paper tests: the sweep corpus for isolation tests. */
+std::vector<Program>
+corpus()
+{
+    return {lb(),  lbCtrlMb(), lbDatas(),     mp(), mpWmbRmb(),
+            wrc(), wrcPoRelRmb(), sb(), sbMbs(), peterZ()};
+}
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + "sweep_test_" + name + ".jsonl";
+}
+
+/** Names+verdicts+completeness of results, in report order. */
+std::vector<std::string>
+verdictLines(const BatchReport &report)
+{
+    std::vector<std::string> lines;
+    for (const BatchItemResult &r : report.results) {
+        lines.push_back(r.name + "=" + verdictName(r.result.verdict) +
+                        "/" + completenessName(r.result.completeness));
+    }
+    for (const TestFailure &f : report.failures)
+        lines.push_back(f.test + "!" + f.phase);
+    for (const Divergence &d : report.divergences) {
+        lines.push_back(d.test + "~" + verdictName(d.primary) + ":" +
+                        verdictName(d.reference));
+    }
+    return lines;
+}
+
+class SweepTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { faultinject::reset(); }
+    void TearDown() override { faultinject::reset(); }
+
+    LkmmModel model;
+};
+
+TEST_F(SweepTest, RecordRoundTripsEveryType)
+{
+    ItemOutcome outcome;
+    BatchItemResult res;
+    res.name = "LB+x";
+    res.attempts = 3;
+    res.result.verdict = Verdict::Unknown;
+    res.result.candidates = 100;
+    res.result.allowedCandidates = 40;
+    res.result.witnesses = 0;
+    res.result.completeness = Completeness::Truncated;
+    res.result.trippedBound = BoundKind::Candidates;
+    res.result.allowedFinalStates = {"x=1;", "x=2;"};
+    res.result.violationText = "hb cycle: a \"b\"";
+    outcome.result = res;
+    outcome.failures.push_back(TestFailure{
+        "LB+x", "cross-check",
+        Status(StatusCode::EvalError, "line 3:\n\tbad token")});
+    outcome.divergences.push_back(
+        Divergence{"LB+x", Verdict::Allow, Verdict::Forbid});
+
+    std::map<std::string, ItemOutcome> decoded;
+    for (const json::Value &rec : toRecords(outcome)) {
+        // Through the full journal line encoding, as on disk.
+        std::string line = journal::encodeLine(rec);
+        auto back = journal::decodeLine(line.substr(0, line.size() - 1));
+        ASSERT_TRUE(back.has_value());
+        decodeRecord(*back, decoded, nullptr);
+    }
+    ASSERT_EQ(decoded.size(), 1u);
+    const ItemOutcome &d = decoded.at("LB+x");
+    ASSERT_TRUE(d.result.has_value());
+    EXPECT_EQ(d.result->attempts, 3);
+    EXPECT_EQ(d.result->result.verdict, Verdict::Unknown);
+    EXPECT_EQ(d.result->result.candidates, 100u);
+    EXPECT_EQ(d.result->result.allowedCandidates, 40u);
+    EXPECT_TRUE(d.result->result.truncated());
+    EXPECT_EQ(d.result->result.trippedBound, BoundKind::Candidates);
+    EXPECT_EQ(d.result->result.allowedFinalStates,
+              res.result.allowedFinalStates);
+    EXPECT_EQ(d.result->result.violationText, res.result.violationText);
+    ASSERT_EQ(d.failures.size(), 1u);
+    EXPECT_EQ(d.failures[0].phase, "cross-check");
+    EXPECT_EQ(d.failures[0].status.code(), StatusCode::EvalError);
+    EXPECT_EQ(d.failures[0].status.message(), "line 3:\n\tbad token");
+    ASSERT_EQ(d.divergences.size(), 1u);
+    EXPECT_EQ(d.divergences[0].primary, Verdict::Allow);
+}
+
+TEST_F(SweepTest, DuplicateTestNamesRejected)
+{
+    BatchRunner runner(model);
+    runner.add("SB", sb());
+    try {
+        runner.add("SB", mp());
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidArgument);
+    }
+    try {
+        runner.addLitmusSource("SB", "C SB\n...");
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidArgument);
+    }
+    EXPECT_EQ(runner.size(), 1u);
+}
+
+TEST_F(SweepTest, ForkedMatchesInProcessVerdicts)
+{
+    BatchRunner inproc(model);
+    for (const Program &p : corpus())
+        inproc.add(p.name, p);
+    BatchReport expected = inproc.run();
+    ASSERT_EQ(expected.results.size(), corpus().size());
+
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    opts.workers = 4;
+    BatchRunner forked(model, opts);
+    for (const Program &p : corpus())
+        forked.add(p.name, p);
+    BatchReport actual = forked.run();
+
+    EXPECT_EQ(verdictLines(actual), verdictLines(expected));
+}
+
+/**
+ * The headline isolation property: one test of a 10-test forked
+ * sweep segfaults; the other 9 complete with correct verdicts and
+ * the crash becomes a structured record.
+ */
+TEST_F(SweepTest, ForkedSweepSurvivesInjectedSegv)
+{
+    const std::vector<Program> tests = corpus();
+    const std::string victim = tests[4].name;
+    faultinject::arm(faultinject::Point::CrashSegv);
+    faultinject::setFilter(victim);
+
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    opts.workers = 3;
+    BatchRunner runner(model, opts);
+    for (const Program &p : tests)
+        runner.add(p.name, p);
+    BatchReport report = runner.run();
+
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].test, victim);
+    EXPECT_EQ(report.failures[0].phase, "crash");
+    EXPECT_EQ(report.failures[0].status.code(), StatusCode::Internal);
+    EXPECT_EQ(report.results.size(), tests.size() - 1);
+    EXPECT_EQ(report.find(victim), nullptr);
+
+    // The survivors report the paper's verdicts.
+    const std::vector<CatalogEntry> entries = table5();
+    for (const Program &p : tests) {
+        if (p.name == victim)
+            continue;
+        const BatchItemResult *res = report.find(p.name);
+        ASSERT_NE(res, nullptr) << p.name;
+        auto expected = findEntry(entries, p.name);
+        if (expected.has_value())
+            EXPECT_EQ(res->result.verdict, expected->lkmmExpected)
+                << p.name;
+    }
+}
+
+TEST_F(SweepTest, ForkedSweepSurvivesInjectedAbort)
+{
+    std::vector<Program> tests = {sb(), mp(), lb()};
+    faultinject::arm(faultinject::Point::CrashAbort);
+    faultinject::setFilter("MP");
+
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    BatchRunner runner(model, opts);
+    for (const Program &p : tests)
+        runner.add(p.name, p);
+    BatchReport report = runner.run();
+
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].test, "MP");
+    EXPECT_EQ(report.failures[0].phase, "crash");
+    EXPECT_EQ(report.results.size(), 2u);
+}
+
+TEST_F(SweepTest, ForkedDeadlineOverrunBecomesTimeoutRecord)
+{
+    std::vector<Program> tests = {sb(), mp(), lb(), sbMbs(), wrc()};
+    const std::string victim = "LB";
+    faultinject::arm(faultinject::Point::Hang);
+    faultinject::setFilter(victim);
+
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    opts.workers = 2;
+    opts.taskDeadline = 300ms;
+    BatchRunner runner(model, opts);
+    for (const Program &p : tests)
+        runner.add(p.name, p);
+    BatchReport report = runner.run();
+
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].test, victim);
+    EXPECT_EQ(report.failures[0].phase, "timeout");
+    EXPECT_EQ(report.failures[0].status.code(),
+              StatusCode::BudgetExceeded);
+    EXPECT_EQ(report.results.size(), tests.size() - 1);
+}
+
+/**
+ * The checkpoint/resume property: a sweep whose driver dies after
+ * k tests resumes from the journal and produces a report identical
+ * in verdicts to an uninterrupted run — including a failure record
+ * for a malformed test and a cross-model divergence.
+ */
+TEST_F(SweepTest, ResumedSweepMatchesUninterruptedRun)
+{
+    const char *kBroken = "C broken\n{ x=0; }\nP0(int *x) { oops\n";
+    ScModel reference;
+
+    auto configure = [&](BatchRunner &runner, std::size_t count) {
+        const std::vector<Program> tests = corpus();
+        for (std::size_t i = 0; i < count && i < tests.size(); ++i)
+            runner.add(tests[i].name, tests[i]);
+        if (count > tests.size())
+            runner.addLitmusSource("broken", kBroken);
+    };
+    const std::size_t full = corpus().size() + 1;
+
+    // The uninterrupted reference run (with cross-check to exercise
+    // divergence records through the journal too).
+    BatchOptions refOpts;
+    refOpts.crossCheck = &reference;
+    BatchRunner uninterrupted(model, refOpts);
+    configure(uninterrupted, full);
+    BatchReport expected = uninterrupted.run();
+    ASSERT_FALSE(expected.divergences.empty());
+    ASSERT_EQ(expected.failures.size(), 1u);
+
+    // "Crash" after 4 tests: a separate runner that only ever sees
+    // the first 4, writing the same journal the full sweep would.
+    const std::string path = tempPath("resume");
+    BatchOptions headOpts = refOpts;
+    headOpts.journalPath = path;
+    BatchRunner head(model, headOpts);
+    configure(head, 4);
+    BatchReport headReport = head.run();
+    ASSERT_EQ(headReport.results.size(), 4u);
+
+    // Simulate dying mid-append on top of that: torn half-record.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "{\"crc\":\"dead";
+    }
+
+    // Resume with the full test list.
+    BatchOptions resumeOpts = refOpts;
+    resumeOpts.journalPath = path;
+    resumeOpts.resume = true;
+    BatchRunner resumed(model, resumeOpts);
+    configure(resumed, full);
+    BatchReport actual = resumed.run();
+
+    EXPECT_EQ(actual.resumedCount, 4u);
+    EXPECT_EQ(verdictLines(actual), verdictLines(expected));
+
+    // And a second resume skips everything.
+    BatchRunner again(model, resumeOpts);
+    configure(again, full);
+    BatchReport rerun = again.run();
+    EXPECT_EQ(rerun.resumedCount, full);
+    EXPECT_EQ(verdictLines(rerun), verdictLines(expected));
+}
+
+TEST_F(SweepTest, ResumeRejectsJournalFromOtherModel)
+{
+    const std::string path = tempPath("wrongmodel");
+    ScModel sc;
+    BatchOptions opts;
+    opts.journalPath = path;
+    BatchRunner writer(sc, opts);
+    writer.add("SB", sb());
+    writer.run();
+
+    opts.resume = true;
+    BatchRunner reader(model, opts);
+    reader.add("SB", sb());
+    try {
+        reader.run();
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidArgument);
+    }
+}
+
+TEST_F(SweepTest, ForkedJournalIsResumable)
+{
+    const std::string path = tempPath("forked");
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    opts.workers = 4;
+    opts.journalPath = path;
+    BatchRunner forked(model, opts);
+    for (const Program &p : corpus())
+        forked.add(p.name, p);
+    BatchReport first = forked.run();
+    ASSERT_EQ(first.results.size(), corpus().size());
+
+    // Resume in-process from the forked journal: nothing to re-run,
+    // identical verdicts — the two modes share one record format.
+    BatchOptions resumeOpts;
+    resumeOpts.journalPath = path;
+    resumeOpts.resume = true;
+    BatchRunner resumed(model, resumeOpts);
+    for (const Program &p : corpus())
+        resumed.add(p.name, p);
+    BatchReport second = resumed.run();
+    EXPECT_EQ(second.resumedCount, corpus().size());
+    EXPECT_EQ(verdictLines(second), verdictLines(first));
+}
+
+TEST_F(SweepTest, CancelledSweepReturnsPartialReport)
+{
+    CancelToken cancel;
+    cancel.cancel();
+    BatchOptions opts;
+    opts.budget.cancel = &cancel;
+    BatchRunner runner(model, opts);
+    runner.add("SB", sb());
+    runner.add("MP", mp());
+    BatchReport report = runner.run();
+    EXPECT_TRUE(report.cancelled);
+    EXPECT_TRUE(report.results.empty());
+    EXPECT_TRUE(report.failures.empty());
+    EXPECT_NE(report.summary().find("cancelled"), std::string::npos);
+
+    // Forked mode honors the same token.
+    opts.isolation = IsolationMode::Forked;
+    BatchRunner forked(model, opts);
+    forked.add("SB", sb());
+    BatchReport forkedReport = forked.run();
+    EXPECT_TRUE(forkedReport.cancelled);
+    EXPECT_TRUE(forkedReport.results.empty());
+}
+
+} // namespace
+} // namespace lkmm

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * lkmm-sweep — the crash-isolated, resumable catalog sweep driver.
+ *
+ * Points the batch engine (lkmm/batch.hh) at a directory of .litmus
+ * files (or the built-in Table 5 catalog), runs every test under a
+ * chosen model, and leaves behind a crash-tolerant result journal
+ * plus a machine-readable summary:
+ *
+ *   lkmm-sweep --catalog --model lkmm --journal run.jsonl
+ *   lkmm-sweep litmus/tests --isolation forked --jobs 8 \
+ *       --task-deadline-ms 5000 --journal run.jsonl
+ *   # killed half-way?  same command + --resume finishes the rest:
+ *   lkmm-sweep litmus/tests --journal run.jsonl --resume
+ *
+ * Ctrl-C (SIGINT/SIGTERM) trips a cancellation token: the sweep
+ * stops dispatching, kills in-flight children, flushes the journal
+ * and still prints a partial report — rerun with --resume to finish.
+ *
+ * Exit status: 0 all tests produced results, 1 usage or fatal
+ * error, 2 sweep completed but some tests failed or diverged,
+ * 3 cancelled.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+#include "base/budget.hh"
+#include "base/json.hh"
+#include "base/status.hh"
+#include "base/strutil.hh"
+#include "cat/eval.hh"
+#include "lkmm/batch.hh"
+#include "lkmm/catalog.hh"
+#include "lkmm/sweep_journal.hh"
+#include "model/alpha_model.hh"
+#include "model/armv8_model.hh"
+#include "model/c11_model.hh"
+#include "model/lkmm_model.hh"
+#include "model/power_model.hh"
+#include "model/sc_model.hh"
+#include "model/tso_model.hh"
+
+namespace
+{
+
+/**
+ * The Ctrl-C path.  A signal handler may only do async-signal-safe
+ * work, so it performs exactly one relaxed atomic store into the
+ * CancelToken; the sweep loops poll the token and do the orderly
+ * shutdown (kill children, flush journal, partial report) outside
+ * signal context.  No SA_RESTART: the forked scheduler's poll()
+ * must return EINTR so the loop re-checks the token promptly.
+ */
+lkmm::CancelToken g_cancel;
+
+void
+onSignal(int)
+{
+    g_cancel.cancel(); // single atomic store: async-signal-safe
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+std::unique_ptr<lkmm::Model>
+makeModel(const std::string &name)
+{
+    using namespace lkmm;
+    if (name == "lkmm")
+        return std::make_unique<LkmmModel>();
+    if (name == "sc")
+        return std::make_unique<ScModel>();
+    if (name == "tso" || name == "x86")
+        return std::make_unique<TsoModel>();
+    if (name == "power")
+        return std::make_unique<PowerModel>();
+    if (name == "armv7")
+        return std::make_unique<PowerModel>(PowerModel::Flavor::Armv7);
+    if (name == "armv8")
+        return std::make_unique<Armv8Model>();
+    if (name == "alpha")
+        return std::make_unique<AlphaModel>();
+    if (name == "c11")
+        return std::make_unique<C11Model>();
+    return nullptr;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lkmm-sweep [options] [DIR-or-FILE.litmus ...]\n"
+        "\n"
+        "inputs (at least one):\n"
+        "  DIR                 queue every .litmus file under DIR\n"
+        "  FILE.litmus         queue one litmus file\n"
+        "  --catalog           queue the built-in Table 5 catalog\n"
+        "\n"
+        "model:\n"
+        "  --model NAME        lkmm (default), sc, tso/x86, power,\n"
+        "                      armv7, armv8, alpha, c11\n"
+        "  --cat FILE          use a cat model file instead\n"
+        "  --cross-check NAME  re-run completed tests under a second\n"
+        "                      model; disagreements become records\n"
+        "\n"
+        "robustness:\n"
+        "  --isolation MODE    in-process (default) or forked\n"
+        "  --jobs N            concurrent children in forked mode\n"
+        "  --task-deadline-ms N  per-child watchdog deadline\n"
+        "  --task-cpu-s N      per-child RLIMIT_CPU seconds\n"
+        "  --task-mem-mb N     per-child RLIMIT_AS megabytes\n"
+        "  --journal FILE      append results to a crash-tolerant\n"
+        "                      journal\n"
+        "  --resume            skip tests already in --journal\n"
+        "\n"
+        "budgets (0 = unlimited):\n"
+        "  --time-limit-ms N   per-test wall-clock budget\n"
+        "  --max-candidates N  per-test candidate cap\n"
+        "  --max-rf N          per-test rf-assignment cap\n"
+        "  --retries N         escalating-budget retries\n"
+        "  --escalation F      budget scale per retry (default 8)\n"
+        "\n"
+        "output:\n"
+        "  --summary FORMAT    text (default) or json\n"
+        "  --out FILE          write the summary there instead of\n"
+        "                      stdout\n"
+        "  --quiet             no per-test progress lines\n");
+    return 1;
+}
+
+/** Collect .litmus files under a path (sorted for determinism). */
+std::vector<std::filesystem::path>
+collectLitmusFiles(const std::filesystem::path &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    if (fs::is_directory(root)) {
+        for (const fs::directory_entry &entry :
+             fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".litmus") {
+                files.push_back(entry.path());
+            }
+        }
+        std::sort(files.begin(), files.end());
+    } else {
+        files.push_back(root);
+    }
+    return files;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        throw lkmm::StatusError(lkmm::Status(
+            lkmm::StatusCode::IoError,
+            "cannot read '" + path.string() + "'"));
+    }
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+lkmm::json::Value
+summaryJson(const lkmm::BatchReport &report)
+{
+    using lkmm::json::Array;
+    using lkmm::json::Object;
+    using lkmm::json::Value;
+
+    Object root;
+    root["tests"] = Value(report.results.size() + report.failures.size());
+    root["complete"] = Value(report.completeCount());
+    root["truncated"] = Value(report.truncatedCount());
+    root["failed"] = Value(report.failures.size());
+    root["divergences"] = Value(report.divergences.size());
+    root["resumed"] = Value(report.resumedCount);
+    root["cancelled"] = Value(report.cancelled);
+
+    Array results;
+    for (const lkmm::BatchItemResult &r : report.results)
+        results.push_back(lkmm::toJson(r));
+    root["results"] = Value(std::move(results));
+
+    Array failures;
+    for (const lkmm::TestFailure &f : report.failures)
+        failures.push_back(lkmm::toJson(f));
+    root["failures"] = Value(std::move(failures));
+
+    Array divergences;
+    for (const lkmm::Divergence &d : report.divergences)
+        divergences.push_back(lkmm::toJson(d));
+    root["divergences_detail"] = Value(std::move(divergences));
+
+    return Value(std::move(root));
+}
+
+void
+printTextSummary(std::FILE *out, const lkmm::BatchReport &report,
+                 bool quiet)
+{
+    if (!quiet) {
+        for (const lkmm::BatchItemResult &r : report.results) {
+            std::fprintf(out, "%-28s %-8s %s%s\n", r.name.c_str(),
+                         lkmm::verdictName(r.result.verdict),
+                         lkmm::completenessName(r.result.completeness),
+                         r.attempts > 1
+                             ? lkmm::format(" (%d attempts)", r.attempts)
+                                   .c_str()
+                             : "");
+        }
+    }
+    for (const lkmm::TestFailure &f : report.failures)
+        std::fprintf(out, "FAILED %s\n", f.toString().c_str());
+    for (const lkmm::Divergence &d : report.divergences)
+        std::fprintf(out, "DIVERGED %s\n", d.toString().c_str());
+    std::fprintf(out, "%s\n", report.summary().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lkmm;
+    namespace fs = std::filesystem;
+
+    std::string modelName = "lkmm";
+    std::string catFile;
+    std::string crossCheckName;
+    std::vector<std::string> inputs;
+    bool useCatalog = false;
+    bool quiet = false;
+    std::string summaryFormat = "text";
+    std::string outFile;
+    BatchOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                std::exit(usage());
+            return argv[++i];
+        };
+        try {
+            if (arg == "--model")
+                modelName = next();
+            else if (arg == "--cat")
+                catFile = next();
+            else if (arg == "--cross-check")
+                crossCheckName = next();
+            else if (arg == "--catalog")
+                useCatalog = true;
+            else if (arg == "--isolation") {
+                const std::string mode = next();
+                if (mode == "forked")
+                    opts.isolation = IsolationMode::Forked;
+                else if (mode == "in-process" || mode == "inprocess")
+                    opts.isolation = IsolationMode::InProcess;
+                else
+                    return usage();
+            } else if (arg == "--jobs")
+                opts.workers = std::stoi(next());
+            else if (arg == "--task-deadline-ms")
+                opts.taskDeadline =
+                    std::chrono::milliseconds(std::stoll(next()));
+            else if (arg == "--task-cpu-s")
+                opts.taskCpuSeconds =
+                    static_cast<unsigned>(std::stoul(next()));
+            else if (arg == "--task-mem-mb")
+                opts.taskMemoryBytes =
+                    std::stoull(next()) * 1024 * 1024;
+            else if (arg == "--journal")
+                opts.journalPath = next();
+            else if (arg == "--resume")
+                opts.resume = true;
+            else if (arg == "--time-limit-ms")
+                opts.budget.wallClock =
+                    std::chrono::milliseconds(std::stoll(next()));
+            else if (arg == "--max-candidates")
+                opts.budget.maxCandidates = std::stoull(next());
+            else if (arg == "--max-rf")
+                opts.budget.maxRfAssignments = std::stoull(next());
+            else if (arg == "--retries")
+                opts.maxRetries = std::stoi(next());
+            else if (arg == "--escalation")
+                opts.escalation = std::stod(next());
+            else if (arg == "--summary")
+                summaryFormat = next();
+            else if (arg == "--out")
+                outFile = next();
+            else if (arg == "--quiet")
+                quiet = true;
+            else if (arg == "--help" || arg == "-h")
+                return usage();
+            else if (arg.rfind("--", 0) == 0)
+                return usage();
+            else
+                inputs.push_back(arg);
+        } catch (const std::exception &) {
+            std::fprintf(stderr, "lkmm-sweep: bad value for %s\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (inputs.empty() && !useCatalog)
+        return usage();
+    if (summaryFormat != "text" && summaryFormat != "json")
+        return usage();
+    if (opts.resume && opts.journalPath.empty()) {
+        std::fprintf(stderr, "lkmm-sweep: --resume needs --journal\n");
+        return 1;
+    }
+
+    try {
+        std::unique_ptr<Model> model;
+        if (!catFile.empty()) {
+            model = std::make_unique<CatModel>(
+                CatModel::fromFile(catFile));
+        } else {
+            model = makeModel(modelName);
+            if (!model) {
+                std::fprintf(stderr, "lkmm-sweep: unknown model '%s'\n",
+                             modelName.c_str());
+                return 1;
+            }
+        }
+        std::unique_ptr<Model> crossCheck;
+        if (!crossCheckName.empty()) {
+            crossCheck = makeModel(crossCheckName);
+            if (!crossCheck) {
+                std::fprintf(stderr,
+                             "lkmm-sweep: unknown cross-check model "
+                             "'%s'\n",
+                             crossCheckName.c_str());
+                return 1;
+            }
+            opts.crossCheck = crossCheck.get();
+        }
+
+        installSignalHandlers();
+        opts.budget.cancel = &g_cancel;
+
+        BatchRunner runner(*model, opts);
+        if (useCatalog) {
+            for (const CatalogEntry &entry : table5())
+                runner.add(entry.prog.name, entry.prog);
+        }
+        for (const std::string &input : inputs) {
+            for (const fs::path &file : collectLitmusFiles(input)) {
+                // Journal resume is keyed by this name, so it must
+                // be stable across runs: use the file stem.
+                runner.addLitmusSource(file.stem().string(),
+                                       slurp(file));
+            }
+        }
+        if (runner.size() == 0) {
+            std::fprintf(stderr, "lkmm-sweep: no litmus tests found\n");
+            return 1;
+        }
+        if (!quiet) {
+            std::fprintf(stderr,
+                         "lkmm-sweep: %zu tests, model %s, %s mode%s\n",
+                         runner.size(), model->name().c_str(),
+                         opts.isolation == IsolationMode::Forked
+                             ? "forked"
+                             : "in-process",
+                         opts.journalPath.empty()
+                             ? ""
+                             : (", journal " + opts.journalPath).c_str());
+        }
+
+        BatchReport report = runner.run();
+
+        std::FILE *out = stdout;
+        if (!outFile.empty()) {
+            out = std::fopen(outFile.c_str(), "w");
+            if (!out) {
+                std::fprintf(stderr, "lkmm-sweep: cannot write '%s'\n",
+                             outFile.c_str());
+                return 1;
+            }
+        }
+        if (summaryFormat == "json")
+            std::fprintf(out, "%s\n", summaryJson(report).pretty().c_str());
+        else
+            printTextSummary(out, report, quiet);
+        if (out != stdout)
+            std::fclose(out);
+
+        if (report.cancelled) {
+            std::fprintf(stderr,
+                         "lkmm-sweep: cancelled; rerun with --resume "
+                         "to finish\n");
+            return 3;
+        }
+        return report.failures.empty() && report.divergences.empty() ? 0
+                                                                     : 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lkmm-sweep: %s\n", e.what());
+        return 1;
+    }
+}
