@@ -191,6 +191,13 @@ class Lexer
     Token tok_{Tok::End, "", 1, 1};
 };
 
+/**
+ * Adversarial (fuzzed) cat files can nest parentheses, brackets, or
+ * complements arbitrarily deep; bound the recursive descent so they
+ * fail with a ParseError instead of overflowing the stack.
+ */
+constexpr int kMaxNesting = 200;
+
 class Parser
 {
   public:
@@ -420,9 +427,27 @@ class Parser
         return e;
     }
 
+    /** RAII recursion-depth bound; see kMaxNesting. */
+    class DepthGuard
+    {
+      public:
+        DepthGuard(Parser &p) : p_(p)
+        {
+            if (++p_.depth_ > kMaxNesting) {
+                p_.error("nesting deeper than " +
+                         std::to_string(kMaxNesting) + " levels");
+            }
+        }
+        ~DepthGuard() { --p_.depth_; }
+
+      private:
+        Parser &p_;
+    };
+
     CatExprPtr
     primary()
     {
+        DepthGuard guard(*this);
         const Token t = lex_.peek();
         switch (t.kind) {
           case Tok::Ident: {
@@ -465,6 +490,8 @@ class Parser
     }
 
     Lexer lex_;
+    /** Current recursion depth, bounded by kMaxNesting. */
+    int depth_ = 0;
 };
 
 } // namespace

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "base/logging.hh"
+#include "base/rng.hh"
 #include "litmus/builder.hh"
 
 namespace lkmm
@@ -405,6 +406,30 @@ enumerateCycles(const std::vector<DiyEdge> &alphabet, std::size_t length,
             break;
     }
     return out;
+}
+
+std::optional<Program>
+randomCycle(Rng &rng, const std::vector<DiyEdge> &alphabet,
+            std::size_t minLength, std::size_t maxLength,
+            std::size_t maxAttempts)
+{
+    if (alphabet.empty() || minLength < 2 || maxLength < minLength)
+        return std::nullopt;
+    // Most uniform edge sequences violate a well-formedness rule
+    // (adjacent kinds, duplicate locations, ...), so sample until one
+    // survives cycleToProgram.  The attempt bound keeps the draw
+    // deterministic-time for any alphabet.
+    for (std::size_t attempt = 0; attempt < maxAttempts; ++attempt) {
+        const std::size_t length = minLength +
+            rng.below(maxLength - minLength + 1);
+        std::vector<DiyEdge> cycle;
+        cycle.reserve(length);
+        for (std::size_t i = 0; i < length; ++i)
+            cycle.push_back(alphabet[rng.below(alphabet.size())]);
+        if (auto prog = cycleToProgram(cycle))
+            return prog;
+    }
+    return std::nullopt;
 }
 
 std::vector<DiyEdge>

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "base/rng.hh"
 #include "exec/event.hh"
 #include "litmus/program.hh"
 
@@ -97,6 +98,18 @@ std::optional<Program> cycleToProgram(const std::vector<DiyEdge> &cycle);
 std::vector<Program> enumerateCycles(const std::vector<DiyEdge> &alphabet,
                                      std::size_t length,
                                      std::size_t maxTests = 100000);
+
+/**
+ * Draw one random well-formed cycle as a program — the fuzzer's
+ * generative seed source.  Samples a length in [minLength,
+ * maxLength], fills it with random alphabet edges, and retries (up
+ * to maxAttempts) until cycleToProgram accepts; nullopt when the
+ * alphabet never yields a well-formed cycle within the bound.
+ */
+std::optional<Program>
+randomCycle(Rng &rng, const std::vector<DiyEdge> &alphabet,
+            std::size_t minLength = 2, std::size_t maxLength = 6,
+            std::size_t maxAttempts = 64);
 
 /** The default edge alphabet used by the test sweeps and benches. */
 std::vector<DiyEdge> defaultAlphabet();

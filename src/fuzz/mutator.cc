@@ -1,0 +1,339 @@
+#include "fuzz/mutator.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "litmus/printer.hh"
+#include "lkmm/catalog.hh"
+
+namespace lkmm::fuzz
+{
+
+namespace
+{
+
+/** A mutable reference to one top-level instruction slot. */
+struct Slot
+{
+    int tid;
+    std::size_t index;
+};
+
+std::vector<Slot>
+slots(const Program &p)
+{
+    std::vector<Slot> out;
+    for (int t = 0; t < p.numThreads(); ++t) {
+        for (std::size_t i = 0; i < p.threads[t].body.size(); ++i)
+            out.push_back({t, i});
+    }
+    return out;
+}
+
+std::optional<Slot>
+pickSlot(const Program &p, Rng &rng)
+{
+    const std::vector<Slot> all = slots(p);
+    if (all.empty())
+        return std::nullopt;
+    return all[rng.below(all.size())];
+}
+
+/** Mutants must stay small: enumeration is exponential in size. */
+constexpr std::size_t kMaxInstrs = 24;
+
+std::size_t
+totalInstrs(const Program &p)
+{
+    std::size_t n = 0;
+    for (const Thread &t : p.threads)
+        n += t.body.size();
+    return n;
+}
+
+bool
+dropInstr(Program &p, Rng &rng)
+{
+    auto s = pickSlot(p, rng);
+    if (!s)
+        return false;
+    auto &body = p.threads[s->tid].body;
+    body.erase(body.begin() + static_cast<std::ptrdiff_t>(s->index));
+    return true;
+}
+
+bool
+duplicateInstr(Program &p, Rng &rng)
+{
+    if (totalInstrs(p) >= kMaxInstrs)
+        return false;
+    auto s = pickSlot(p, rng);
+    if (!s)
+        return false;
+    auto &body = p.threads[s->tid].body;
+    Instr copy = body[s->index];
+    body.insert(body.begin() + static_cast<std::ptrdiff_t>(s->index),
+                std::move(copy));
+    return true;
+}
+
+bool
+swapInstrs(Program &p, Rng &rng)
+{
+    std::vector<Slot> eligible;
+    for (int t = 0; t < p.numThreads(); ++t) {
+        if (p.threads[t].body.size() >= 2) {
+            for (std::size_t i = 0;
+                 i + 1 < p.threads[t].body.size(); ++i)
+                eligible.push_back({t, i});
+        }
+    }
+    if (eligible.empty())
+        return false;
+    const Slot s = eligible[rng.below(eligible.size())];
+    std::swap(p.threads[s.tid].body[s.index],
+              p.threads[s.tid].body[s.index + 1]);
+    return true;
+}
+
+bool
+flipAnnotation(Program &p, Rng &rng)
+{
+    std::vector<Slot> eligible;
+    for (const Slot &s : slots(p)) {
+        const Instr &ins = p.threads[s.tid].body[s.index];
+        switch (ins.kind) {
+        case Instr::Kind::Read:
+        case Instr::Kind::Write:
+        case Instr::Kind::Fence:
+            eligible.push_back(s);
+            break;
+        default:
+            break;
+        }
+    }
+    if (eligible.empty())
+        return false;
+    const Slot s = eligible[rng.below(eligible.size())];
+    Instr &ins = p.threads[s.tid].body[s.index];
+    switch (ins.kind) {
+    case Instr::Kind::Read:
+        // READ_ONCE <-> smp_load_acquire; an rcu_dereference first
+        // loses its rb-dep (a strictly weaker read), then flips.
+        if (ins.rbDepAfter) {
+            ins.rbDepAfter = false;
+        } else {
+            ins.ann = ins.ann == Ann::Acquire ? Ann::Once
+                                              : Ann::Acquire;
+        }
+        return true;
+    case Instr::Kind::Write:
+        // WRITE_ONCE <-> smp_store_release.
+        ins.ann = ins.ann == Ann::Release ? Ann::Once : Ann::Release;
+        return true;
+    case Instr::Kind::Fence: {
+        static const Ann flavours[] = {Ann::Rmb, Ann::Wmb, Ann::Mb,
+                                       Ann::SyncRcu};
+        Ann next;
+        do {
+            next = flavours[rng.below(4)];
+        } while (next == ins.ann);
+        ins.ann = next;
+        return true;
+    }
+    default:
+        return false;
+    }
+}
+
+bool
+rewireAddr(Program &p, Rng &rng)
+{
+    if (p.numLocs() < 2)
+        return false;
+    std::vector<Slot> eligible;
+    for (const Slot &s : slots(p)) {
+        const Instr &ins = p.threads[s.tid].body[s.index];
+        if ((ins.kind == Instr::Kind::Read ||
+             ins.kind == Instr::Kind::Write) &&
+            ins.addr.op() == Expr::Op::LocRef) {
+            eligible.push_back(s);
+        }
+    }
+    if (eligible.empty())
+        return false;
+    const Slot s = eligible[rng.below(eligible.size())];
+    Instr &ins = p.threads[s.tid].body[s.index];
+    const LocId old = ins.addr.locId();
+    LocId next = static_cast<LocId>(rng.below(p.numLocs()));
+    if (next == old)
+        next = static_cast<LocId>((next + 1) % p.numLocs());
+    ins.addr = Expr::locRef(next);
+    return true;
+}
+
+bool
+perturbValue(Program &p, Rng &rng)
+{
+    std::vector<Slot> eligible;
+    for (const Slot &s : slots(p)) {
+        const Instr &ins = p.threads[s.tid].body[s.index];
+        if (ins.kind == Instr::Kind::Write &&
+            ins.value.op() == Expr::Op::Const &&
+            !isLocHandle(ins.value.constValue())) {
+            eligible.push_back(s);
+        }
+    }
+    if (eligible.empty())
+        return false;
+    const Slot s = eligible[rng.below(eligible.size())];
+    Instr &ins = p.threads[s.tid].body[s.index];
+    Value next = rng.range(0, 3);
+    if (next == ins.value.constValue())
+        next = (next + 1) % 4;
+    ins.value = Expr::constant(next);
+    return true;
+}
+
+bool
+insertFence(Program &p, Rng &rng)
+{
+    if (p.threads.empty() || totalInstrs(p) >= kMaxInstrs)
+        return false;
+    const int tid = static_cast<int>(rng.below(p.threads.size()));
+    auto &body = p.threads[tid].body;
+    const std::size_t pos = rng.below(body.size() + 1);
+    static const Ann flavours[] = {Ann::Rmb, Ann::Wmb, Ann::Mb};
+    Instr ins;
+    ins.kind = Instr::Kind::Fence;
+    ins.ann = flavours[rng.below(3)];
+    body.insert(body.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::move(ins));
+    return true;
+}
+
+/** Collect pointers to the value-carrying leaves of a condition. */
+void
+condLeaves(Cond &c, std::vector<Cond *> &out)
+{
+    if (c.kind == Cond::Kind::RegEq || c.kind == Cond::Kind::MemEq)
+        out.push_back(&c);
+    for (Cond &child : c.children)
+        condLeaves(child, out);
+}
+
+bool
+perturbCond(Program &p, Rng &rng)
+{
+    std::vector<Cond *> leaves;
+    condLeaves(p.condition, leaves);
+    if (leaves.empty())
+        return false;
+    Cond *leaf = leaves[rng.below(leaves.size())];
+    if (isLocHandle(leaf->value)) {
+        // Retarget a pointer observation at another location.
+        if (p.numLocs() < 2)
+            return false;
+        LocId next = static_cast<LocId>(rng.below(p.numLocs()));
+        if (next == valueToLoc(leaf->value))
+            next = static_cast<LocId>((next + 1) % p.numLocs());
+        leaf->value = locToValue(next);
+        return true;
+    }
+    Value next = rng.range(0, 3);
+    if (next == leaf->value)
+        next = (next + 1) % 4;
+    leaf->value = next;
+    return true;
+}
+
+bool
+flipQuantifier(Program &p, Rng &)
+{
+    p.quantifier = p.quantifier == Quantifier::Exists
+                       ? Quantifier::Forall
+                       : Quantifier::Exists;
+    return true;
+}
+
+bool
+apply(Program &p, MutationKind kind, Rng &rng)
+{
+    switch (kind) {
+    case MutationKind::DropInstr:      return dropInstr(p, rng);
+    case MutationKind::DuplicateInstr: return duplicateInstr(p, rng);
+    case MutationKind::SwapInstrs:     return swapInstrs(p, rng);
+    case MutationKind::FlipAnnotation: return flipAnnotation(p, rng);
+    case MutationKind::RewireAddr:     return rewireAddr(p, rng);
+    case MutationKind::PerturbValue:   return perturbValue(p, rng);
+    case MutationKind::InsertFence:    return insertFence(p, rng);
+    case MutationKind::PerturbCond:    return perturbCond(p, rng);
+    case MutationKind::FlipQuantifier: return flipQuantifier(p, rng);
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+mutationKindName(MutationKind k)
+{
+    switch (k) {
+    case MutationKind::DropInstr:      return "drop-instr";
+    case MutationKind::DuplicateInstr: return "duplicate-instr";
+    case MutationKind::SwapInstrs:     return "swap-instrs";
+    case MutationKind::FlipAnnotation: return "flip-annotation";
+    case MutationKind::RewireAddr:     return "rewire-addr";
+    case MutationKind::PerturbValue:   return "perturb-value";
+    case MutationKind::InsertFence:    return "insert-fence";
+    case MutationKind::PerturbCond:    return "perturb-cond";
+    case MutationKind::FlipQuantifier: return "flip-quantifier";
+    }
+    return "?";
+}
+
+std::optional<Program>
+applyMutation(const Program &base, MutationKind kind, Rng &rng)
+{
+    Program p = base;
+    if (!apply(p, kind, rng))
+        return std::nullopt;
+    return p;
+}
+
+std::optional<Program>
+mutate(const Program &base, Rng &rng, std::size_t maxMutations)
+{
+    if (maxMutations == 0)
+        maxMutations = 1;
+    constexpr std::size_t kAttempts = 32;
+    for (std::size_t attempt = 0; attempt < kAttempts; ++attempt) {
+        Program p = base;
+        const std::size_t n = 1 + rng.below(maxMutations);
+        std::size_t applied = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto kind = static_cast<MutationKind>(
+                rng.below(kNumMutationKinds));
+            if (apply(p, kind, rng))
+                ++applied;
+        }
+        if (applied == 0)
+            continue;
+        if (tryPrintLitmus(p))
+            return p;
+    }
+    return std::nullopt;
+}
+
+std::vector<Program>
+builtinSeedPrograms()
+{
+    std::vector<Program> out;
+    for (CatalogEntry &e : table5()) {
+        if (tryPrintLitmus(e.prog))
+            out.push_back(std::move(e.prog));
+    }
+    return out;
+}
+
+} // namespace lkmm::fuzz

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structured mutation of litmus ASTs — the input generator of the
+ * differential fuzzer (tools/lkmm-fuzz).
+ *
+ * Mutations operate on the Program AST, not on source text, so every
+ * candidate is structurally well-formed by construction; the only
+ * post-condition checked is printability (litmus/printer.hh), which
+ * guarantees a finding can be written to disk as a standalone
+ * `.litmus` repro.  The mutation vocabulary (see MutationKind)
+ * follows the ISSUE brief: drop/duplicate/swap instructions, flip
+ * memory-order annotations (READ_ONCE <-> smp_load_acquire, ...),
+ * rewire addresses, perturb exists-clauses, insert fences.
+ *
+ * All randomness flows through one caller-provided Rng, so a fuzzing
+ * campaign is bit-reproducible from a single --seed.
+ */
+
+#ifndef LKMM_FUZZ_MUTATOR_HH
+#define LKMM_FUZZ_MUTATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.hh"
+#include "litmus/program.hh"
+
+namespace lkmm::fuzz
+{
+
+/** The mutation vocabulary. */
+enum class MutationKind
+{
+    DropInstr,      ///< remove one instruction
+    DuplicateInstr, ///< insert a copy right after the original
+    SwapInstrs,     ///< swap two adjacent instructions
+    FlipAnnotation, ///< Once<->Acquire, Once<->Release, fence flavour
+    RewireAddr,     ///< point a load/store at a different location
+    PerturbValue,   ///< change a constant store value
+    InsertFence,    ///< insert a fence at a random point
+    PerturbCond,    ///< change a value in the exists-clause
+    FlipQuantifier, ///< exists <-> forall
+};
+
+constexpr int kNumMutationKinds = 9;
+
+/** Stable name, e.g. "drop-instr". */
+const char *mutationKindName(MutationKind k);
+
+/**
+ * Apply one random mutation of the given kind.  Returns nullopt when
+ * the kind does not apply to this program (e.g. SwapInstrs on a
+ * single-instruction thread); the result is not printability-checked.
+ */
+std::optional<Program> applyMutation(const Program &base,
+                                     MutationKind kind, Rng &rng);
+
+/**
+ * Apply 1..maxMutations random mutations, retrying until the result
+ * is printable (so it can be written out as a repro).  Returns
+ * nullopt when no printable mutant was found within an internal
+ * attempt bound — e.g. when the base program itself is unprintable.
+ */
+std::optional<Program> mutate(const Program &base, Rng &rng,
+                              std::size_t maxMutations = 3);
+
+/**
+ * The deterministic seed pool of the fuzzer: every printable catalog
+ * program (the paper's Table 5 plus figure tests).  diy random
+ * cycles are drawn separately (diy/generator.hh randomCycle).
+ */
+std::vector<Program> builtinSeedPrograms();
+
+} // namespace lkmm::fuzz
+
+#endif // LKMM_FUZZ_MUTATOR_HH

@@ -1,0 +1,398 @@
+#include "fuzz/oracle.hh"
+
+#include <csignal>
+#include <memory>
+#include <sstream>
+
+#include "base/faultinject.hh"
+#include "base/status.hh"
+#include "cat/eval.hh"
+#include "model/lkmm_model.hh"
+#include "model/sc_model.hh"
+#include "model/tso_model.hh"
+#include "sim/machine.hh"
+
+namespace lkmm::fuzz
+{
+
+namespace
+{
+
+bool
+anyUsesRcu(const std::vector<Instr> &body)
+{
+    for (const Instr &ins : body) {
+        if (ins.kind == Instr::Kind::Fence &&
+            (ins.ann == Ann::RcuLock || ins.ann == Ann::RcuUnlock ||
+             ins.ann == Ann::SyncRcu)) {
+            return true;
+        }
+        if (ins.kind == Instr::Kind::If &&
+            (anyUsesRcu(ins.thenBody) || anyUsesRcu(ins.elseBody)))
+            return true;
+    }
+    return false;
+}
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGKILL: return "SIGKILL";
+    case SIGBUS:  return "SIGBUS";
+    case SIGFPE:  return "SIGFPE";
+    case SIGILL:  return "SIGILL";
+    default:      return "signal-" + std::to_string(sig);
+    }
+}
+
+/** Side backed by an axiomatic model. */
+OracleSide
+modelSide(std::string label, std::shared_ptr<const Model> model)
+{
+    OracleSide side;
+    side.label = std::move(label);
+    side.eval = [model](const Program &prog, const RunBudget &budget,
+                        std::uint64_t) {
+        return quickVerdict(prog, *model, budget);
+    };
+    return side;
+}
+
+/**
+ * Side backed by the operational machine: Allow when the exists
+ * clause was observed in any of the seeded runs.  "Not observed" is
+ * reported as Forbid, which is only sound on the small side of a
+ * Subset oracle (absence of evidence never triggers a finding).
+ */
+OracleSide
+operationalSide(std::string label, MachineConfig cfg,
+                std::uint64_t runs)
+{
+    OracleSide side;
+    side.label = std::move(label);
+    side.eval = [cfg, runs](const Program &prog, const RunBudget &,
+                            std::uint64_t seed) {
+        const HarnessResult hr = runHarness(prog, cfg, runs, seed);
+        return hr.observed > 0 ? Verdict::Allow : Verdict::Forbid;
+    };
+    return side;
+}
+
+std::optional<LkmmModel::Config>
+ablatedConfig(const std::string &knob)
+{
+    LkmmModel::Config cfg;
+    if (knob == "rcu-axiom")
+        cfg.rcuAxiom = false;
+    else if (knob == "rrdep-prefix")
+        cfg.rrdepPrefix = false;
+    else if (knob == "free-rrdep")
+        cfg.freeRrdep = true;
+    else if (knob == "a-cumul")
+        cfg.aCumulativity = false;
+    else if (knob == "gp-strong-fence")
+        cfg.gpIsStrongFence = false;
+    else
+        return std::nullopt;
+    return cfg;
+}
+
+Oracle
+makeOracle(const std::string &name, const std::string &catModelDir)
+{
+    Oracle o;
+    o.name = name;
+    if (name == "native-vs-cat") {
+        const std::string dir =
+            catModelDir.empty() ? LKMM_CAT_MODEL_DIR : catModelDir;
+        auto cat = std::make_shared<CatModel>(
+            CatModel::fromFile(dir + "/lkmm.cat"));
+        o.mode = Oracle::Mode::Equal;
+        o.a = modelSide("native-lkmm", std::make_shared<LkmmModel>());
+        o.b = modelSide("cat-lkmm", std::move(cat));
+        return o;
+    }
+    if (name == "sc-vs-operational") {
+        o.mode = Oracle::Mode::Subset;
+        o.a = operationalSide("op-sc", MachineConfig::sc(), 256);
+        o.b = modelSide("native-sc", std::make_shared<ScModel>());
+        return o;
+    }
+    if (name == "mono-sc-lkmm") {
+        o.mode = Oracle::Mode::Subset;
+        o.rcuSound = false; // the rcu axiom breaks SC-monotonicity
+        o.a = modelSide("native-sc", std::make_shared<ScModel>());
+        o.b = modelSide("native-lkmm", std::make_shared<LkmmModel>());
+        return o;
+    }
+    if (name == "mono-sc-tso") {
+        o.mode = Oracle::Mode::Subset;
+        o.a = modelSide("native-sc", std::make_shared<ScModel>());
+        o.b = modelSide("native-tso", std::make_shared<TsoModel>());
+        return o;
+    }
+    const std::string prefix = "native-vs-ablated:";
+    if (name.rfind(prefix, 0) == 0) {
+        const std::string knob = name.substr(prefix.size());
+        const auto cfg = ablatedConfig(knob);
+        if (!cfg) {
+            throw StatusError(Status(
+                StatusCode::InvalidArgument,
+                "unknown ablation knob '" + knob +
+                    "' (known: rcu-axiom, rrdep-prefix, free-rrdep, "
+                    "a-cumul, gp-strong-fence)"));
+        }
+        o.mode = Oracle::Mode::Equal;
+        o.a = modelSide("native-lkmm", std::make_shared<LkmmModel>());
+        o.b = modelSide("ablated-" + knob,
+                        std::make_shared<LkmmModel>(*cfg));
+        return o;
+    }
+    throw StatusError(Status(StatusCode::InvalidArgument,
+                             "unknown oracle '" + name +
+                                 "' (known: " + knownOracleSpec() +
+                                 ")"));
+}
+
+/**
+ * The child/side computation, shared by the isolated and in-process
+ * paths.  The faultinject crash points fire here, keyed by the
+ * candidate's name, so tests can make one specific side crash.
+ */
+std::string
+evalSidePayload(const OracleSide &side, const Program &prog,
+                const OracleOptions &opts)
+{
+    faultinject::maybeFail(faultinject::Point::CrashSegv,
+                           prog.name.c_str());
+    faultinject::maybeFail(faultinject::Point::CrashAbort,
+                           prog.name.c_str());
+    faultinject::maybeFail(faultinject::Point::Hang,
+                           prog.name.c_str());
+    try {
+        const Verdict v = side.eval(prog, opts.budget, opts.seed);
+        return std::string("ok ") + verdictName(v);
+    } catch (const std::exception &e) {
+        return std::string("err ") +
+               statusCodeName(statusOf(e).code());
+    }
+}
+
+SideOutcome
+decodePayload(const std::string &payload)
+{
+    SideOutcome out;
+    std::istringstream ss(payload);
+    std::string tag, rest;
+    ss >> tag >> rest;
+    if (tag == "ok") {
+        out.kind = SideOutcome::Kind::Ok;
+        if (rest == "Allow")
+            out.verdict = Verdict::Allow;
+        else if (rest == "Forbid")
+            out.verdict = Verdict::Forbid;
+        else
+            out.verdict = Verdict::Unknown;
+        return out;
+    }
+    if (tag == "err") {
+        out.kind = SideOutcome::Kind::Error;
+        out.detail = rest.empty() ? "unknown" : rest;
+        return out;
+    }
+    out.kind = SideOutcome::Kind::Error;
+    out.detail = "bad-payload";
+    return out;
+}
+
+/** Is this Error detail a structured rejection of the input? */
+bool
+isStructuredReject(const SideOutcome &o)
+{
+    return o.kind == SideOutcome::Kind::Error &&
+           (o.detail == statusCodeName(StatusCode::ParseError) ||
+            o.detail == statusCodeName(StatusCode::EvalError) ||
+            o.detail == statusCodeName(StatusCode::InvalidArgument) ||
+            o.detail == statusCodeName(StatusCode::BudgetExceeded));
+}
+
+} // namespace
+
+bool
+usesRcu(const Program &prog)
+{
+    for (const Thread &t : prog.threads) {
+        if (anyUsesRcu(t.body))
+            return true;
+    }
+    return false;
+}
+
+std::vector<Oracle>
+makeOracles(const std::string &spec, const std::string &catModelDir)
+{
+    std::vector<Oracle> out;
+    std::string item;
+    std::istringstream ss(spec);
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(makeOracle(item, catModelDir));
+    }
+    if (out.empty()) {
+        throw StatusError(Status(StatusCode::InvalidArgument,
+                                 "empty oracle spec"));
+    }
+    return out;
+}
+
+std::string
+knownOracleSpec()
+{
+    return "native-vs-cat, sc-vs-operational, mono-sc-lkmm, "
+           "mono-sc-tso, native-vs-ablated:<knob>";
+}
+
+SideOutcome
+runSide(const OracleSide &side, const Program &prog,
+        const OracleOptions &opts)
+{
+    if (!opts.isolate)
+        return decodePayload(evalSidePayload(side, prog, opts));
+
+    const subprocess::Outcome outcome = subprocess::runIsolated(
+        [&] { return evalSidePayload(side, prog, opts); },
+        opts.limits);
+
+    SideOutcome out;
+    switch (outcome.kind) {
+    case subprocess::ExitKind::Signaled:
+        out.kind = SideOutcome::Kind::Crash;
+        out.detail = signalName(outcome.signal);
+        return out;
+    case subprocess::ExitKind::TimedOut:
+        out.kind = SideOutcome::Kind::Timeout;
+        out.detail = "deadline";
+        return out;
+    case subprocess::ExitKind::Exited:
+        if (outcome.exitCode != 0) {
+            out.kind = SideOutcome::Kind::Error;
+            out.detail = "exit-" + std::to_string(outcome.exitCode);
+            return out;
+        }
+        return decodePayload(outcome.output);
+    }
+    out.kind = SideOutcome::Kind::Error;
+    out.detail = "unknown-outcome";
+    return out;
+}
+
+std::string
+Finding::signature() const
+{
+    return oracle + "/" + kind + "/" + detail;
+}
+
+namespace
+{
+
+std::optional<Finding>
+hardFailure(const Oracle &oracle, const OracleSide &side,
+            const SideOutcome &o)
+{
+    Finding f;
+    f.oracle = oracle.name;
+    switch (o.kind) {
+    case SideOutcome::Kind::Crash:
+        f.kind = "crash";
+        break;
+    case SideOutcome::Kind::Timeout:
+        f.kind = "timeout";
+        break;
+    case SideOutcome::Kind::Error:
+        if (isStructuredReject(o))
+            return std::nullopt; // handled by the caller
+        f.kind = "error";
+        break;
+    case SideOutcome::Kind::Ok:
+        return std::nullopt;
+    }
+    f.detail = side.label + ":" + o.detail;
+    return f;
+}
+
+} // namespace
+
+std::optional<Finding>
+runOracle(const Oracle &oracle, const Program &prog,
+          const OracleOptions &opts)
+{
+    // The Subset inclusion direction reverses under forall; skip.
+    if (oracle.mode == Oracle::Mode::Subset &&
+        prog.quantifier != Quantifier::Exists) {
+        return std::nullopt;
+    }
+    if (!oracle.rcuSound && usesRcu(prog))
+        return std::nullopt;
+
+    const SideOutcome oa = runSide(oracle.a, prog, opts);
+    if (auto f = hardFailure(oracle, oracle.a, oa))
+        return f;
+    const SideOutcome ob = runSide(oracle.b, prog, opts);
+    if (auto f = hardFailure(oracle, oracle.b, ob))
+        return f;
+
+    const bool rejectA = isStructuredReject(oa);
+    const bool rejectB = isStructuredReject(ob);
+    if (rejectA && rejectB)
+        return std::nullopt; // both sides agree the input is bad
+    if (rejectA || rejectB) {
+        // One side rejects an input the other evaluates: a
+        // robustness disagreement worth a bucket of its own.
+        Finding f;
+        f.oracle = oracle.name;
+        f.kind = "error";
+        const auto &side = rejectA ? oracle.a : oracle.b;
+        const auto &o = rejectA ? oa : ob;
+        f.detail = side.label + ":" + o.detail + ":one-sided";
+        return f;
+    }
+
+    if (oa.verdict == Verdict::Unknown ||
+        ob.verdict == Verdict::Unknown) {
+        return std::nullopt; // truncated evidence is inconclusive
+    }
+
+    const bool diverges =
+        oracle.mode == Oracle::Mode::Equal
+            ? oa.verdict != ob.verdict
+            : oa.verdict == Verdict::Allow &&
+                  ob.verdict == Verdict::Forbid;
+    if (!diverges)
+        return std::nullopt;
+
+    Finding f;
+    f.oracle = oracle.name;
+    f.kind = "diverge";
+    f.a = oa.verdict;
+    f.b = ob.verdict;
+    f.detail = std::string("a=") + verdictName(oa.verdict) +
+               " b=" + verdictName(ob.verdict);
+    return f;
+}
+
+std::vector<Finding>
+runOracles(const std::vector<Oracle> &oracles, const Program &prog,
+           const OracleOptions &opts)
+{
+    std::vector<Finding> out;
+    for (const Oracle &o : oracles) {
+        if (auto f = runOracle(o, prog, opts))
+            out.push_back(std::move(*f));
+    }
+    return out;
+}
+
+} // namespace lkmm::fuzz

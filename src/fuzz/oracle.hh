@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Differential oracles: redundant implementations of "what does this
+ * litmus test do?" cross-checked against each other.
+ *
+ * An Oracle is a pair of sides, each mapping a program to a Verdict,
+ * compared under a mode:
+ *
+ *   Equal   the sides must agree (native LKMM vs. lkmm.cat, native
+ *           vs. a deliberately ablated native — the seeded-bug
+ *           acceptance check);
+ *   Subset  Allow on side a implies Allow on side b (model
+ *           monotonicity: SC-allowed is a subset of LKMM-allowed;
+ *           operational-SC-observed is a subset of axiomatic-SC-
+ *           allowed).
+ *
+ * Each side runs inside the PR-2 subprocess sandbox, so a side that
+ * segfaults, aborts, or hangs becomes a finding attributed to that
+ * side's label (the stack-less "phase tag" of the triage signature)
+ * instead of killing the campaign.  Unknown verdicts (budget
+ * truncation) are inconclusive and never produce findings, and
+ * Subset oracles only apply to exists-quantified tests (the
+ * inclusion direction reverses under forall).
+ */
+
+#ifndef LKMM_FUZZ_ORACLE_HH
+#define LKMM_FUZZ_ORACLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/budget.hh"
+#include "base/subprocess.hh"
+#include "litmus/program.hh"
+#include "lkmm/runner.hh"
+
+namespace lkmm::fuzz
+{
+
+/** One verdict provider of an oracle pair. */
+struct OracleSide
+{
+    /** Phase tag used in failure signatures, e.g. "native-lkmm". */
+    std::string label;
+    std::function<Verdict(const Program &, const RunBudget &,
+                          std::uint64_t seed)>
+        eval;
+};
+
+/** A differential check between two sides. */
+struct Oracle
+{
+    enum class Mode
+    {
+        Equal,  ///< verdicts must match
+        Subset, ///< Allow(a) implies Allow(b)
+    };
+
+    std::string name; ///< e.g. "native-vs-cat"
+    Mode mode = Mode::Equal;
+    OracleSide a;
+    OracleSide b;
+    /**
+     * False when the comparison is invalid for programs using RCU
+     * primitives, and such candidates must be skipped.  The SC
+     * monotonicity argument is the canonical example: LKMM's rcu
+     * axiom forbids grace-period/critical-section interleavings
+     * (e.g. the RCU-MP shape) that a plain total-order SC model
+     * happily linearizes, so "SC-allowed implies LKMM-allowed" only
+     * holds RCU-free.
+     */
+    bool rcuSound = true;
+};
+
+/** Does the program use RCU primitives (lock/unlock/sync)? */
+bool usesRcu(const Program &prog);
+
+/**
+ * Build oracles from a comma-separated spec.  Known names:
+ *
+ *   native-vs-cat             LkmmModel vs. cat/models/lkmm.cat
+ *   sc-vs-operational         operational-SC observations must be
+ *                             axiomatic-SC-allowed
+ *   mono-sc-lkmm              SC-allowed implies LKMM-allowed
+ *   mono-sc-tso               SC-allowed implies TSO-allowed
+ *   native-vs-ablated:<knob>  LkmmModel vs. an ablated LkmmModel;
+ *                             knobs: rcu-axiom, rrdep-prefix,
+ *                             free-rrdep, a-cumul, gp-strong-fence
+ *
+ * @param catModelDir override for the cat-model directory (empty =
+ *        the build-time LKMM_CAT_MODEL_DIR).
+ * @throws StatusError (InvalidArgument) on unknown names.
+ */
+std::vector<Oracle> makeOracles(const std::string &spec,
+                                const std::string &catModelDir = "");
+
+/** The spec accepted by makeOracles, for --help text. */
+std::string knownOracleSpec();
+
+/** How one oracle run is executed. */
+struct OracleOptions
+{
+    /** Sandbox caps applied to each side (isolated mode). */
+    subprocess::Limits limits;
+    /** Enumeration budget applied inside each side. */
+    RunBudget budget;
+    /** Fork each side into the sandbox (crashes become findings). */
+    bool isolate = true;
+    /** Seed for operational-machine sides. */
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one side under the sandbox. */
+struct SideOutcome
+{
+    enum class Kind
+    {
+        Ok,      ///< produced a verdict
+        Crash,   ///< killed by a signal
+        Timeout, ///< exceeded the sandbox deadline
+        Error,   ///< threw (structured status travels in detail)
+    };
+
+    Kind kind = Kind::Ok;
+    Verdict verdict = Verdict::Unknown;
+    /** Signal name / status-code name, for the signature. */
+    std::string detail;
+};
+
+/** Evaluate one side, sandboxed per opts. */
+SideOutcome runSide(const OracleSide &side, const Program &prog,
+                    const OracleOptions &opts);
+
+/** A reproducible disagreement, crash, hang, or internal error. */
+struct Finding
+{
+    std::string oracle; ///< oracle name
+    std::string kind;   ///< "diverge" | "crash" | "timeout" | "error"
+    std::string detail; ///< e.g. "a=Allow b=Forbid", "native-lkmm:SIGSEGV"
+    Verdict a = Verdict::Unknown;
+    Verdict b = Verdict::Unknown;
+
+    /** Deduplication key: oracle/kind/detail. */
+    std::string signature() const;
+};
+
+/**
+ * Run one oracle on one program.  nullopt when the sides agree (or
+ * the comparison is inconclusive: an Unknown verdict, a Subset
+ * oracle on a forall test, or a structured input rejection on both
+ * sides).
+ */
+std::optional<Finding> runOracle(const Oracle &oracle,
+                                 const Program &prog,
+                                 const OracleOptions &opts);
+
+/** Run every oracle; first finding per oracle, all oracles tried. */
+std::vector<Finding> runOracles(const std::vector<Oracle> &oracles,
+                                const Program &prog,
+                                const OracleOptions &opts);
+
+} // namespace lkmm::fuzz
+
+#endif // LKMM_FUZZ_ORACLE_HH

@@ -1,0 +1,263 @@
+#include "fuzz/shrink.hh"
+
+#include <utility>
+
+#include "litmus/printer.hh"
+
+namespace lkmm::fuzz
+{
+
+namespace
+{
+
+bool
+condRefsThread(const Cond &c, int tid)
+{
+    if (c.kind == Cond::Kind::RegEq && c.tid == tid)
+        return true;
+    for (const Cond &child : c.children) {
+        if (condRefsThread(child, tid))
+            return true;
+    }
+    return false;
+}
+
+void
+condRenumberAfterRemoval(Cond &c, int removedTid)
+{
+    if (c.kind == Cond::Kind::RegEq && c.tid > removedTid)
+        --c.tid;
+    for (Cond &child : c.children)
+        condRenumberAfterRemoval(child, removedTid);
+}
+
+/** Flatten a left-associated And chain into its conjuncts. */
+void
+conjunctsOf(const Cond &c, std::vector<Cond> &out)
+{
+    if (c.kind == Cond::Kind::And) {
+        for (const Cond &child : c.children)
+            conjunctsOf(child, out);
+        return;
+    }
+    out.push_back(c);
+}
+
+Cond
+andChain(const std::vector<Cond> &conjuncts)
+{
+    Cond out = conjuncts.front();
+    for (std::size_t i = 1; i < conjuncts.size(); ++i)
+        out = Cond::andOf(std::move(out), conjuncts[i]);
+    return out;
+}
+
+class Shrinker
+{
+  public:
+    Shrinker(Program start, const ShrinkPredicate &pred,
+             const ShrinkOptions &opts)
+        : best_(std::move(start)), pred_(pred), opts_(opts)
+    {}
+
+    Program
+    run()
+    {
+        bool progress = true;
+        while (progress && budgetLeft()) {
+            progress = removeThreadPass() || ddminPass() ||
+                       conjunctPass() || weakenPass() ||
+                       simplifyPass();
+        }
+        return best_;
+    }
+
+    ShrinkStats stats;
+
+  private:
+    bool budgetLeft() const { return stats.tested < opts_.maxTests; }
+
+    /** Printability-gate, test, and adopt a candidate. */
+    bool
+    tryAccept(Program cand)
+    {
+        if (!budgetLeft())
+            return false;
+        if (!tryPrintLitmus(cand))
+            return false;
+        ++stats.tested;
+        if (!pred_(cand))
+            return false;
+        best_ = std::move(cand);
+        ++stats.accepted;
+        if (opts_.onAccept)
+            opts_.onAccept(best_);
+        return true;
+    }
+
+    /** Drop a whole thread the condition does not observe. */
+    bool
+    removeThreadPass()
+    {
+        for (int t = 0;
+             best_.numThreads() > 1 && t < best_.numThreads(); ++t) {
+            if (condRefsThread(best_.condition, t))
+                continue;
+            Program cand = best_;
+            cand.threads.erase(cand.threads.begin() + t);
+            condRenumberAfterRemoval(cand.condition, t);
+            if (tryAccept(std::move(cand)))
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Classic ddmin over each thread's top-level body: remove
+     * contiguous chunks of halving size.  Candidates that orphan a
+     * condition register fail the printability gate and are skipped.
+     */
+    bool
+    ddminPass()
+    {
+        for (int t = 0; t < best_.numThreads(); ++t) {
+            const std::size_t n = best_.threads[t].body.size();
+            for (std::size_t k = n; k >= 1; k /= 2) {
+                for (std::size_t i = 0; i + k <= n; i += k) {
+                    Program cand = best_;
+                    auto &body = cand.threads[t].body;
+                    body.erase(body.begin() +
+                                   static_cast<std::ptrdiff_t>(i),
+                               body.begin() +
+                                   static_cast<std::ptrdiff_t>(i + k));
+                    if (tryAccept(std::move(cand)))
+                        return true;
+                }
+                if (k == 1)
+                    break;
+            }
+        }
+        return false;
+    }
+
+    /** Drop one conjunct of the exists-clause. */
+    bool
+    conjunctPass()
+    {
+        std::vector<Cond> conjuncts;
+        conjunctsOf(best_.condition, conjuncts);
+        if (conjuncts.size() < 2)
+            return false;
+        for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+            std::vector<Cond> kept;
+            for (std::size_t j = 0; j < conjuncts.size(); ++j) {
+                if (j != i)
+                    kept.push_back(conjuncts[j]);
+            }
+            Program cand = best_;
+            cand.condition = andChain(kept);
+            if (tryAccept(std::move(cand)))
+                return true;
+        }
+        return false;
+    }
+
+    /** Weaken one memory-order annotation towards plain Once. */
+    bool
+    weakenPass()
+    {
+        for (int t = 0; t < best_.numThreads(); ++t) {
+            for (std::size_t i = 0;
+                 i < best_.threads[t].body.size(); ++i) {
+                const Instr &ins = best_.threads[t].body[i];
+                auto weakened = [&](auto &&edit) {
+                    Program cand = best_;
+                    edit(cand.threads[t].body[i]);
+                    return tryAccept(std::move(cand));
+                };
+                switch (ins.kind) {
+                case Instr::Kind::Read:
+                    if (ins.rbDepAfter &&
+                        weakened([](Instr &x) {
+                            x.rbDepAfter = false;
+                        }))
+                        return true;
+                    if (ins.ann == Ann::Acquire &&
+                        weakened([](Instr &x) { x.ann = Ann::Once; }))
+                        return true;
+                    break;
+                case Instr::Kind::Write:
+                    if (ins.ann == Ann::Release &&
+                        weakened([](Instr &x) { x.ann = Ann::Once; }))
+                        return true;
+                    break;
+                case Instr::Kind::Rmw:
+                    if (ins.fullFence &&
+                        weakened([](Instr &x) {
+                            x.fullFence = false;
+                        }))
+                        return true;
+                    break;
+                default:
+                    break;
+                }
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Simplify expressions: computed store values become constants,
+     * if-statements flatten into their then-branch.
+     */
+    bool
+    simplifyPass()
+    {
+        for (int t = 0; t < best_.numThreads(); ++t) {
+            for (std::size_t i = 0;
+                 i < best_.threads[t].body.size(); ++i) {
+                const Instr &ins = best_.threads[t].body[i];
+                if (ins.kind == Instr::Kind::Write &&
+                    ins.value.op() != Expr::Op::Const) {
+                    Program cand = best_;
+                    cand.threads[t].body[i].value = Expr::constant(1);
+                    if (tryAccept(std::move(cand)))
+                        return true;
+                }
+                if (ins.kind == Instr::Kind::If) {
+                    Program cand = best_;
+                    auto &body = cand.threads[t].body;
+                    std::vector<Instr> thenBody =
+                        body[i].thenBody;
+                    body.erase(body.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                    body.insert(body.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                thenBody.begin(), thenBody.end());
+                    if (tryAccept(std::move(cand)))
+                        return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    Program best_;
+    const ShrinkPredicate &pred_;
+    const ShrinkOptions &opts_;
+};
+
+} // namespace
+
+Program
+shrinkProgram(const Program &start, const ShrinkPredicate &stillFails,
+              const ShrinkOptions &opts, ShrinkStats *stats)
+{
+    Shrinker shrinker(start, stillFails, opts);
+    Program out = shrinker.run();
+    if (stats)
+        *stats = shrinker.stats;
+    return out;
+}
+
+} // namespace lkmm::fuzz

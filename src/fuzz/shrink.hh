@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Delta-debugging minimizer for fuzzer findings.
+ *
+ * Given a program on which a failure predicate holds (e.g. "this
+ * oracle pair still produces the same finding signature"),
+ * shrinkProgram greedily searches for a smaller program on which it
+ * still holds, ddmin-style, over the AST rather than source text:
+ *
+ *   - remove whole threads (renumbering condition registers);
+ *   - remove instruction chunks of halving size per thread (ddmin);
+ *   - drop conjuncts of the exists-clause;
+ *   - weaken annotations (acquire/release -> plain, drop rb-dep);
+ *   - simplify expressions (computed store values -> constants,
+ *     flatten if-statements into their then-branch).
+ *
+ * Every candidate is printability-checked before the predicate runs,
+ * so the minimum is always writable as a standalone `.litmus` repro,
+ * and the predicate is re-evaluated on every acceptance — the
+ * invariant "predicate holds at every accepted step" is testable via
+ * ShrinkOptions::onAccept.
+ */
+
+#ifndef LKMM_FUZZ_SHRINK_HH
+#define LKMM_FUZZ_SHRINK_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "litmus/program.hh"
+
+namespace lkmm::fuzz
+{
+
+/** The failure predicate: true when the candidate still fails. */
+using ShrinkPredicate = std::function<bool(const Program &)>;
+
+struct ShrinkOptions
+{
+    /** Cap on predicate evaluations (the expensive part). */
+    std::size_t maxTests = 2000;
+    /** Called with each accepted (smaller, still-failing) program. */
+    std::function<void(const Program &)> onAccept;
+};
+
+struct ShrinkStats
+{
+    std::size_t tested = 0;   ///< predicate evaluations
+    std::size_t accepted = 0; ///< successful reductions
+};
+
+/**
+ * Minimize start with respect to stillFails.
+ *
+ * Precondition: stillFails(start) — callers should verify before
+ * shrinking; when it does not hold, start is returned unchanged.
+ * Returns the smallest program found (1-minimal up to the pass
+ * vocabulary, or the best found when maxTests trips first).
+ */
+Program shrinkProgram(const Program &start,
+                      const ShrinkPredicate &stillFails,
+                      const ShrinkOptions &opts = {},
+                      ShrinkStats *stats = nullptr);
+
+} // namespace lkmm::fuzz
+
+#endif // LKMM_FUZZ_SHRINK_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Failure triage for fuzzing campaigns: deduplicate findings into
+ * signature buckets and persist them in a crash-tolerant journal.
+ *
+ * Signature scheme: `oracle/kind/detail` (Finding::signature), where
+ * detail carries the side label (the stack-less phase tag) plus the
+ * signal / status-code / verdict delta — e.g.
+ *
+ *   native-vs-cat/diverge/a=Allow b=Forbid
+ *   native-vs-cat/crash/native-lkmm:SIGSEGV
+ *   sc-vs-operational/timeout/op-sc:deadline
+ *
+ * One bucket per signature; the first finding is kept as the
+ * representative (with its minimized repro), later duplicates only
+ * bump the count.  The journal (base/journal.hh JSONL) records meta,
+ * per-iteration watermarks, and findings, so an interrupted campaign
+ * resumes exactly: same seed, skip to the first unfinished
+ * iteration, buckets pre-populated from recovered findings.
+ */
+
+#ifndef LKMM_FUZZ_TRIAGE_HH
+#define LKMM_FUZZ_TRIAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/journal.hh"
+#include "fuzz/oracle.hh"
+
+namespace lkmm::fuzz
+{
+
+/** One oracle finding in the context of a campaign. */
+struct FuzzFinding
+{
+    std::uint64_t iter = 0;  ///< campaign iteration that found it
+    std::string test;        ///< candidate name, e.g. "fuzz-17"
+    Finding finding;
+    std::string source;      ///< candidate litmus text
+    std::string minimized;   ///< minimized repro (== source if unshrunk)
+};
+
+/** All findings sharing one signature. */
+struct Bucket
+{
+    std::string signature;
+    std::uint64_t count = 0;
+    FuzzFinding representative; ///< first finding seen
+};
+
+/** In-memory dedup store, keyed by signature. */
+class TriageDb
+{
+  public:
+    /** Record a finding; true when it opened a new bucket. */
+    bool add(const FuzzFinding &f);
+
+    const std::map<std::string, Bucket> &buckets() const
+    {
+        return buckets_;
+    }
+
+    std::uint64_t totalFindings() const { return total_; }
+
+  private:
+    std::map<std::string, Bucket> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/** @name Fuzz journal record schema (version 1)
+ * One record per line:
+ *  - meta:    {"type":"fuzz-meta","version":1,"seed":S,
+ *              "oracles":spec,"maxIters":N}
+ *  - iter:    {"type":"fuzz-iter","iter":I} — I is complete
+ *  - finding: {"type":"fuzz-finding","iter":I,"test":name,
+ *              "oracle":o,"kind":k,"detail":d,"a":v,"b":v,
+ *              "source":text,"minimized":text}
+ */
+///@{
+
+constexpr int kFuzzJournalVersion = 1;
+
+json::Value encodeFuzzMeta(std::uint64_t seed,
+                           const std::string &oracles,
+                           std::uint64_t maxIters);
+json::Value encodeFuzzIter(std::uint64_t iter);
+json::Value encodeFuzzFinding(const FuzzFinding &f);
+
+/** Everything recovered from a campaign journal. */
+struct RecoveredCampaign
+{
+    bool hasMeta = false;
+    std::uint64_t seed = 0;
+    std::string oracles;
+    std::uint64_t maxIters = 0;
+    /** First iteration that has NOT completed (resume point). */
+    std::uint64_t nextIter = 0;
+    std::vector<FuzzFinding> findings;
+    /** Byte offset for journal::Writer::append. */
+    std::uint64_t validBytes = 0;
+    bool droppedTail = false;
+};
+
+/**
+ * Recover a campaign journal (missing file = empty campaign).
+ * Records of unknown type or a newer version are ignored, not
+ * errors, so the format can grow.
+ */
+RecoveredCampaign recoverCampaign(const std::string &path);
+
+///@}
+
+} // namespace lkmm::fuzz
+
+#endif // LKMM_FUZZ_TRIAGE_HH

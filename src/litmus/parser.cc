@@ -198,6 +198,13 @@ class Cursor
     int line_ = 1;
 };
 
+/**
+ * Adversarial (fuzzed) inputs can nest parentheses, if-blocks, or ~
+ * arbitrarily deep; bound the recursive descent so they fail with a
+ * ParseError instead of overflowing the stack.
+ */
+constexpr int kMaxNesting = 200;
+
 class LitmusParser
 {
   public:
@@ -377,9 +384,27 @@ class LitmusParser
         return Expr::reg(regOf(ctx, name));
     }
 
+    /** RAII recursion-depth bound; see kMaxNesting. */
+    class DepthGuard
+    {
+      public:
+        DepthGuard(int &depth, Cursor &cur) : depth_(depth)
+        {
+            if (++depth_ > kMaxNesting) {
+                cur.error("nesting deeper than " +
+                          std::to_string(kMaxNesting) + " levels");
+            }
+        }
+        ~DepthGuard() { --depth_; }
+
+      private:
+        int &depth_;
+    };
+
     Expr
     parsePrimary(ThreadCtx &ctx)
     {
+        DepthGuard guard(depth_, cur_);
         const char c = cur_.peek();
         if (c == '(') {
             cur_.expect("(");
@@ -439,6 +464,7 @@ class LitmusParser
     void
     parseStatement(ThreadCtx &ctx, std::vector<Instr> &out)
     {
+        DepthGuard guard(depth_, cur_);
         // if (...) { ... } [else { ... }]
         if (cur_.tryConsume("if")) {
             Instr ins;
@@ -669,6 +695,7 @@ class LitmusParser
     Cond
     parseCondAtom()
     {
+        DepthGuard guard(depth_, cur_);
         if (cur_.tryConsume("~"))
             return Cond::notOf(parseCondAtom());
         if (cur_.tryConsume("(")) {
@@ -733,6 +760,8 @@ class LitmusParser
 
     Cursor cur_;
     Program prog_;
+    /** Current recursion depth, bounded by kMaxNesting. */
+    int depth_ = 0;
     /** Per-thread register-name tables for the condition. */
     std::vector<std::map<std::string, RegId>> regNames_;
 };

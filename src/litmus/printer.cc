@@ -1,0 +1,465 @@
+#include "litmus/printer.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "base/status.hh"
+
+namespace lkmm
+{
+
+namespace
+{
+
+[[noreturn]] void
+unprintable(const std::string &what)
+{
+    throw StatusError(Status(StatusCode::InvalidArgument,
+                             "litmus printer: " + what));
+}
+
+bool
+isIdent(const std::string &s)
+{
+    if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+class Printer
+{
+  public:
+    explicit Printer(const Program &prog) : prog_(prog) {}
+
+    std::string
+    print()
+    {
+        for (const std::string &n : prog_.locNames) {
+            if (!isIdent(n))
+                unprintable("location name '" + n +
+                            "' is not an identifier");
+        }
+        out_ << "C " << testName() << "\n\n";
+        printInit();
+        regNames_.resize(prog_.threads.size());
+        for (std::size_t t = 0; t < prog_.threads.size(); ++t)
+            printThread(static_cast<int>(t));
+        printCondClause();
+        return out_.str();
+    }
+
+  private:
+    /** The parser reads the name up to whitespace; sanitise to match. */
+    std::string
+    testName() const
+    {
+        std::string name;
+        for (char c : prog_.name) {
+            name += std::isspace(static_cast<unsigned char>(c)) ? '-'
+                                                                : c;
+        }
+        return name.empty() ? "unnamed" : name;
+    }
+
+    const std::string &
+    locName(LocId l) const
+    {
+        if (l < 0 || l >= static_cast<LocId>(prog_.locNames.size()))
+            unprintable("location id " + std::to_string(l) +
+                        " out of range");
+        return prog_.locNames[l];
+    }
+
+    /**
+     * Declare every location (bare, in LocId order) before any
+     * pointer initialiser can mention one out of order: `p=&z;`
+     * registers z at the point of use, which would otherwise permute
+     * LocIds on re-parse.
+     */
+    void
+    printInit()
+    {
+        out_ << "{\n";
+        if (!prog_.locNames.empty()) {
+            out_ << "    ";
+            for (std::size_t i = 0; i < prog_.locNames.size(); ++i)
+                out_ << prog_.locNames[i] << "; ";
+            out_ << "\n";
+        }
+        for (const auto &[l, v] : prog_.init) {
+            out_ << "    " << locName(l) << "=";
+            if (isLocHandle(v))
+                out_ << "&" << locName(valueToLoc(v));
+            else
+                out_ << v;
+            out_ << ";\n";
+        }
+        out_ << "}\n";
+    }
+
+    // Register naming ----------------------------------------------
+
+    /**
+     * Canonical name of a register, allocated at first appearance.
+     * Appearance order during printing equals the parser's regOf()
+     * allocation order on the printed text, which is what makes
+     * print-parse-print a fixpoint.
+     */
+    std::string
+    regName(int tid, RegId r)
+    {
+        if (r < 0) {
+            // Discarded destination: a fresh, never-reused name.
+            return freshName(tid);
+        }
+        auto &names = regNames_[tid];
+        auto it = names.find(r);
+        if (it != names.end())
+            return it->second;
+        std::string n = freshName(tid);
+        names.emplace(r, n);
+        return n;
+    }
+
+    std::string
+    freshName(int tid)
+    {
+        for (;;) {
+            std::string n = "r" + std::to_string(nextName_[tid]++);
+            bool clash = false;
+            for (const std::string &l : prog_.locNames)
+                clash = clash || l == n;
+            if (!clash)
+                return n;
+        }
+    }
+
+    // Expressions --------------------------------------------------
+
+    bool
+    isLeaf(const Expr &e) const
+    {
+        return e.op() == Expr::Op::Const || e.op() == Expr::Op::Reg ||
+               e.op() == Expr::Op::LocRef;
+    }
+
+    /** Value-position expression (parseExpr grammar). */
+    std::string
+    expr(int tid, const Expr &e)
+    {
+        switch (e.op()) {
+        case Expr::Op::Const:
+            return std::to_string(e.constValue());
+        case Expr::Op::Reg:
+            return regName(tid, e.regId());
+        case Expr::Op::LocRef:
+            return "&" + locName(e.locId());
+        case Expr::Op::Index:
+            // x[e] only exists in address positions in the grammar.
+            unprintable("array index in value position");
+        case Expr::Op::Not: {
+            const std::string a = expr(tid, e.arg());
+            return "!" + (isLeaf(e.arg()) ? a : "(" + a + ")");
+        }
+        case Expr::Op::And:
+            // `&` is address-of in the litmus grammar; a & b has no
+            // parseable spelling.
+            unprintable("bitwise-and expression");
+        default:
+            break;
+        }
+        const char *op = nullptr;
+        switch (e.op()) {
+        case Expr::Op::Add: op = "+"; break;
+        case Expr::Op::Sub: op = "-"; break;
+        case Expr::Op::Xor: op = "^"; break;
+        case Expr::Op::Or:  op = "|"; break;
+        case Expr::Op::Eq:  op = "=="; break;
+        case Expr::Op::Ne:  op = "!="; break;
+        case Expr::Op::Lt:  op = "<"; break;
+        case Expr::Op::Le:  op = "<="; break;
+        case Expr::Op::Gt:  op = ">"; break;
+        case Expr::Op::Ge:  op = ">="; break;
+        default:
+            unprintable("expression operator");
+        }
+        // The parser is flat left-associative with no precedence, so
+        // parenthesise every non-leaf operand to pin the tree shape.
+        std::string l = expr(tid, e.lhs());
+        std::string r = expr(tid, e.rhs());
+        if (!isLeaf(e.lhs()))
+            l = "(" + l + ")";
+        if (!isLeaf(e.rhs()))
+            r = "(" + r + ")";
+        return l + " " + op + " " + r;
+    }
+
+    /** Address-position expression (parseAddr grammar). */
+    std::string
+    addr(int tid, const Expr &e)
+    {
+        switch (e.op()) {
+        case Expr::Op::LocRef:
+            return "*" + locName(e.locId());
+        case Expr::Op::Reg:
+            return "*" + regName(tid, e.regId());
+        case Expr::Op::Index:
+            return locName(e.locId()) + "[" + expr(tid, e.arg()) + "]";
+        default:
+            unprintable("address expression");
+        }
+    }
+
+    // Statements ---------------------------------------------------
+
+    void
+    indent(int depth)
+    {
+        for (int i = 0; i < depth; ++i)
+            out_ << "    ";
+    }
+
+    void
+    printBlock(int tid, const std::vector<Instr> &body, int depth)
+    {
+        for (const Instr &ins : body)
+            printStatement(tid, ins, depth);
+    }
+
+    void
+    printStatement(int tid, const Instr &ins, int depth)
+    {
+        indent(depth);
+        switch (ins.kind) {
+        case Instr::Kind::Read: {
+            const char *fn = nullptr;
+            if (ins.rbDepAfter) {
+                if (ins.ann != Ann::Once)
+                    unprintable("rcu_dereference with non-once "
+                                "annotation");
+                fn = "rcu_dereference";
+            } else if (ins.ann == Ann::Once) {
+                fn = "READ_ONCE";
+            } else if (ins.ann == Ann::Acquire) {
+                fn = "smp_load_acquire";
+            } else {
+                unprintable("read annotation");
+            }
+            out_ << regName(tid, ins.dest) << " = " << fn << "("
+                 << addr(tid, ins.addr) << ");\n";
+            return;
+        }
+        case Instr::Kind::Write: {
+            const char *fn = nullptr;
+            if (ins.ann == Ann::Once)
+                fn = "WRITE_ONCE";
+            else if (ins.ann == Ann::Release)
+                fn = "smp_store_release";
+            else
+                unprintable("write annotation");
+            out_ << fn << "(" << addr(tid, ins.addr) << ", "
+                 << expr(tid, ins.value) << ");\n";
+            return;
+        }
+        case Instr::Kind::Fence: {
+            const char *fn = nullptr;
+            switch (ins.ann) {
+            case Ann::Rmb:       fn = "smp_rmb"; break;
+            case Ann::Wmb:       fn = "smp_wmb"; break;
+            case Ann::Mb:        fn = "smp_mb"; break;
+            case Ann::RbDep:     fn = "smp_read_barrier_depends";
+                                 break;
+            case Ann::RcuLock:   fn = "rcu_read_lock"; break;
+            case Ann::RcuUnlock: fn = "rcu_read_unlock"; break;
+            case Ann::SyncRcu:   fn = "synchronize_rcu"; break;
+            default:
+                unprintable("fence annotation");
+            }
+            out_ << fn << "();\n";
+            return;
+        }
+        case Instr::Kind::Rmw:
+            printRmw(tid, ins);
+            return;
+        case Instr::Kind::Cmpxchg:
+            if (!ins.fullFence)
+                unprintable("cmpxchg without full fences");
+            out_ << regName(tid, ins.dest) << " = cmpxchg("
+                 << addr(tid, ins.addr) << ", "
+                 << expr(tid, ins.expected) << ", "
+                 << expr(tid, ins.value) << ");\n";
+            return;
+        case Instr::Kind::Let:
+            out_ << regName(tid, ins.dest) << " = "
+                 << expr(tid, ins.value) << ";\n";
+            return;
+        case Instr::Kind::If:
+            out_ << "if (" << expr(tid, ins.cond) << ") {\n";
+            printBlock(tid, ins.thenBody, depth + 1);
+            indent(depth);
+            if (ins.elseBody.empty()) {
+                out_ << "}\n";
+            } else {
+                out_ << "} else {\n";
+                printBlock(tid, ins.elseBody, depth + 1);
+                indent(depth);
+                out_ << "}\n";
+            }
+            return;
+        case Instr::Kind::Assume:
+            unprintable("assume statement");
+        }
+        unprintable("instruction kind");
+    }
+
+    void
+    printRmw(int tid, const Instr &ins)
+    {
+        if (ins.rmwOp != RmwOp::Xchg)
+            unprintable("non-xchg read-modify-write");
+        if (ins.requireReadValue) {
+            // The Section-7 spinlock emulation is the only spelling
+            // with a read-value constraint.
+            if (*ins.requireReadValue != 0 || ins.fullFence ||
+                ins.readAnn != Ann::Acquire ||
+                ins.writeAnn != Ann::Once ||
+                ins.value.op() != Expr::Op::Const ||
+                ins.value.constValue() != 1) {
+                unprintable("read-value-constrained RMW that is not "
+                            "spin_lock");
+            }
+            out_ << "spin_lock(" << addr(tid, ins.addr) << ");\n";
+            return;
+        }
+        const char *fn = nullptr;
+        if (ins.fullFence && ins.readAnn == Ann::Once &&
+            ins.writeAnn == Ann::Once) {
+            fn = "xchg";
+        } else if (!ins.fullFence && ins.readAnn == Ann::Once &&
+                   ins.writeAnn == Ann::Once) {
+            fn = "xchg_relaxed";
+        } else if (!ins.fullFence && ins.readAnn == Ann::Acquire &&
+                   ins.writeAnn == Ann::Once) {
+            fn = "xchg_acquire";
+        } else if (!ins.fullFence && ins.readAnn == Ann::Once &&
+                   ins.writeAnn == Ann::Release) {
+            fn = "xchg_release";
+        } else {
+            unprintable("xchg annotation combination");
+        }
+        out_ << regName(tid, ins.dest) << " = " << fn << "("
+             << addr(tid, ins.addr) << ", " << expr(tid, ins.value)
+             << ");\n";
+    }
+
+    void
+    printThread(int tid)
+    {
+        out_ << "\nP" << tid << "(";
+        for (std::size_t i = 0; i < prog_.locNames.size(); ++i) {
+            if (i)
+                out_ << ", ";
+            out_ << "int *" << prog_.locNames[i];
+        }
+        out_ << ")\n{\n";
+        printBlock(tid, prog_.threads[tid].body, 1);
+        out_ << "}\n";
+    }
+
+    // Condition ----------------------------------------------------
+
+    std::string
+    condValue(Value v) const
+    {
+        if (isLocHandle(v))
+            return "&" + locName(valueToLoc(v));
+        return std::to_string(v);
+    }
+
+    std::string
+    cond(const Cond &c)
+    {
+        switch (c.kind) {
+        case Cond::Kind::True:
+            return "true";
+        case Cond::Kind::RegEq: {
+            if (c.tid < 0 ||
+                c.tid >= static_cast<int>(regNames_.size()))
+                unprintable("condition thread id out of range");
+            auto it = regNames_[c.tid].find(c.reg);
+            if (it == regNames_[c.tid].end()) {
+                unprintable("condition references a register with no "
+                            "name in thread " + std::to_string(c.tid));
+            }
+            return std::to_string(c.tid) + ":" + it->second + "=" +
+                   condValue(c.value);
+        }
+        case Cond::Kind::MemEq:
+            return locName(c.loc) + "=" + condValue(c.value);
+        case Cond::Kind::Not:
+            return "~" + condOperand(c.children.at(0));
+        case Cond::Kind::And:
+            return cond(c.children.at(0)) + " /\\ " +
+                   condOperand(c.children.at(1));
+        case Cond::Kind::Or:
+            return cond(c.children.at(0)) + " \\/ " +
+                   condOperand(c.children.at(1));
+        }
+        unprintable("condition kind");
+    }
+
+    /**
+     * The cond grammar is flat left-associative (no /\ over \/
+     * precedence), so only right operands and ~ arguments that are
+     * themselves connectives need parentheses.
+     */
+    std::string
+    condOperand(const Cond &c)
+    {
+        const std::string s = cond(c);
+        if (c.kind == Cond::Kind::And || c.kind == Cond::Kind::Or)
+            return "(" + s + ")";
+        return s;
+    }
+
+    void
+    printCondClause()
+    {
+        out_ << "\n"
+             << (prog_.quantifier == Quantifier::Exists ? "exists"
+                                                        : "forall")
+             << " (" << cond(prog_.condition) << ")\n";
+    }
+
+    const Program &prog_;
+    std::ostringstream out_;
+    /** Per-thread RegId -> canonical name, filled during printing. */
+    std::vector<std::map<RegId, std::string>> regNames_;
+    /** Per-thread counter for the next canonical name. */
+    std::map<int, int> nextName_;
+};
+
+} // namespace
+
+std::string
+printLitmus(const Program &prog)
+{
+    return Printer(prog).print();
+}
+
+std::optional<std::string>
+tryPrintLitmus(const Program &prog)
+{
+    try {
+        return printLitmus(prog);
+    } catch (const StatusError &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace lkmm

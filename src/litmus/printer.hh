@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Render a Program back to litmus-C source.
+ *
+ * The printer is the inverse of litmus/parser: for every program it
+ * can print, `parseLitmus(printLitmus(p))` is a program with the
+ * same semantics, and printing is a *textual fixpoint*:
+ *
+ *     printLitmus(parseLitmus(printLitmus(p))) == printLitmus(p)
+ *
+ * (tests/litmus/printer_test.cc checks this for the whole catalog
+ * and for diy-generated families).  The fixpoint is what makes the
+ * printer usable as the output stage of the fuzzer's shrinker: a
+ * minimized repro written to disk re-parses to the same test.
+ *
+ * Register names are canonicalised to r0, r1, ... in order of first
+ * textual appearance, which matches the parser's own allocation
+ * order.  Not every Program is printable: constructs with no litmus-C
+ * spelling (Assume, non-xchg RMW ops, `a & b` expressions — `&` is
+ * address-of in the grammar) raise StatusError(InvalidArgument).
+ */
+
+#ifndef LKMM_LITMUS_PRINTER_HH
+#define LKMM_LITMUS_PRINTER_HH
+
+#include <optional>
+#include <string>
+
+#include "litmus/program.hh"
+
+namespace lkmm
+{
+
+/**
+ * Render prog as litmus-C source.
+ *
+ * @throws StatusError (InvalidArgument) when the program uses a
+ *         construct the litmus grammar cannot express.
+ */
+std::string printLitmus(const Program &prog);
+
+/** printLitmus, with unprintable programs mapped to nullopt. */
+std::optional<std::string> tryPrintLitmus(const Program &prog);
+
+} // namespace lkmm
+
+#endif // LKMM_LITMUS_PRINTER_HH

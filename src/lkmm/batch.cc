@@ -377,6 +377,7 @@ BatchReport
 BatchRunner::run()
 {
     BatchReport report;
+    report.seed = opts_.seed;
     std::map<std::string, ItemOutcome> outcomes;
     std::set<std::string> resumedNames;
     std::optional<journal::Writer> writer;
@@ -409,7 +410,7 @@ BatchRunner::run()
             writer = journal::Writer::create(opts_.journalPath);
         }
         if (needMeta)
-            writer->append(sweepMetaRecord(model_.name()));
+            writer->append(sweepMetaRecord(model_.name(), opts_.seed));
     }
 
     std::vector<Item *> pending;

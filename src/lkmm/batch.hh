@@ -114,6 +114,8 @@ struct BatchReport
     std::size_t resumedCount = 0;
     /** Was the sweep cut short by cancellation (Ctrl-C)? */
     bool cancelled = false;
+    /** The seed the sweep ran under (BatchOptions::seed). */
+    std::uint64_t seed = 1;
 
     std::size_t completeCount() const;
     std::size_t truncatedCount() const;
@@ -164,6 +166,14 @@ struct BatchOptions
      * unset under AddressSanitizer.
      */
     std::size_t taskMemoryBytes = 0;
+
+    /**
+     * Campaign seed, recorded in the journal meta record and the
+     * report for provenance: one seed reproduces a whole pipeline
+     * run (sweep plus any seeded downstream stage, e.g. lkmm-fuzz).
+     * The axiomatic sweep itself is deterministic regardless.
+     */
+    std::uint64_t seed = 1;
 
     /** Result-journal path ("" disables journaling). */
     std::string journalPath;

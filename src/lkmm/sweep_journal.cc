@@ -64,12 +64,13 @@ requireTest(const json::Value &record)
 } // namespace
 
 json::Value
-sweepMetaRecord(const std::string &model)
+sweepMetaRecord(const std::string &model, std::uint64_t seed)
 {
     json::Object o;
     o["type"] = json::Value("meta");
     o["version"] = json::Value(kSweepJournalVersion);
     o["model"] = json::Value(model);
+    o["seed"] = json::Value(static_cast<std::int64_t>(seed));
     return json::Value(std::move(o));
 }
 

@@ -39,8 +39,9 @@ namespace lkmm
 /** Schema version written to meta records. */
 constexpr int kSweepJournalVersion = 1;
 
-/** The journal header record. */
-json::Value sweepMetaRecord(const std::string &model);
+/** The journal header record (seed is an additive v1 field). */
+json::Value sweepMetaRecord(const std::string &model,
+                            std::uint64_t seed = 1);
 
 json::Value toJson(const BatchItemResult &result);
 json::Value toJson(const TestFailure &failure);

@@ -38,8 +38,8 @@ TEST(MalformedCat, EveryCorpusFileFailsStructurally)
 {
     const std::vector<fs::path> files = corpusFiles();
     // truncated, unbalanced-parens, unknown-keyword, bad-char,
-    // unterminated-string.
-    ASSERT_GE(files.size(), 5u);
+    // unterminated-string, deep-paren-nesting.
+    ASSERT_GE(files.size(), 6u);
 
     for (const fs::path &f : files) {
         try {
@@ -104,6 +104,19 @@ TEST(MalformedCat, UnterminatedStringCoordinates)
         EXPECT_EQ(e.line(), 1);
         EXPECT_EQ(e.column(), 1);
         EXPECT_NE(std::string(e.what()).find("unterminated"),
+                  std::string::npos);
+    }
+}
+
+TEST(MalformedCat, DeepNestingIsParseErrorNotStackOverflow)
+{
+    const std::string deep(100000, '(');
+    try {
+        (void)cat::parseCat("let a = " + deep + "po\n");
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_NE(std::string(e.what()).find("nesting"),
                   std::string::npos);
     }
 }

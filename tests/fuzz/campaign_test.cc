@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The campaign driver: candidate streams are a pure function of
+ * (--seed, iteration), campaigns with a seeded model bug land the
+ * same buckets on every run, journals resume exactly, and a
+ * minimized repro re-triggers its finding when replayed standalone —
+ * the full reproducibility contract of tools/lkmm-fuzz.
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/status.hh"
+#include "fuzz/campaign.hh"
+#include "fuzz/mutator.hh"
+#include "litmus/parser.hh"
+#include "litmus/printer.hh"
+
+namespace lkmm::fuzz
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+tempPath(const std::string &stem)
+{
+    return (fs::temp_directory_path() /
+            ("lkmm_campaign_test_" + stem + "_" +
+             std::to_string(::getpid())))
+        .string();
+}
+
+/** In-process, unminimized, rcu-axiom-ablated: fast and guaranteed
+ *  to find divergences within a handful of iterations. */
+FuzzOptions
+ablatedOpts(std::uint64_t maxIters)
+{
+    FuzzOptions opts;
+    opts.seed = 1;
+    opts.maxIters = maxIters;
+    opts.oracles = "native-vs-ablated:rcu-axiom";
+    opts.oracle.isolate = false;
+    opts.minimize = false;
+    return opts;
+}
+
+std::set<std::string>
+signaturesOf(const FuzzReport &report)
+{
+    std::set<std::string> out;
+    for (const auto &[sig, bucket] : report.triage.buckets())
+        out.insert(sig);
+    return out;
+}
+
+TEST(MixSeed, DeterministicAndWellSpread)
+{
+    EXPECT_EQ(mixSeed(1, 0), mixSeed(1, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        seen.insert(mixSeed(1, i));
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_NE(mixSeed(1, 0), mixSeed(2, 0));
+}
+
+TEST(CandidateFor, IsAPureFunctionOfSeedAndIter)
+{
+    const auto pool = builtinSeedPrograms();
+    for (std::uint64_t i = 0; i < 30; ++i) {
+        const auto a = candidateFor(1, i, pool);
+        const auto b = candidateFor(1, i, pool);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (!a)
+            continue;
+        EXPECT_EQ(printLitmus(*a), printLitmus(*b));
+        EXPECT_EQ(a->name, "fuzz-" + std::to_string(i));
+    }
+}
+
+TEST(Campaign, SameSeedSameBuckets)
+{
+    const FuzzReport first = runFuzz(ablatedOpts(15));
+    const FuzzReport second = runFuzz(ablatedOpts(15));
+    EXPECT_GE(first.triage.buckets().size(), 1u)
+        << "the seeded rcu-axiom bug must surface within 15 iters";
+    EXPECT_EQ(signaturesOf(first), signaturesOf(second));
+    EXPECT_EQ(first.triage.totalFindings(),
+              second.triage.totalFindings());
+}
+
+TEST(Campaign, CleanModelFindsNothing)
+{
+    FuzzOptions opts;
+    opts.seed = 1;
+    opts.maxIters = 15;
+    opts.oracles = "native-vs-cat";
+    opts.oracle.isolate = false;
+    const FuzzReport report = runFuzz(opts);
+    EXPECT_EQ(report.triage.totalFindings(), 0u);
+    EXPECT_EQ(report.iters, 15u);
+}
+
+TEST(Campaign, BadOracleSpecIsAnInfraError)
+{
+    FuzzOptions opts;
+    opts.oracles = "no-such-oracle";
+    EXPECT_THROW(runFuzz(opts), StatusError);
+}
+
+TEST(Campaign, JournalRoundTripsAndResumes)
+{
+    const std::string journal = tempPath("resume") + ".jsonl";
+    fs::remove(journal);
+
+    FuzzOptions opts = ablatedOpts(6);
+    opts.journalPath = journal;
+    const FuzzReport first = runFuzz(opts);
+    ASSERT_EQ(first.iters, 6u);
+
+    const RecoveredCampaign rec = recoverCampaign(journal);
+    EXPECT_TRUE(rec.hasMeta);
+    EXPECT_EQ(rec.seed, 1u);
+    EXPECT_EQ(rec.oracles, "native-vs-ablated:rcu-axiom");
+    EXPECT_EQ(rec.nextIter, 6u);
+    EXPECT_EQ(rec.findings.size(), first.triage.totalFindings());
+    EXPECT_FALSE(rec.droppedTail);
+
+    // Resume with a larger budget: the journal's seed/oracles are
+    // authoritative, recovered iterations are not re-run, and the
+    // final buckets match a fresh full-length campaign.
+    FuzzOptions more = ablatedOpts(12);
+    more.journalPath = journal;
+    more.resume = true;
+    more.maxIters = 12;
+    const FuzzReport resumed = runFuzz(more);
+    EXPECT_EQ(resumed.startIter, 6u);
+    EXPECT_EQ(resumed.iters, 12u);
+
+    const FuzzReport fresh = runFuzz(ablatedOpts(12));
+    EXPECT_EQ(signaturesOf(resumed), signaturesOf(fresh));
+    EXPECT_EQ(resumed.triage.totalFindings(),
+              fresh.triage.totalFindings());
+
+    fs::remove(journal);
+}
+
+TEST(Campaign, MinimizedReproRetriggersStandalone)
+{
+    FuzzOptions opts = ablatedOpts(15);
+    opts.minimize = true;
+    opts.maxShrinkTests = 200;
+    const FuzzReport report = runFuzz(opts);
+    ASSERT_GE(report.triage.buckets().size(), 1u);
+
+    // Replay each bucket's minimized repro from its text alone, the
+    // way `lkmm-fuzz --replay repro.litmus` would.
+    const auto oracles =
+        makeOracles("native-vs-ablated:rcu-axiom");
+    OracleOptions oopts;
+    oopts.isolate = false;
+    for (const auto &[sig, bucket] : report.triage.buckets()) {
+        SCOPED_TRACE(sig);
+        const FuzzFinding &rep = bucket.representative;
+        EXPECT_FALSE(rep.minimized.empty());
+        const Program prog = parseLitmus(rep.minimized);
+        const auto finding = runOracle(oracles[0], prog, oopts);
+        ASSERT_TRUE(finding)
+            << "minimized repro no longer fails:\n"
+            << rep.minimized;
+        EXPECT_EQ(finding->signature(), sig);
+    }
+}
+
+TEST(TriageDb, DeduplicatesBySignature)
+{
+    FuzzFinding f;
+    f.iter = 3;
+    f.test = "fuzz-3";
+    f.finding.oracle = "native-vs-cat";
+    f.finding.kind = "diverge";
+    f.finding.detail = "a=Allow b=Forbid";
+
+    TriageDb db;
+    EXPECT_TRUE(db.add(f));
+    FuzzFinding dup = f;
+    dup.iter = 9;
+    dup.test = "fuzz-9";
+    EXPECT_FALSE(db.add(dup));
+    ASSERT_EQ(db.buckets().size(), 1u);
+    const Bucket &bucket = db.buckets().begin()->second;
+    EXPECT_EQ(bucket.count, 2u);
+    EXPECT_EQ(bucket.representative.iter, 3u); // first one is kept
+    EXPECT_EQ(db.totalFindings(), 2u);
+}
+
+TEST(RecoverCampaign, MissingFileIsAnEmptyCampaign)
+{
+    const RecoveredCampaign rec =
+        recoverCampaign(tempPath("missing") + ".jsonl");
+    EXPECT_FALSE(rec.hasMeta);
+    EXPECT_EQ(rec.nextIter, 0u);
+    EXPECT_TRUE(rec.findings.empty());
+}
+
+} // namespace
+} // namespace lkmm::fuzz

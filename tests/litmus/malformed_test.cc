@@ -40,8 +40,8 @@ TEST(MalformedLitmus, EveryCorpusFileFailsStructurally)
     const std::vector<fs::path> files = corpusFiles();
     // Keep the corpus honest: truncated input, bad register,
     // unbalanced parens, unknown fence, bad thread header, bad
-    // init, missing condition.
-    ASSERT_GE(files.size(), 7u);
+    // init, missing condition, deep expression/condition nesting.
+    ASSERT_GE(files.size(), 9u);
 
     for (const fs::path &f : files) {
         try {
@@ -124,6 +124,41 @@ TEST(MalformedLitmus, TruncatedInputReportsEndOfInput)
     } catch (const ParseError &e) {
         EXPECT_EQ(e.token(), "end of input");
         EXPECT_GE(e.line(), 3);
+    }
+}
+
+TEST(MalformedLitmus, DeepNestingIsParseErrorNotStackOverflow)
+{
+    const std::string deep(100000, '(');
+    const std::string src = "C t\n"
+                            "{ x=0; }\n"
+                            "P0(int *x) {\n"
+                            "    WRITE_ONCE(*x, " + deep + "1);\n"
+                            "}\n"
+                            "exists (true)\n";
+    try {
+        (void)parseLitmus(src);
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 4);
+        EXPECT_NE(std::string(e.what()).find("nesting"),
+                  std::string::npos);
+    }
+}
+
+TEST(MalformedLitmus, DeepCondNestingIsParseError)
+{
+    const std::string deep(100000, '~');
+    const std::string src = "C t\n"
+                            "{ x=0; }\n"
+                            "P0(int *x) { }\n"
+                            "exists (" + deep + "x=1)\n";
+    try {
+        (void)parseLitmus(src);
+        FAIL() << "parsed";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("nesting"),
+                  std::string::npos);
     }
 }
 

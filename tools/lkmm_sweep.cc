@@ -141,6 +141,12 @@ usage()
         "  --retries N         escalating-budget retries\n"
         "  --escalation F      budget scale per retry (default 8)\n"
         "\n"
+        "reproducibility:\n"
+        "  --seed N            campaign seed (default 1); recorded in\n"
+        "                      the journal meta record and printed in\n"
+        "                      every report header, so one seed pins a\n"
+        "                      whole sweep+fuzz pipeline run\n"
+        "\n"
         "output:\n"
         "  --summary FORMAT    text (default) or json\n"
         "  --out FILE          write the summary there instead of\n"
@@ -198,6 +204,7 @@ summaryJson(const lkmm::BatchReport &report)
     root["divergences"] = Value(report.divergences.size());
     root["resumed"] = Value(report.resumedCount);
     root["cancelled"] = Value(report.cancelled);
+    root["seed"] = Value(static_cast<std::int64_t>(report.seed));
 
     Array results;
     for (const lkmm::BatchItemResult &r : report.results)
@@ -221,6 +228,8 @@ void
 printTextSummary(std::FILE *out, const lkmm::BatchReport &report,
                  bool quiet)
 {
+    std::fprintf(out, "seed %llu\n",
+                 static_cast<unsigned long long>(report.seed));
     if (!quiet) {
         for (const lkmm::BatchItemResult &r : report.results) {
             std::fprintf(out, "%-28s %-8s %s%s\n", r.name.c_str(),
@@ -292,6 +301,8 @@ main(int argc, char **argv)
             else if (arg == "--task-mem-mb")
                 opts.taskMemoryBytes =
                     std::stoull(next()) * 1024 * 1024;
+            else if (arg == "--seed")
+                opts.seed = std::stoull(next());
             else if (arg == "--journal")
                 opts.journalPath = next();
             else if (arg == "--resume")
@@ -382,11 +393,13 @@ main(int argc, char **argv)
         }
         if (!quiet) {
             std::fprintf(stderr,
-                         "lkmm-sweep: %zu tests, model %s, %s mode%s\n",
+                         "lkmm-sweep: %zu tests, model %s, %s mode, "
+                         "seed %llu%s\n",
                          runner.size(), model->name().c_str(),
                          opts.isolation == IsolationMode::Forked
                              ? "forked"
                              : "in-process",
+                         static_cast<unsigned long long>(opts.seed),
                          opts.journalPath.empty()
                              ? ""
                              : (", journal " + opts.journalPath).c_str());
