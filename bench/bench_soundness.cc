@@ -9,18 +9,12 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "cat/eval.hh"
 #include "diy/generator.hh"
 #include "lkmm/runner.hh"
-#include "model/alpha_model.hh"
-#include "model/armv8_model.hh"
-#include "model/c11_model.hh"
-#include "model/lkmm_model.hh"
-#include "model/power_model.hh"
-#include "model/sc_model.hh"
-#include "model/tso_model.hh"
+#include "model/registry.hh"
 
 int
 main()
@@ -31,32 +25,36 @@ main()
     std::printf("generated %zu litmus tests from 4-edge cycles\n\n",
                 tests.size());
 
-    LkmmModel lk;
-    ScModel sc;
-    TsoModel tso;
-    PowerModel power;
-    PowerModel armv7(PowerModel::Flavor::Armv7);
-    Armv8Model armv8;
-    AlphaModel alpha;
-    C11Model c11;
+    // Every model under test comes from the registry: the sweep
+    // covers exactly what the engine ships, in listing order.
+    const ModelRegistry &registry = ModelRegistry::instance();
 
     struct Row
     {
-        const char *name;
-        const Model *model;
+        std::string name;
+        std::unique_ptr<Model> model;
         std::size_t forbids = 0;
     };
-    std::vector<Row> rows = {
-        {"sc", &sc, 0},       {"tso(x86)", &tso, 0},
-        {"alpha", &alpha, 0}, {"armv8", &armv8, 0},
-        {"armv7", &armv7, 0}, {"power", &power, 0},
-        {"lkmm", &lk, 0},     {"c11", &c11, 0},
-    };
+    std::vector<Row> rows;
+    for (const ModelInfo &info : registry.listModels())
+        rows.push_back(Row{info.name, registry.make(info.name), 0});
+
+    const Model *lk = nullptr;
+    std::vector<const Model *> archs;
+    for (const Row &row : rows) {
+        if (row.name == "lkmm")
+            lk = row.model.get();
+        if (row.name == "tso" || row.name == "power" ||
+            row.name == "armv7" || row.name == "armv8" ||
+            row.name == "alpha") {
+            archs.push_back(row.model.get());
+        }
+    }
 
     std::size_t unsound = 0;
     std::size_t lk_forbidden = 0;
     for (const Program &p : tests) {
-        const Verdict vl = quickVerdict(p, lk);
+        const Verdict vl = quickVerdict(p, *lk);
         for (Row &row : rows) {
             if (quickVerdict(p, *row.model) == Verdict::Forbid)
                 ++row.forbids;
@@ -64,8 +62,6 @@ main()
         if (vl != Verdict::Forbid)
             continue;
         ++lk_forbidden;
-        const std::vector<const Model *> archs{&power, &armv7,
-                                               &armv8, &tso, &alpha};
         for (const Model *arch : archs) {
             if (quickVerdict(p, *arch) == Verdict::Allow) {
                 ++unsound;
@@ -78,7 +74,7 @@ main()
     std::printf("verdict distribution (Forbid count of %zu "
                 "tests):\n", tests.size());
     for (const Row &row : rows)
-        std::printf("  %-10s %zu\n", row.name, row.forbids);
+        std::printf("  %-10s %zu\n", row.name.c_str(), row.forbids);
 
     std::printf("\nLK-forbidden tests: %zu; soundness violations "
                 "across all architectures: %zu (must be 0)\n",

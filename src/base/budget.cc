@@ -16,6 +16,7 @@ boundKindName(BoundKind kind)
       case BoundKind::RfAssignments: return "rf-assignments";
       case BoundKind::EvalSteps: return "eval-steps";
       case BoundKind::Cancelled: return "cancelled";
+      case BoundKind::SweepBudget: return "sweep-budget";
     }
     return "unknown";
 }
@@ -89,6 +90,8 @@ RunBudget::toString() const
     s += " eval-steps=" + countToString(maxEvalSteps);
     if (cancel)
         s += " cancellable";
+    if (shared)
+        s += " shared";
     return s;
 }
 
@@ -101,18 +104,42 @@ BudgetTracker::BudgetTracker(const RunBudget &budget) : budget_(budget)
 }
 
 bool
+BudgetTracker::chargeBulk(std::size_t nCandidates,
+                          std::size_t nRfAssignments)
+{
+    if (exhausted())
+        return false;
+    if (budget_.maxCandidates &&
+        candidates_.fetch_add(nCandidates, std::memory_order_relaxed) +
+                nCandidates >
+            budget_.maxCandidates) {
+        return trip(BoundKind::Candidates);
+    }
+    if (budget_.maxRfAssignments &&
+        rfAssignments_.fetch_add(nRfAssignments,
+                                 std::memory_order_relaxed) +
+                nRfAssignments >
+            budget_.maxRfAssignments) {
+        return trip(BoundKind::RfAssignments);
+    }
+    if (budget_.shared &&
+        !budget_.shared->chargeBulk(nCandidates, nRfAssignments)) {
+        return trip(BoundKind::SweepBudget);
+    }
+    return checkNow();
+}
+
+bool
 BudgetTracker::checkNow()
 {
-    if (bound_ != BoundKind::None)
+    if (exhausted())
         return false;
-    if (budget_.cancel && budget_.cancel->cancelled()) {
-        bound_ = BoundKind::Cancelled;
-        return false;
-    }
-    if (hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) {
-        bound_ = BoundKind::WallClock;
-        return false;
-    }
+    if (budget_.cancel && budget_.cancel->cancelled())
+        return trip(BoundKind::Cancelled);
+    if (hasDeadline_ && std::chrono::steady_clock::now() >= deadline_)
+        return trip(BoundKind::WallClock);
+    if (budget_.shared && !budget_.shared->checkNow())
+        return trip(BoundKind::SweepBudget);
     return true;
 }
 

@@ -11,6 +11,19 @@
  * path (the clock is only consulted every kTimeCheckInterval
  * events, keeping overhead in the noise).
  *
+ * BudgetTracker is thread-safe: counters are relaxed atomics and the
+ * tripped bound latches with a compare-exchange, so one tracker can
+ * be shared by every worker of a parallel sweep.  First bound
+ * tripped wins — all later trips lose the race and observe the
+ * winner — and a counter cap of N grants *exactly* N units across
+ * any number of contending threads (fetch_add hands out distinct
+ * pre-increment values, so exactly N callers see a value below the
+ * cap).  A per-test budget can additionally point at a sweep-wide
+ * shared tracker (RunBudget::shared): the hooks charge both, and
+ * when the shared tracker is exhausted the local one latches
+ * BoundKind::SweepBudget so callers can tell "this test's budget
+ * fired" from "the whole sweep's budget fired".
+ *
  * A bounded run that trips a bound is *truncated*, not wrong: the
  * caller reports Completeness::Truncated plus which bound fired, and
  * verdict logic degrades to Unknown where the evidence seen so far
@@ -58,6 +71,8 @@ enum class BoundKind
     RfAssignments,
     EvalSteps,
     Cancelled,
+    /** The sweep-wide shared tracker (not this run's own budget). */
+    SweepBudget,
 };
 
 /** Short stable name, e.g. "wall-clock". */
@@ -71,6 +86,8 @@ enum class Completeness
 };
 
 const char *completenessName(Completeness c);
+
+class BudgetTracker;
 
 /**
  * Resource bounds for one verification run.
@@ -91,6 +108,13 @@ struct RunBudget
     std::size_t maxEvalSteps = 0;
     /** Optional cancellation token (not owned; may be null). */
     const CancelToken *cancel = nullptr;
+    /**
+     * Optional sweep-wide tracker shared across workers (not owned;
+     * may be null).  Every unit of work charged to this run is also
+     * charged there, and this run stops with BoundKind::SweepBudget
+     * once the shared tracker is exhausted.
+     */
+    BudgetTracker *shared = nullptr;
 
     static RunBudget unlimited() { return RunBudget{}; }
 
@@ -99,7 +123,7 @@ struct RunBudget
     {
         return wallClock.count() == 0 && maxCandidates == 0 &&
             maxRfAssignments == 0 && maxEvalSteps == 0 &&
-            cancel == nullptr;
+            cancel == nullptr && shared == nullptr;
     }
 
     /**
@@ -113,86 +137,124 @@ struct RunBudget
 };
 
 /**
- * Enforces one RunBudget over one run.
+ * Enforces one RunBudget over one run — or, shared, over all the
+ * concurrent runs of a parallel sweep.
  *
  * The on*() hooks return false when the run must stop; the tracker
  * latches the first bound that fired.  Hooks are called *before*
  * consuming the corresponding unit of work, so a budget of N
- * candidates delivers exactly N candidates and is only reported
- * exhausted when an (N+1)-th was attempted.
+ * candidates delivers exactly N candidates — also under contention —
+ * and is only reported exhausted when an (N+1)-th was attempted.
  */
 class BudgetTracker
 {
   public:
     explicit BudgetTracker(const RunBudget &budget);
 
+    BudgetTracker(const BudgetTracker &) = delete;
+    BudgetTracker &operator=(const BudgetTracker &) = delete;
+
     /** About to explore one more rf assignment. */
     bool
     onRfAssignment()
     {
-        if (bound_ != BoundKind::None)
-            return false;
-        if (budget_.maxRfAssignments &&
-            ++rfAssignments_ > budget_.maxRfAssignments) {
-            bound_ = BoundKind::RfAssignments;
-            return false;
-        }
-        return checkTimeEvery();
+        return charge(rfAssignments_, budget_.maxRfAssignments,
+                      BoundKind::RfAssignments,
+                      &BudgetTracker::onRfAssignment);
     }
 
     /** About to deliver one more candidate execution. */
     bool
     onCandidate()
     {
-        if (bound_ != BoundKind::None)
-            return false;
-        if (budget_.maxCandidates && ++candidates_ > budget_.maxCandidates) {
-            bound_ = BoundKind::Candidates;
-            return false;
-        }
-        return checkTimeEvery();
+        return charge(candidates_, budget_.maxCandidates,
+                      BoundKind::Candidates,
+                      &BudgetTracker::onCandidate);
     }
 
     /** About to execute one more cat-interpreter step. */
     bool
     onEvalStep()
     {
-        if (bound_ != BoundKind::None)
-            return false;
-        if (budget_.maxEvalSteps && ++evalSteps_ > budget_.maxEvalSteps) {
-            bound_ = BoundKind::EvalSteps;
-            return false;
-        }
-        return checkTimeEvery();
+        return charge(evalSteps_, budget_.maxEvalSteps,
+                      BoundKind::EvalSteps, &BudgetTracker::onEvalStep);
     }
+
+    /**
+     * Bulk accounting: charge n candidates and m rf assignments at
+     * once.  Used where the work happened elsewhere (a forked child)
+     * and the parent settles the whole test against a sweep-wide
+     * tracker in one step.
+     */
+    bool chargeBulk(std::size_t nCandidates, std::size_t nRfAssignments);
 
     /** Unconditional deadline/cancellation poll (cold path). */
     bool checkNow();
 
-    bool exhausted() const { return bound_ != BoundKind::None; }
-    BoundKind bound() const { return bound_; }
+    bool exhausted() const { return bound() != BoundKind::None; }
+
+    BoundKind
+    bound() const
+    {
+        return bound_.load(std::memory_order_acquire);
+    }
 
   private:
     /** Clock/cancel polls are amortised over this many events. */
     static constexpr std::size_t kTimeCheckInterval = 256;
 
+    /**
+     * Latch `kind` as the tripped bound.  Only the first caller
+     * wins; everyone returns false and later reads see the winner.
+     */
+    bool
+    trip(BoundKind kind)
+    {
+        BoundKind expected = BoundKind::None;
+        bound_.compare_exchange_strong(expected, kind,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+        return false;
+    }
+
+    /**
+     * One unit of work against one counter, plus the forward to the
+     * shared tracker (which charges the same unit via `hook`).
+     */
+    bool
+    charge(std::atomic<std::size_t> &counter, std::size_t cap,
+           BoundKind kind, bool (BudgetTracker::*hook)())
+    {
+        if (exhausted())
+            return false;
+        if (cap && counter.fetch_add(1, std::memory_order_relaxed) +
+                       1 > cap) {
+            return trip(kind);
+        }
+        if (budget_.shared && !(budget_.shared->*hook)())
+            return trip(BoundKind::SweepBudget);
+        return checkTimeEvery();
+    }
+
     bool
     checkTimeEvery()
     {
-        if (++sinceTimeCheck_ < kTimeCheckInterval)
+        if (sinceTimeCheck_.fetch_add(1, std::memory_order_relaxed) %
+                kTimeCheckInterval !=
+            kTimeCheckInterval - 1) {
             return true;
-        sinceTimeCheck_ = 0;
+        }
         return checkNow();
     }
 
     RunBudget budget_;
     std::chrono::steady_clock::time_point deadline_;
     bool hasDeadline_ = false;
-    std::size_t candidates_ = 0;
-    std::size_t rfAssignments_ = 0;
-    std::size_t evalSteps_ = 0;
-    std::size_t sinceTimeCheck_ = 0;
-    BoundKind bound_ = BoundKind::None;
+    std::atomic<std::size_t> candidates_{0};
+    std::atomic<std::size_t> rfAssignments_{0};
+    std::atomic<std::size_t> evalSteps_{0};
+    std::atomic<std::size_t> sinceTimeCheck_{0};
+    std::atomic<BoundKind> bound_{BoundKind::None};
 };
 
 } // namespace lkmm

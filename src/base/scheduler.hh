@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The shared work-scheduler: a fixed thread pool plus a deterministic
+ * fork-join helper.
+ *
+ * The verification hot path is embarrassingly parallel — thousands of
+ * independent litmus tests per sweep, independent fuzz candidates per
+ * campaign — so the engine needs exactly one concurrency primitive: a
+ * fixed pool of worker threads and a way to run N index-addressed
+ * tasks across it with results delivered *in submission order*,
+ * regardless of the order in which workers finish them.  That
+ * ordering guarantee is what lets a parallel sweep produce a report
+ * byte-identical to the sequential one (see DESIGN.md "In-process
+ * parallel verification").
+ *
+ * ThreadPool is deliberately minimal: post() enqueues a task, the
+ * destructor drains the queue and joins.  parallelIndexed() is the
+ * fork-join layer every caller actually uses; exceptions thrown by a
+ * task are captured and the lowest-index one is rethrown after all
+ * tasks have settled, so error reporting is deterministic too.
+ */
+
+#ifndef LKMM_BASE_SCHEDULER_HH
+#define LKMM_BASE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lkmm
+{
+
+/** A fixed pool of worker threads consuming one task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to at least 1). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /** Enqueue one task; runs on some worker, FIFO dispatch. */
+    void post(std::function<void()> task);
+
+    /** std::thread::hardware_concurrency, clamped to at least 1. */
+    static std::size_t hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(0), ..., fn(n-1) across the pool and block until all have
+ * settled.  Results come back indexed by submission order: element i
+ * is fn(i)'s return value, whatever order the workers finished in.
+ *
+ * If any task throws, every task still runs to completion (no
+ * cancellation is implied — callers wanting early exit check their
+ * own token inside fn) and then the exception of the *lowest* failed
+ * index is rethrown, making failure reporting independent of thread
+ * scheduling.
+ *
+ * fn must be invocable from multiple threads concurrently; its
+ * result type must be move-constructible and non-void.
+ */
+template <typename Fn>
+auto
+parallelIndexed(ThreadPool &pool, std::size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t>;
+    static_assert(!std::is_void_v<R>,
+                  "parallelIndexed tasks must return a value");
+
+    struct Join
+    {
+        std::mutex mu;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::vector<std::optional<R>> results;
+        std::vector<std::exception_ptr> errors;
+    };
+
+    Join join;
+    join.remaining = n;
+    join.results.resize(n);
+    join.errors.resize(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.post([&join, &fn, i]() {
+            std::optional<R> result;
+            std::exception_ptr error;
+            try {
+                result.emplace(fn(i));
+            } catch (...) {
+                error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(join.mu);
+            join.results[i] = std::move(result);
+            join.errors[i] = error;
+            if (--join.remaining == 0)
+                join.done.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.done.wait(lock, [&join] { return join.remaining == 0; });
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (join.errors[i])
+            std::rethrow_exception(join.errors[i]);
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(std::move(*join.results[i]));
+    return out;
+}
+
+} // namespace lkmm
+
+#endif // LKMM_BASE_SCHEDULER_HH

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "base/scheduler.hh"
 #include "base/status.hh"
 #include "diy/generator.hh"
 #include "fuzz/mutator.hh"
@@ -141,65 +143,162 @@ runFuzz(const FuzzOptions &opts)
     report.seed = seed;
     report.iters = report.startIter;
 
-    const std::vector<Oracle> oracles =
-        makeOracles(oracleSpec, opts.catModelDir);
+    const std::size_t jobs =
+        static_cast<std::size_t>(std::max(1, opts.jobs));
     const std::vector<Program> pool = builtinSeedPrograms();
 
-    const auto start = std::chrono::steady_clock::now();
-    for (std::uint64_t iter = report.startIter; iter < maxIters;
-         ++iter) {
-        if (opts.cancel && opts.cancel->cancelled()) {
-            report.cancelled = true;
-            break;
-        }
-        if (opts.timeBudget.count() > 0 &&
-            std::chrono::steady_clock::now() - start >=
-                opts.timeBudget) {
-            report.timedOut = true;
-            break;
-        }
+    // One oracle set per worker: the model sides are stateless, but
+    // independent instances keep workers fully decoupled (and match
+    // the batch engine's per-worker-model design).
+    std::vector<std::vector<Oracle>> oracleSets;
+    for (std::size_t i = 0; i < jobs; ++i)
+        oracleSets.push_back(makeOracles(oracleSpec, opts.catModelDir));
 
+    /** Evaluate one iteration against one oracle set (any thread). */
+    auto evalIter = [&](std::uint64_t iter,
+                        const std::vector<Oracle> &oracleSet) {
+        std::vector<FuzzFinding> found;
         const std::optional<Program> cand =
             candidateFor(seed, iter, pool);
-        if (cand) {
-            // The candidate passed mutate()'s printability gate (or
-            // came straight from diy), so printLitmus cannot throw.
-            const std::string source = printLitmus(*cand);
-            OracleOptions oracleOpts = opts.oracle;
-            oracleOpts.seed = mixSeed(seed, iter);
-            for (const Oracle &oracle : oracles) {
-                const std::optional<Finding> finding =
-                    runOracle(oracle, *cand, oracleOpts);
-                if (!finding)
-                    continue;
-                FuzzFinding f;
-                f.iter = iter;
-                f.test = cand->name;
-                f.finding = *finding;
-                f.source = source;
-                f.minimized = source;
-                if (opts.minimize) {
-                    const Program small = minimizeFinding(
-                        *cand, oracle, *finding, oracleOpts,
-                        opts.maxShrinkTests);
-                    f.minimized = printLitmus(small);
-                }
-                const bool newBucket = report.triage.add(f);
-                if (newBucket && !opts.corpusDir.empty()) {
-                    writeRepro(opts.corpusDir,
-                               f.finding.signature(), f.minimized);
-                }
-                if (writer)
-                    writer->append(encodeFuzzFinding(f));
-                if (opts.onFinding)
-                    opts.onFinding(f);
+        if (!cand)
+            return found;
+        // The candidate passed mutate()'s printability gate (or
+        // came straight from diy), so printLitmus cannot throw.
+        const std::string source = printLitmus(*cand);
+        OracleOptions oracleOpts = opts.oracle;
+        if (jobs > 1) {
+            // Forking from a pool thread inherits other threads'
+            // lock states (malloc, stdio) into the child; parallel
+            // campaigns always evaluate in-process.
+            oracleOpts.isolate = false;
+        }
+        oracleOpts.seed = mixSeed(seed, iter);
+        for (const Oracle &oracle : oracleSet) {
+            const std::optional<Finding> finding =
+                runOracle(oracle, *cand, oracleOpts);
+            if (!finding)
+                continue;
+            FuzzFinding f;
+            f.iter = iter;
+            f.test = cand->name;
+            f.finding = *finding;
+            f.source = source;
+            f.minimized = source;
+            if (opts.minimize) {
+                const Program small = minimizeFinding(
+                    *cand, oracle, *finding, oracleOpts,
+                    opts.maxShrinkTests);
+                f.minimized = printLitmus(small);
             }
+            found.push_back(std::move(f));
+        }
+        return found;
+    };
+
+    /**
+     * Record one completed iteration (campaign thread only): triage,
+     * repros, journal, callback.  Called strictly in iteration
+     * order, which is what makes a parallel campaign's report and
+     * journal identical to the sequential one's.
+     */
+    auto recordIter = [&](std::uint64_t iter,
+                          std::vector<FuzzFinding> found) {
+        for (FuzzFinding &f : found) {
+            const bool newBucket = report.triage.add(f);
+            if (newBucket && !opts.corpusDir.empty()) {
+                writeRepro(opts.corpusDir, f.finding.signature(),
+                           f.minimized);
+            }
+            if (writer)
+                writer->append(encodeFuzzFinding(f));
+            if (opts.onFinding)
+                opts.onFinding(f);
         }
         if (writer)
             writer->append(encodeFuzzIter(iter));
         report.iters = iter + 1;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    auto outOfTime = [&] {
+        return opts.timeBudget.count() > 0 &&
+               std::chrono::steady_clock::now() - start >=
+                   opts.timeBudget;
+    };
+
+    if (jobs == 1) {
+        for (std::uint64_t iter = report.startIter; iter < maxIters;
+             ++iter) {
+            if (opts.cancel && opts.cancel->cancelled()) {
+                report.cancelled = true;
+                break;
+            }
+            if (outOfTime()) {
+                report.timedOut = true;
+                break;
+            }
+            recordIter(iter, evalIter(iter, oracleSets[0]));
+        }
+        return report;
     }
 
+    // Parallel campaign: evaluate a chunk of iterations on the pool,
+    // then drain the chunk's results in iteration order.  A worker
+    // that observes cancellation skips its iteration; the drain stops
+    // at the first skipped one and discards the rest of the chunk
+    // (they rerun on resume — the candidate stream is a function of
+    // (seed, iter), so nothing is lost).
+    ThreadPool workers(jobs);
+    std::mutex slotMu;
+    std::vector<std::size_t> freeSlots;
+    for (std::size_t i = 0; i < jobs; ++i)
+        freeSlots.push_back(i);
+
+    std::uint64_t iter = report.startIter;
+    while (iter < maxIters) {
+        if (opts.cancel && opts.cancel->cancelled()) {
+            report.cancelled = true;
+            break;
+        }
+        if (outOfTime()) {
+            report.timedOut = true;
+            break;
+        }
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(maxIters - iter, jobs * 2);
+        auto results = parallelIndexed(
+            workers, static_cast<std::size_t>(chunk),
+            [&](std::size_t k)
+                -> std::optional<std::vector<FuzzFinding>> {
+                if (opts.cancel && opts.cancel->cancelled())
+                    return std::nullopt;
+                std::size_t slot;
+                {
+                    std::lock_guard<std::mutex> lock(slotMu);
+                    slot = freeSlots.back();
+                    freeSlots.pop_back();
+                }
+                std::vector<FuzzFinding> found =
+                    evalIter(iter + k, oracleSets[slot]);
+                {
+                    std::lock_guard<std::mutex> lock(slotMu);
+                    freeSlots.push_back(slot);
+                }
+                return found;
+            });
+        bool stopped = false;
+        for (std::uint64_t k = 0; k < chunk; ++k) {
+            if (!results[k]) {
+                report.cancelled = true;
+                stopped = true;
+                break;
+            }
+            recordIter(iter + k, std::move(*results[k]));
+        }
+        if (stopped)
+            break;
+        iter += chunk;
+    }
     return report;
 }
 

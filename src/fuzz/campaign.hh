@@ -68,6 +68,18 @@ struct FuzzOptions
     bool resume = false;
     /** Sandbox / enumeration limits for each oracle side. */
     OracleOptions oracle;
+    /**
+     * Candidate evaluations in flight (min 1).  With jobs > 1,
+     * iterations are evaluated concurrently on a thread pool
+     * (base/scheduler.hh) with one oracle set per worker, and the
+     * subprocess sandbox is forcibly disabled: forking from pool
+     * threads inherits arbitrary lock states (malloc, stdio) into
+     * the child.  Findings, minimization results, triage and the
+     * journal are still processed strictly in iteration order, so a
+     * parallel campaign reports and resumes exactly like the
+     * sequential one.
+     */
+    int jobs = 1;
     /** Minimize findings before recording them. */
     bool minimize = true;
     /** Predicate-evaluation cap per minimization. */

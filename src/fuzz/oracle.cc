@@ -8,8 +8,7 @@
 #include "base/status.hh"
 #include "cat/eval.hh"
 #include "model/lkmm_model.hh"
-#include "model/sc_model.hh"
-#include "model/tso_model.hh"
+#include "model/registry.hh"
 #include "sim/machine.hh"
 
 namespace lkmm::fuzz
@@ -59,6 +58,14 @@ modelSide(std::string label, std::shared_ptr<const Model> model)
         return quickVerdict(prog, *model, budget);
     };
     return side;
+}
+
+/** Side backed by a registry model ("lkmm", "sc", "tso", ...). */
+OracleSide
+registrySide(std::string label, const std::string &name)
+{
+    return modelSide(std::move(label),
+                     ModelRegistry::instance().make(name));
 }
 
 /**
@@ -111,27 +118,27 @@ makeOracle(const std::string &name, const std::string &catModelDir)
         auto cat = std::make_shared<CatModel>(
             CatModel::fromFile(dir + "/lkmm.cat"));
         o.mode = Oracle::Mode::Equal;
-        o.a = modelSide("native-lkmm", std::make_shared<LkmmModel>());
+        o.a = registrySide("native-lkmm", "lkmm");
         o.b = modelSide("cat-lkmm", std::move(cat));
         return o;
     }
     if (name == "sc-vs-operational") {
         o.mode = Oracle::Mode::Subset;
         o.a = operationalSide("op-sc", MachineConfig::sc(), 256);
-        o.b = modelSide("native-sc", std::make_shared<ScModel>());
+        o.b = registrySide("native-sc", "sc");
         return o;
     }
     if (name == "mono-sc-lkmm") {
         o.mode = Oracle::Mode::Subset;
         o.rcuSound = false; // the rcu axiom breaks SC-monotonicity
-        o.a = modelSide("native-sc", std::make_shared<ScModel>());
-        o.b = modelSide("native-lkmm", std::make_shared<LkmmModel>());
+        o.a = registrySide("native-sc", "sc");
+        o.b = registrySide("native-lkmm", "lkmm");
         return o;
     }
     if (name == "mono-sc-tso") {
         o.mode = Oracle::Mode::Subset;
-        o.a = modelSide("native-sc", std::make_shared<ScModel>());
-        o.b = modelSide("native-tso", std::make_shared<TsoModel>());
+        o.a = registrySide("native-sc", "sc");
+        o.b = registrySide("native-tso", "tso");
         return o;
     }
     const std::string prefix = "native-vs-ablated:";
@@ -146,7 +153,9 @@ makeOracle(const std::string &name, const std::string &catModelDir)
                     "a-cumul, gp-strong-fence)"));
         }
         o.mode = Oracle::Mode::Equal;
-        o.a = modelSide("native-lkmm", std::make_shared<LkmmModel>());
+        o.a = registrySide("native-lkmm", "lkmm");
+        // Ablations are deliberately-broken variants and stay out of
+        // the registry: only the fuzzer should ever construct them.
         o.b = modelSide("ablated-" + knob,
                         std::make_shared<LkmmModel>(*cfg));
         return o;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <mutex>
 
 #include <poll.h>
 
 #include "base/faultinject.hh"
+#include "base/scheduler.hh"
 #include "base/strutil.hh"
 #include "base/subprocess.hh"
 #include "litmus/parser.hh"
@@ -56,6 +58,8 @@ BatchReport::summary() const
         s += format(" (%zu resumed from journal)", resumedCount);
     if (cancelled)
         s += " [cancelled]";
+    if (sweepBound != BoundKind::None)
+        s += format(" [sweep budget: %s]", boundKindName(sweepBound));
     return s;
 }
 
@@ -114,7 +118,9 @@ BatchRunner::cancelled() const
 }
 
 std::optional<ItemOutcome>
-BatchRunner::runItem(Item &item) const
+BatchRunner::runItem(Item &item, const Model &model,
+                     const Model *crossCheck,
+                     BudgetTracker *sweepTracker) const
 {
     ItemOutcome outcome;
 
@@ -142,12 +148,15 @@ BatchRunner::runItem(Item &item) const
     res.name = item.name;
     try {
         RunBudget budget = opts_.budget;
+        budget.shared = sweepTracker;
         for (;;) {
-            res.result = runTest(*item.prog, model_, budget);
+            res.result = runTest(*item.prog, model, budget);
             if (res.result.truncated() &&
-                res.result.trippedBound == BoundKind::Cancelled) {
-                // Cancellation is not a per-test property; the
-                // caller drops the item so a resume reruns it.
+                (res.result.trippedBound == BoundKind::Cancelled ||
+                 res.result.trippedBound == BoundKind::SweepBudget)) {
+                // Cancellation and sweep-budget exhaustion are not
+                // per-test properties; the caller drops the item so
+                // a resume reruns it.
                 return std::nullopt;
             }
             if (!res.result.truncated() ||
@@ -155,6 +164,7 @@ BatchRunner::runItem(Item &item) const
                 break;
             }
             budget = budget.scaled(opts_.escalation);
+            budget.shared = sweepTracker;
             ++res.attempts;
         }
     } catch (const std::exception &e) {
@@ -166,10 +176,16 @@ BatchRunner::runItem(Item &item) const
     // Cross-check stage: divergences are recorded, not thrown; an
     // error in the reference model is a TestFailure for this test
     // but the primary result stands.
-    if (opts_.crossCheck && !res.result.truncated()) {
+    if (crossCheck && !res.result.truncated()) {
         try {
-            RunResult ref =
-                runTest(*item.prog, *opts_.crossCheck, opts_.budget);
+            RunBudget refBudget = opts_.budget;
+            refBudget.shared = sweepTracker;
+            RunResult ref = runTest(*item.prog, *crossCheck, refBudget);
+            if (ref.truncated() &&
+                (ref.trippedBound == BoundKind::Cancelled ||
+                 ref.trippedBound == BoundKind::SweepBudget)) {
+                return std::nullopt;
+            }
             if (!ref.truncated() && ref.verdict != res.result.verdict) {
                 outcome.divergences.push_back(Divergence{
                     item.name, res.result.verdict, ref.verdict});
@@ -199,20 +215,90 @@ BatchRunner::record(const std::string &name, ItemOutcome outcome,
 void
 BatchRunner::runInProcess(std::vector<Item *> &pending,
                           std::map<std::string, ItemOutcome> &outcomes,
-                          journal::Writer *writer, BatchReport &report)
+                          journal::Writer *writer, BatchReport &report,
+                          BudgetTracker *sweepTracker)
 {
     for (Item *item : pending) {
         if (cancelled()) {
             report.cancelled = true;
             return;
         }
-        std::optional<ItemOutcome> outcome = runItem(*item);
+        if (sweepTracker && !sweepTracker->checkNow())
+            return; // run() reports the tripped bound
+        std::optional<ItemOutcome> outcome =
+            runItem(*item, model_, opts_.crossCheck, sweepTracker);
         if (!outcome) {
-            report.cancelled = true;
+            report.cancelled = cancelled();
             return;
         }
         record(item->name, std::move(*outcome), outcomes, writer);
     }
+}
+
+void
+BatchRunner::runParallel(std::vector<Item *> &pending,
+                         std::map<std::string, ItemOutcome> &outcomes,
+                         journal::Writer *writer, BatchReport &report,
+                         BudgetTracker *sweepTracker)
+{
+    const std::size_t jobs =
+        static_cast<std::size_t>(std::max(1, opts_.workers));
+
+    // One model instance per worker slot.  The pool runs at most
+    // `jobs` tasks at once, so a free slot always exists when a task
+    // starts; the slot free-list hands each running task exclusive
+    // use of one primary (and one reference) instance.
+    std::vector<std::unique_ptr<Model>> primaries;
+    std::vector<std::unique_ptr<Model>> references;
+    for (std::size_t i = 0; i < jobs; ++i) {
+        primaries.push_back(opts_.modelFactory ? opts_.modelFactory()
+                                               : nullptr);
+        references.push_back(opts_.crossCheckFactory
+                                 ? opts_.crossCheckFactory()
+                                 : nullptr);
+    }
+
+    std::mutex slotMu;
+    std::vector<std::size_t> freeSlots;
+    for (std::size_t i = 0; i < jobs; ++i)
+        freeSlots.push_back(i);
+
+    // Serializes the journal writer and the outcome map.  Writes
+    // land in completion order, which resume tolerates (recovery is
+    // keyed by test name); report order is fixed by run()'s
+    // queue-order assembly, so the report is verdict-identical to a
+    // sequential sweep.
+    std::mutex recordMu;
+
+    ThreadPool pool(jobs);
+    parallelIndexed(pool, pending.size(), [&](std::size_t i) {
+        if (cancelled() || (sweepTracker && sweepTracker->exhausted()))
+            return false;
+
+        std::size_t slot;
+        {
+            std::lock_guard<std::mutex> lock(slotMu);
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+        }
+        const Model &model =
+            primaries[slot] ? *primaries[slot] : model_;
+        const Model *cross = references[slot] ? references[slot].get()
+                                              : opts_.crossCheck;
+        std::optional<ItemOutcome> outcome =
+            runItem(*pending[i], model, cross, sweepTracker);
+        {
+            std::lock_guard<std::mutex> lock(slotMu);
+            freeSlots.push_back(slot);
+        }
+        if (!outcome)
+            return false;
+
+        std::lock_guard<std::mutex> lock(recordMu);
+        record(pending[i]->name, std::move(*outcome), outcomes, writer);
+        return true;
+    });
+    report.cancelled = cancelled();
 }
 
 namespace
@@ -274,7 +360,8 @@ decodeChildOutcome(const std::string &name,
 void
 BatchRunner::runForked(std::vector<Item *> &pending,
                        std::map<std::string, ItemOutcome> &outcomes,
-                       journal::Writer *writer, BatchReport &report)
+                       journal::Writer *writer, BatchReport &report,
+                       BudgetTracker *sweepTracker)
 {
     struct Live
     {
@@ -293,7 +380,9 @@ BatchRunner::runForked(std::vector<Item *> &pending,
     std::size_t next = 0;
 
     while (next < pending.size() || !live.empty()) {
-        if (cancelled()) {
+        const bool sweepExhausted =
+            sweepTracker && !sweepTracker->checkNow();
+        if (cancelled() || sweepExhausted) {
             // Kill in-flight children without recording them: their
             // tests rerun on resume.  The journal already has every
             // finished test.
@@ -302,7 +391,7 @@ BatchRunner::runForked(std::vector<Item *> &pending,
                 l.child.finish();
             }
             live.clear();
-            report.cancelled = true;
+            report.cancelled = cancelled();
             return;
         }
 
@@ -311,7 +400,11 @@ BatchRunner::runForked(std::vector<Item *> &pending,
             auto work = [this, item]() {
                 json::Object payload;
                 json::Array records;
-                std::optional<ItemOutcome> outcome = runItem(*item);
+                // The child cannot share the parent's sweep tracker
+                // (separate address space); the parent bulk-charges
+                // the child's reported work after decoding.
+                std::optional<ItemOutcome> outcome =
+                    runItem(*item, model_, opts_.crossCheck, nullptr);
                 if (outcome) {
                     for (json::Value &rec : toRecords(*outcome))
                         records.push_back(std::move(rec));
@@ -362,8 +455,17 @@ BatchRunner::runForked(std::vector<Item *> &pending,
             }
             if (done) {
                 subprocess::Outcome out = l.child.finish();
-                record(l.item->name,
-                       decodeChildOutcome(l.item->name, out), outcomes,
+                ItemOutcome decoded =
+                    decodeChildOutcome(l.item->name, out);
+                if (sweepTracker && decoded.result) {
+                    // Settle the child's work against the sweep
+                    // budget; a trip here stops dispatch on the next
+                    // loop iteration, after this result is recorded.
+                    sweepTracker->chargeBulk(
+                        decoded.result->result.candidates,
+                        decoded.result->result.stats.rfAssignments);
+                }
+                record(l.item->name, std::move(decoded), outcomes,
                        writer);
             } else {
                 still.push_back(std::move(l));
@@ -419,11 +521,25 @@ BatchRunner::run()
             pending.push_back(&item);
     }
 
+    std::optional<BudgetTracker> sweepTracker;
+    if (!opts_.sweepBudget.isUnlimited())
+        sweepTracker.emplace(opts_.sweepBudget);
+    BudgetTracker *tracker = sweepTracker ? &*sweepTracker : nullptr;
+
     journal::Writer *w = writer ? &*writer : nullptr;
-    if (opts_.isolation == IsolationMode::Forked)
-        runForked(pending, outcomes, w, report);
-    else
-        runInProcess(pending, outcomes, w, report);
+    switch (opts_.isolation) {
+      case IsolationMode::Forked:
+        runForked(pending, outcomes, w, report, tracker);
+        break;
+      case IsolationMode::InProcessParallel:
+        runParallel(pending, outcomes, w, report, tracker);
+        break;
+      case IsolationMode::InProcess:
+        runInProcess(pending, outcomes, w, report, tracker);
+        break;
+    }
+    if (tracker)
+        report.sweepBound = tracker->bound();
 
     if (writer)
         writer->sync();
@@ -438,8 +554,14 @@ BatchRunner::run()
         ItemOutcome &outcome = it->second;
         if (resumedNames.count(item.name))
             ++report.resumedCount;
-        if (outcome.result)
+        if (outcome.result) {
+            const Enumerator::Stats &s = outcome.result->result.stats;
+            report.stats.pathCombos += s.pathCombos;
+            report.stats.rfAssignments += s.rfAssignments;
+            report.stats.valuationRejects += s.valuationRejects;
+            report.stats.candidates += s.candidates;
             report.results.push_back(std::move(*outcome.result));
+        }
         for (TestFailure &f : outcome.failures)
             report.failures.push_back(std::move(f));
         for (Divergence &d : outcome.divergences)

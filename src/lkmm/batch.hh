@@ -25,6 +25,16 @@
  *    flight; a SIGSEGV or OOM kill in one test becomes a
  *    TestFailure{phase:"crash"} record, a deadline overrun a
  *    TestFailure{phase:"timeout"}, and the sweep continues;
+ *  - in-process parallelism (IsolationMode::InProcessParallel): up
+ *    to `workers` tests checked concurrently on a shared thread
+ *    pool (base/scheduler.hh), each on its own Model instance
+ *    (BatchOptions::modelFactory) with its own Enumerator; journal
+ *    writes are serialized through the single writer, and the
+ *    report is verdict-identical to the sequential sweep;
+ *  - sweep-wide budgets (BatchOptions::sweepBudget): one shared
+ *    BudgetTracker charged by every worker; the first bound tripped
+ *    wins and stops the whole sweep, with the unfinished tests left
+ *    unrecorded so a resume reruns them;
  *  - checkpoint/resume: with journalPath set, every outcome is
  *    appended to a crash-tolerant result journal
  *    (base/journal.hh); a sweep killed at any point resumes with
@@ -114,8 +124,19 @@ struct BatchReport
     std::size_t resumedCount = 0;
     /** Was the sweep cut short by cancellation (Ctrl-C)? */
     bool cancelled = false;
+    /**
+     * The bound of BatchOptions::sweepBudget that stopped the sweep
+     * (None when the sweep budget never fired).
+     */
+    BoundKind sweepBound = BoundKind::None;
     /** The seed the sweep ran under (BatchOptions::seed). */
     std::uint64_t seed = 1;
+
+    /**
+     * Enumerator counters summed over every result (including
+     * journal-resumed ones) — per-worker stats merged by run().
+     */
+    Enumerator::Stats stats;
 
     std::size_t completeCount() const;
     std::size_t truncatedCount() const;
@@ -134,6 +155,13 @@ enum class IsolationMode
     InProcess,
     /** One forked, rlimited, watchdog-supervised child per test. */
     Forked,
+    /**
+     * In the calling process, `workers` tests at a time on a thread
+     * pool: the throughput mode for trusted corpora.  No crash
+     * protection — one segfaulting test takes the sweep down, use
+     * Forked for hostile input.
+     */
+    InProcessParallel,
 };
 
 struct BatchOptions
@@ -150,10 +178,33 @@ struct BatchOptions
      */
     const Model *crossCheck = nullptr;
 
+    /**
+     * Factory for per-worker primary-model instances
+     * (InProcessParallel).  When unset, the constructor's model is
+     * shared across workers — sound for the stateless in-tree
+     * models, but a factory (e.g. ModelRegistry::factoryFor) keeps
+     * workers fully independent.
+     */
+    ModelFactory modelFactory;
+    /**
+     * Factory for per-worker reference-model instances; when unset,
+     * parallel workers share `crossCheck`.
+     */
+    ModelFactory crossCheckFactory;
+
     /** Execution mode; Forked adds crash isolation. */
     IsolationMode isolation = IsolationMode::InProcess;
-    /** Concurrent children in forked mode (min 1). */
+    /** Concurrent children (Forked) or threads (InProcessParallel). */
     int workers = 1;
+
+    /**
+     * Sweep-wide budget shared by every worker (unlimited by
+     * default).  Enforced by one thread-safe BudgetTracker charged
+     * alongside each per-test budget; the first bound tripped stops
+     * the whole sweep (BatchReport::sweepBound), leaving unfinished
+     * tests unrecorded so a resume reruns them.
+     */
+    RunBudget sweepBudget;
     /**
      * Per-child wall-clock deadline in forked mode (0 = none);
      * overruns are SIGKILLed by the parent watchdog.
@@ -231,8 +282,15 @@ class BatchRunner
     void checkDuplicate(const std::string &name) const;
     bool cancelled() const;
 
-    /** Parse + run + cross-check one item; nullopt on cancellation. */
-    std::optional<ItemOutcome> runItem(Item &item) const;
+    /**
+     * Parse + run + cross-check one item against the given model
+     * instances, charging `sweepTracker` (nullable) alongside the
+     * per-test budget; nullopt on cancellation or sweep-budget
+     * exhaustion (the item stays unrecorded and reruns on resume).
+     */
+    std::optional<ItemOutcome> runItem(Item &item, const Model &model,
+                                       const Model *crossCheck,
+                                       BudgetTracker *sweepTracker) const;
 
     /** Record one finished item (journal + outcome map). */
     static void record(const std::string &name, ItemOutcome outcome,
@@ -241,10 +299,16 @@ class BatchRunner
 
     void runInProcess(std::vector<Item *> &pending,
                       std::map<std::string, ItemOutcome> &outcomes,
-                      journal::Writer *writer, BatchReport &report);
+                      journal::Writer *writer, BatchReport &report,
+                      BudgetTracker *sweepTracker);
+    void runParallel(std::vector<Item *> &pending,
+                     std::map<std::string, ItemOutcome> &outcomes,
+                     journal::Writer *writer, BatchReport &report,
+                     BudgetTracker *sweepTracker);
     void runForked(std::vector<Item *> &pending,
                    std::map<std::string, ItemOutcome> &outcomes,
-                   journal::Writer *writer, BatchReport &report);
+                   journal::Writer *writer, BatchReport &report,
+                   BudgetTracker *sweepTracker);
 
     const Model &model_;
     BatchOptions opts_;

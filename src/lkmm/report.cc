@@ -1,0 +1,75 @@
+#include "lkmm/report.hh"
+
+#include "base/strutil.hh"
+#include "lkmm/sweep_journal.hh"
+
+namespace lkmm
+{
+
+json::Value
+toJson(const BatchReport &report)
+{
+    json::Object root;
+    root["tests"] =
+        json::Value(report.results.size() + report.failures.size());
+    root["complete"] = json::Value(report.completeCount());
+    root["truncated"] = json::Value(report.truncatedCount());
+    root["failed"] = json::Value(report.failures.size());
+    root["divergences"] = json::Value(report.divergences.size());
+    root["resumed"] = json::Value(report.resumedCount);
+    root["cancelled"] = json::Value(report.cancelled);
+    root["seed"] = json::Value(static_cast<std::int64_t>(report.seed));
+    if (report.sweepBound != BoundKind::None)
+        root["sweepBound"] =
+            json::Value(boundKindName(report.sweepBound));
+
+    json::Object stats;
+    stats["pathCombos"] = json::Value(report.stats.pathCombos);
+    stats["rfAssignments"] = json::Value(report.stats.rfAssignments);
+    stats["valuationRejects"] =
+        json::Value(report.stats.valuationRejects);
+    stats["candidates"] = json::Value(report.stats.candidates);
+    root["stats"] = json::Value(std::move(stats));
+
+    json::Array results;
+    for (const BatchItemResult &r : report.results)
+        results.push_back(toJson(r));
+    root["results"] = json::Value(std::move(results));
+
+    json::Array failures;
+    for (const TestFailure &f : report.failures)
+        failures.push_back(toJson(f));
+    root["failures"] = json::Value(std::move(failures));
+
+    json::Array divergences;
+    for (const Divergence &d : report.divergences)
+        divergences.push_back(toJson(d));
+    root["divergences_detail"] = json::Value(std::move(divergences));
+
+    return json::Value(std::move(root));
+}
+
+void
+printText(std::FILE *out, const BatchReport &report, bool quiet)
+{
+    std::fprintf(out, "seed %llu\n",
+                 static_cast<unsigned long long>(report.seed));
+    if (!quiet) {
+        for (const BatchItemResult &r : report.results) {
+            std::fprintf(out, "%-28s %-8s %s%s\n", r.name.c_str(),
+                         verdictName(r.result.verdict),
+                         completenessName(r.result.completeness),
+                         r.attempts > 1
+                             ? format(" (%d attempts)", r.attempts)
+                                   .c_str()
+                             : "");
+        }
+    }
+    for (const TestFailure &f : report.failures)
+        std::fprintf(out, "FAILED %s\n", f.toString().c_str());
+    for (const Divergence &d : report.divergences)
+        std::fprintf(out, "DIVERGED %s\n", d.toString().c_str());
+    std::fprintf(out, "%s\n", report.summary().c_str());
+}
+
+} // namespace lkmm

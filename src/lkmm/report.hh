@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The one serialization point for sweep reports.
+ *
+ * Every consumer of a BatchReport — lkmm-sweep's --summary json and
+ * text modes, the bench harness, tests asserting on sweep output —
+ * renders it through these two functions, so the report schema
+ * cannot fork between tools.  Per-record serialization (one result,
+ * one failure, one divergence) lives in lkmm/sweep_journal.hh and is
+ * reused here: the "results" array of the summary JSON carries
+ * exactly the journal's record schema.
+ */
+
+#ifndef LKMM_LKMM_REPORT_HH
+#define LKMM_LKMM_REPORT_HH
+
+#include <cstdio>
+
+#include "base/json.hh"
+#include "lkmm/batch.hh"
+
+namespace lkmm
+{
+
+/**
+ * The machine-readable sweep summary: counts, seed, merged
+ * enumerator stats, the sweep-budget bound if one fired, and the
+ * full per-test record arrays (journal schema).
+ */
+json::Value toJson(const BatchReport &report);
+
+/**
+ * The human-readable sweep summary: per-test verdict lines (unless
+ * quiet), FAILED/DIVERGED lines, and the one-line totals footer.
+ */
+void printText(std::FILE *out, const BatchReport &report, bool quiet);
+
+} // namespace lkmm
+
+#endif // LKMM_LKMM_REPORT_HH

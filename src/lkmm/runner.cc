@@ -3,15 +3,47 @@
 namespace lkmm
 {
 
+namespace
+{
+
+/**
+ * The one enumerate-and-filter loop.  `fast` restricts the work to
+ * what a bare verdict needs: only candidates whose condition value
+ * could be decisive are checked against the model, and enumeration
+ * stops at the first decisive one (witness for exists,
+ * counterexample for forall).  An early stop leaves the Enumerator's
+ * completeness at Complete — the evidence found is conclusive, the
+ * unexplored remainder cannot change it.
+ */
 RunResult
-runTest(const Program &prog, const Model &model, const RunBudget &budget)
+runCore(const Program &prog, const Model &model, const RunBudget &budget,
+        bool fast)
 {
     RunResult res;
+    const bool exists = prog.quantifier == Quantifier::Exists;
+    bool counterexample = false;
+
     Enumerator en(prog, budget);
     en.forEach([&](const CandidateExecution &ex) {
         ++res.candidates;
-        auto violation = model.check(ex);
         const bool cond = ex.satisfiesCondition();
+        if (fast) {
+            // Decisive candidates satisfy the condition for exists
+            // tests and violate it for forall tests; nothing else
+            // needs a model check.
+            if (cond != exists)
+                return true;
+            if (!model.allows(ex))
+                return true;
+            if (cond) {
+                ++res.witnesses;
+                res.witness = ex;
+            } else {
+                counterexample = true;
+            }
+            return false;
+        }
+        auto violation = model.check(ex);
         if (!violation) {
             ++res.allowedCandidates;
             res.allowedFinalStates.insert(ex.finalStateString());
@@ -19,6 +51,8 @@ runTest(const Program &prog, const Model &model, const RunBudget &budget)
                 ++res.witnesses;
                 if (!res.witness)
                     res.witness = ex;
+            } else {
+                counterexample = true;
             }
         } else if (cond && !res.sampleViolation) {
             res.sampleViolation = *violation;
@@ -28,8 +62,9 @@ runTest(const Program &prog, const Model &model, const RunBudget &budget)
     });
     res.completeness = en.completeness();
     res.trippedBound = en.trippedBound();
+    res.stats = en.stats();
 
-    if (prog.quantifier == Quantifier::Exists) {
+    if (exists) {
         if (res.witnesses > 0) {
             // A witness proves Allow even when the run truncated.
             res.verdict = Verdict::Allow;
@@ -40,7 +75,7 @@ runTest(const Program &prog, const Model &model, const RunBudget &budget)
     } else {
         // forall: Allow when every allowed candidate satisfies the
         // condition; a counterexample proves Forbid even truncated.
-        if (res.witnesses < res.allowedCandidates)
+        if (counterexample)
             res.verdict = Verdict::Forbid;
         else
             res.verdict = res.truncated() ? Verdict::Unknown
@@ -49,23 +84,19 @@ runTest(const Program &prog, const Model &model, const RunBudget &budget)
     return res;
 }
 
+} // namespace
+
+RunResult
+runTest(const Program &prog, const Model &model, const RunBudget &budget)
+{
+    return runCore(prog, model, budget, /*fast=*/false);
+}
+
 Verdict
 quickVerdict(const Program &prog, const Model &model,
              const RunBudget &budget)
 {
-    bool found = false;
-    Enumerator en(prog, budget);
-    en.forEach([&](const CandidateExecution &ex) {
-        if (ex.satisfiesCondition() && model.allows(ex)) {
-            found = true;
-            return false;
-        }
-        return true;
-    });
-    if (found)
-        return Verdict::Allow;
-    return en.completeness() == Completeness::Truncated
-        ? Verdict::Unknown : Verdict::Forbid;
+    return runCore(prog, model, budget, /*fast=*/true).verdict;
 }
 
 } // namespace lkmm

@@ -76,6 +76,13 @@ struct RunResult
     /** The budget bound that truncated the run (None if complete). */
     BoundKind trippedBound = BoundKind::None;
 
+    /**
+     * Enumerator-side counters for this run (path combos, rf
+     * assignments, valuation rejects, raw candidates).  Parallel
+     * sweeps merge these across workers into the batch report.
+     */
+    Enumerator::Stats stats;
+
     bool
     truncated() const
     {
@@ -98,9 +105,13 @@ RunResult runTest(const Program &prog, const Model &model,
                   const RunBudget &budget = RunBudget::unlimited());
 
 /**
- * Fast verdict: stops at the first witness.  Used by the soundness
- * sweeps in bench/ where only Allow/Forbid matters.  Under a budget
- * the same degradation as runTest applies.
+ * Fast verdict: stops at the first decisive candidate — the first
+ * witness for an exists test, the first counterexample for a forall
+ * test.  Used by the soundness sweeps in bench/ and the fuzz oracles
+ * where only Allow/Forbid matters.  Under a budget the same
+ * degradation as runTest applies.  This is the `fast` mode of the
+ * same core loop runTest uses; there is exactly one
+ * enumerate-and-filter implementation in the tree.
  */
 Verdict quickVerdict(const Program &prog, const Model &model,
                      const RunBudget &budget = RunBudget::unlimited());

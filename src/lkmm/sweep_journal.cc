@@ -32,7 +32,7 @@ boundFromName(const std::string &name)
     for (BoundKind k :
          {BoundKind::None, BoundKind::WallClock, BoundKind::Candidates,
           BoundKind::RfAssignments, BoundKind::EvalSteps,
-          BoundKind::Cancelled}) {
+          BoundKind::Cancelled, BoundKind::SweepBudget}) {
         if (name == boundKindName(k))
             return k;
     }
@@ -88,6 +88,10 @@ toJson(const BatchItemResult &result)
     o["completeness"] =
         json::Value(completenessName(result.result.completeness));
     o["bound"] = json::Value(boundKindName(result.result.trippedBound));
+    o["pathCombos"] = json::Value(result.result.stats.pathCombos);
+    o["rfAssignments"] = json::Value(result.result.stats.rfAssignments);
+    o["valuationRejects"] =
+        json::Value(result.result.stats.valuationRejects);
     json::Array states;
     for (const std::string &s : result.result.allowedFinalStates)
         states.push_back(json::Value(s));
@@ -166,6 +170,15 @@ decodeRecord(const json::Value &record,
                 : Completeness::Complete;
         res.result.trippedBound =
             boundFromName(record.getString("bound", "none"));
+        // Stats fields are additive (journals from before them
+        // decode with zeros).
+        res.result.stats.pathCombos =
+            static_cast<std::size_t>(record.getInt("pathCombos", 0));
+        res.result.stats.rfAssignments =
+            static_cast<std::size_t>(record.getInt("rfAssignments", 0));
+        res.result.stats.valuationRejects = static_cast<std::size_t>(
+            record.getInt("valuationRejects", 0));
+        res.result.stats.candidates = res.result.candidates;
         if (const json::Value *states = record.get("finalStates")) {
             for (const json::Value &s : states->asArray())
                 res.result.allowedFinalStates.insert(s.asString());

@@ -13,6 +13,7 @@
 #ifndef LKMM_MODEL_MODEL_HH
 #define LKMM_MODEL_MODEL_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -60,6 +61,15 @@ class Model
         return !check(ex).has_value();
     }
 };
+
+/**
+ * Builds a fresh instance of one model; invocable repeatedly.
+ *
+ * Factories are how the parallel verification engine gives every
+ * worker its own Model instance (no shared mutable state); the
+ * ModelRegistry (model/registry.hh) maps names to factories.
+ */
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
 
 /**
  * Check an acyclicity axiom, producing a witness on failure.

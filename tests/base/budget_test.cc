@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "base/budget.hh"
 #include "base/faultinject.hh"
@@ -171,8 +174,142 @@ TEST(BudgetTracker, NamesAreStable)
 {
     EXPECT_STREQ(boundKindName(BoundKind::WallClock), "wall-clock");
     EXPECT_STREQ(boundKindName(BoundKind::Candidates), "candidates");
+    EXPECT_STREQ(boundKindName(BoundKind::SweepBudget), "sweep-budget");
     EXPECT_STREQ(completenessName(Completeness::Complete), "complete");
     EXPECT_STREQ(completenessName(Completeness::Truncated), "truncated");
+}
+
+// Thread safety: the contracts the parallel sweep engine rests on. --
+
+TEST(BudgetTracker, ConcurrentCapGrantsExactlyN)
+{
+    // A cap of N hands out exactly N units no matter how many
+    // threads contend: fetch_add gives each caller a distinct
+    // pre-increment value, so exactly N of them land below the cap.
+    constexpr std::size_t kCap = 1000;
+    constexpr int kThreads = 8;
+    RunBudget b;
+    b.maxCandidates = kCap;
+    BudgetTracker t(b);
+
+    std::atomic<std::size_t> granted{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            for (std::size_t k = 0; k < kCap; ++k) {
+                if (t.onCandidate())
+                    granted.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(granted.load(), kCap);
+    EXPECT_EQ(t.bound(), BoundKind::Candidates);
+}
+
+TEST(BudgetTracker, FirstBoundTrippedWinsAndLatches)
+{
+    RunBudget b;
+    b.maxCandidates = 1;
+    b.maxRfAssignments = 1;
+    BudgetTracker t(b);
+    EXPECT_TRUE(t.onCandidate());
+    EXPECT_FALSE(t.onCandidate());
+    EXPECT_EQ(t.bound(), BoundKind::Candidates);
+    // A later trip of a different kind loses the race: the latched
+    // bound never changes once set.
+    EXPECT_FALSE(t.onRfAssignment());
+    EXPECT_EQ(t.bound(), BoundKind::Candidates);
+}
+
+TEST(BudgetTracker, SharedTrackerLatchesSweepBudget)
+{
+    // A per-test budget pointing at a sweep-wide tracker: when the
+    // *shared* tracker's cap fires, the local tracker reports
+    // SweepBudget — "the sweep stopped me", not "my budget fired" —
+    // while the shared one records which bound actually tripped.
+    RunBudget sweepBudget;
+    sweepBudget.maxCandidates = 5;
+    BudgetTracker sweep(sweepBudget);
+
+    RunBudget local;
+    local.shared = &sweep;
+    BudgetTracker t(local);
+
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(t.onCandidate());
+    EXPECT_FALSE(t.onCandidate());
+    EXPECT_EQ(t.bound(), BoundKind::SweepBudget);
+    EXPECT_EQ(sweep.bound(), BoundKind::Candidates);
+}
+
+TEST(BudgetTracker, SharedCapSplitsExactlyAcrossWorkers)
+{
+    // N workers with unlimited per-test budgets all charging one
+    // sweep tracker: the sweep cap still grants exactly N units in
+    // total, and every worker ends up latched on SweepBudget.
+    constexpr std::size_t kCap = 400;
+    constexpr int kThreads = 4;
+    RunBudget sweepBudget;
+    sweepBudget.maxRfAssignments = kCap;
+    BudgetTracker sweep(sweepBudget);
+
+    std::atomic<std::size_t> granted{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            RunBudget local;
+            local.shared = &sweep;
+            BudgetTracker t(local);
+            bool denied = false;
+            for (std::size_t k = 0; k < kCap; ++k) {
+                if (t.onRfAssignment())
+                    granted.fetch_add(1);
+                else
+                    denied = true;
+            }
+            // A worker the sweep refused latches SweepBudget; a
+            // worker whose every charge landed below the cap (e.g.
+            // it ran first on a one-core box) stays clean.
+            EXPECT_EQ(t.bound(), denied ? BoundKind::SweepBudget
+                                        : BoundKind::None);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(granted.load(), kCap);
+    EXPECT_EQ(sweep.bound(), BoundKind::RfAssignments);
+}
+
+TEST(BudgetTracker, ChargeBulkSettlesAgainstCaps)
+{
+    RunBudget b;
+    b.maxCandidates = 100;
+    BudgetTracker t(b);
+    // Bulk charges model a forked child's whole run settled at once.
+    EXPECT_TRUE(t.chargeBulk(60, 1000)); // rf unlimited here
+    EXPECT_TRUE(t.chargeBulk(40, 0));    // exactly at the cap
+    EXPECT_FALSE(t.chargeBulk(1, 0));    // cap already consumed
+    EXPECT_EQ(t.bound(), BoundKind::Candidates);
+}
+
+TEST(BudgetTracker, SharedExhaustionPropagatesThroughCheckNow)
+{
+    RunBudget sweepBudget;
+    sweepBudget.maxCandidates = 1;
+    BudgetTracker sweep(sweepBudget);
+    EXPECT_TRUE(sweep.onCandidate());
+    EXPECT_FALSE(sweep.onCandidate());
+
+    RunBudget local;
+    local.shared = &sweep;
+    BudgetTracker t(local);
+    // Even the cold-path poll must notice the sweep is spent.
+    EXPECT_FALSE(t.checkNow());
+    EXPECT_EQ(t.bound(), BoundKind::SweepBudget);
 }
 
 // Status taxonomy ----------------------------------------------------

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ThreadPool / parallelIndexed: the ordering and error-determinism
+ * contracts the parallel verification engine is built on.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "base/scheduler.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+TEST(ThreadPool, RunsPostedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.post([&] { ran.fetch_add(1); });
+    // The destructor drains the queue before joining, so by the end
+    // of this scope every task has run.
+    {
+        ThreadPool inner(2);
+        for (int i = 0; i < 50; ++i)
+            inner.post([&] { ran.fetch_add(1); });
+    }
+    while (ran.load() < 150)
+        std::this_thread::yield();
+    EXPECT_EQ(ran.load(), 150);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<bool> ran{false};
+    pool.post([&] { ran.store(true); });
+    while (!ran.load())
+        std::this_thread::yield();
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ParallelIndexed, ResultsInSubmissionOrder)
+{
+    ThreadPool pool(8);
+    // Make early indices slow so completion order differs from
+    // submission order; the result vector must not care.
+    auto results = parallelIndexed(pool, 64, [](std::size_t i) {
+        if (i < 8) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        return i * i;
+    });
+    ASSERT_EQ(results.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelIndexed, ZeroTasksReturnsEmpty)
+{
+    ThreadPool pool(2);
+    auto results =
+        parallelIndexed(pool, 0, [](std::size_t i) { return i; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelIndexed, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::mutex mu;
+    std::set<std::size_t> seen;
+    parallelIndexed(pool, 200, [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(i).second);
+        return 0;
+    });
+    EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(ParallelIndexed, RethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    // Indices 3 and 7 both throw; the lowest one must win no matter
+    // which worker finishes first, and the non-throwing tasks must
+    // all still have run (no cancellation is implied).
+    std::atomic<int> ran{0};
+    try {
+        parallelIndexed(pool, 16, [&](std::size_t i) -> int {
+            ran.fetch_add(1);
+            if (i == 7)
+                throw std::runtime_error("seven");
+            if (i == 3)
+                throw std::runtime_error("three");
+            return 0;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "three");
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelIndexed, MoreTasksThanThreads)
+{
+    ThreadPool pool(2);
+    auto results = parallelIndexed(
+        pool, 1000, [](std::size_t i) { return i + 1; });
+    ASSERT_EQ(results.size(), 1000u);
+    EXPECT_EQ(results.back(), 1000u);
+}
+
+} // namespace
+} // namespace lkmm

@@ -96,6 +96,57 @@ TEST(Campaign, SameSeedSameBuckets)
               second.triage.totalFindings());
 }
 
+TEST(Campaign, ParallelCampaignMatchesSequential)
+{
+    // The parallel evaluation path (FuzzOptions::jobs) must be an
+    // implementation detail: same seed, same iteration count, same
+    // buckets, same finding totals as the sequential campaign, and
+    // findings recorded at the same iterations.
+    FuzzOptions seq = ablatedOpts(20);
+    seq.jobs = 1;
+    const FuzzReport sequential = runFuzz(seq);
+    ASSERT_GE(sequential.triage.buckets().size(), 1u);
+
+    FuzzOptions par = ablatedOpts(20);
+    par.jobs = 2;
+    const FuzzReport parallel = runFuzz(par);
+
+    EXPECT_EQ(parallel.iters, sequential.iters);
+    EXPECT_EQ(signaturesOf(parallel), signaturesOf(sequential));
+    EXPECT_EQ(parallel.triage.totalFindings(),
+              sequential.triage.totalFindings());
+    for (const auto &[sig, bucket] : sequential.triage.buckets()) {
+        const auto it = parallel.triage.buckets().find(sig);
+        ASSERT_NE(it, parallel.triage.buckets().end()) << sig;
+        // Representative = first finding in iteration order; the
+        // in-order drain makes this identical under concurrency.
+        EXPECT_EQ(it->second.representative.iter,
+                  bucket.representative.iter)
+            << sig;
+        EXPECT_EQ(it->second.count, bucket.count) << sig;
+    }
+}
+
+TEST(Campaign, ParallelJournalResumesLikeSequential)
+{
+    const std::string journal = tempPath("parjobs") + ".jsonl";
+    fs::remove(journal);
+
+    FuzzOptions opts = ablatedOpts(8);
+    opts.jobs = 2;
+    opts.journalPath = journal;
+    const FuzzReport first = runFuzz(opts);
+    ASSERT_EQ(first.iters, 8u);
+
+    const RecoveredCampaign rec = recoverCampaign(journal);
+    EXPECT_TRUE(rec.hasMeta);
+    EXPECT_EQ(rec.nextIter, 8u);
+    EXPECT_EQ(rec.findings.size(), first.triage.totalFindings());
+    EXPECT_FALSE(rec.droppedTail);
+
+    fs::remove(journal);
+}
+
 TEST(Campaign, CleanModelFindsNothing)
 {
     FuzzOptions opts;

@@ -15,6 +15,7 @@
  * buckets are non-empty), 3 cancelled (Ctrl-C).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,11 +24,12 @@
 #include <signal.h>
 
 #include "base/budget.hh"
-#include "base/json.hh"
+#include "base/scheduler.hh"
 #include "base/status.hh"
 #include "fuzz/campaign.hh"
 #include "fuzz/mutator.hh"
 #include "fuzz/oracle.hh"
+#include "fuzz/report.hh"
 #include "fuzz/triage.hh"
 #include "litmus/parser.hh"
 
@@ -87,6 +89,11 @@ usage()
         "sandbox/budgets:\n"
         "  --no-isolate        evaluate oracles in-process (faster,\n"
         "                      but a crash kills the campaign)\n"
+        "  --jobs N            evaluate N candidates concurrently\n"
+        "                      (0 = all hardware threads); implies\n"
+        "                      --no-isolate, since forking from pool\n"
+        "                      threads is unsafe.  Findings and the\n"
+        "                      journal stay in iteration order\n"
         "  --task-deadline-ms N  per-side watchdog deadline\n"
         "                      (default 10000)\n"
         "  --max-candidates N  per-side candidate cap\n"
@@ -96,65 +103,6 @@ usage()
         "  --summary FORMAT    text (default) or json\n"
         "  --quiet             no per-finding progress lines\n");
     return 1;
-}
-
-lkmm::json::Value
-bucketJson(const lkmm::fuzz::Bucket &b)
-{
-    using lkmm::json::Object;
-    Object o;
-    o["signature"] = b.signature;
-    o["count"] = static_cast<std::int64_t>(b.count);
-    o["test"] = b.representative.test;
-    o["iter"] = static_cast<std::int64_t>(b.representative.iter);
-    o["minimized"] = b.representative.minimized;
-    return o;
-}
-
-lkmm::json::Value
-reportJson(const lkmm::fuzz::FuzzReport &report)
-{
-    using lkmm::json::Array;
-    using lkmm::json::Object;
-    Object root;
-    root["seed"] = static_cast<std::int64_t>(report.seed);
-    root["iters"] = static_cast<std::int64_t>(report.iters);
-    root["resumedFrom"] =
-        static_cast<std::int64_t>(report.startIter);
-    root["findings"] =
-        static_cast<std::int64_t>(report.triage.totalFindings());
-    root["buckets"] =
-        static_cast<std::int64_t>(report.triage.buckets().size());
-    root["cancelled"] = report.cancelled;
-    root["timedOut"] = report.timedOut;
-    Array buckets;
-    for (const auto &[sig, bucket] : report.triage.buckets())
-        buckets.push_back(bucketJson(bucket));
-    root["buckets_detail"] = std::move(buckets);
-    return lkmm::json::Value(std::move(root));
-}
-
-void
-printTextReport(const lkmm::fuzz::FuzzReport &report)
-{
-    std::printf("seed %llu\n",
-                static_cast<unsigned long long>(report.seed));
-    for (const auto &[sig, bucket] : report.triage.buckets()) {
-        std::printf("BUCKET %-50s x%llu (first: %s @ iter %llu)\n",
-                    sig.c_str(),
-                    static_cast<unsigned long long>(bucket.count),
-                    bucket.representative.test.c_str(),
-                    static_cast<unsigned long long>(
-                        bucket.representative.iter));
-    }
-    std::printf("fuzz: %llu iterations, %llu findings in %zu "
-                "buckets%s%s\n",
-                static_cast<unsigned long long>(report.iters),
-                static_cast<unsigned long long>(
-                    report.triage.totalFindings()),
-                report.triage.buckets().size(),
-                report.timedOut ? " (time budget reached)" : "",
-                report.cancelled ? " (cancelled)" : "");
 }
 
 /** --replay: run the oracles once on one litmus file. */
@@ -225,7 +173,13 @@ main(int argc, char **argv)
                 opts.minimize = false;
             else if (arg == "--no-isolate")
                 opts.oracle.isolate = false;
-            else if (arg == "--task-deadline-ms")
+            else if (arg == "--jobs") {
+                opts.jobs = std::stoi(next());
+                if (opts.jobs <= 0) {
+                    opts.jobs = static_cast<int>(
+                        ThreadPool::hardwareThreads());
+                }
+            } else if (arg == "--task-deadline-ms")
                 opts.oracle.limits.deadline =
                     std::chrono::milliseconds(std::stoll(next()));
             else if (arg == "--max-candidates")
@@ -267,11 +221,14 @@ main(int argc, char **argv)
             // requested values; the post-run report has the truth.
             std::fprintf(
                 stderr,
-                "lkmm-fuzz: seed %llu, %llu iters, oracles %s, %s%s\n",
+                "lkmm-fuzz: seed %llu, %llu iters, oracles %s, "
+                "%s (%d jobs)%s\n",
                 static_cast<unsigned long long>(opts.seed),
                 static_cast<unsigned long long>(opts.maxIters),
                 opts.oracles.c_str(),
-                opts.oracle.isolate ? "sandboxed" : "in-process",
+                opts.oracle.isolate && opts.jobs <= 1 ? "sandboxed"
+                                                      : "in-process",
+                std::max(1, opts.jobs),
                 opts.resume ? " (resuming: journal settings win)"
                             : "");
             opts.onFinding = [](const fuzz::FuzzFinding &f) {
@@ -284,9 +241,10 @@ main(int argc, char **argv)
         const fuzz::FuzzReport report = fuzz::runFuzz(opts);
 
         if (summaryFormat == "json")
-            std::printf("%s\n", reportJson(report).pretty().c_str());
+            std::printf("%s\n",
+                        fuzz::toJson(report).pretty().c_str());
         else
-            printTextReport(report);
+            fuzz::printText(stdout, report);
 
         if (report.cancelled) {
             std::fprintf(stderr,

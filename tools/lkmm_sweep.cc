@@ -36,20 +36,12 @@
 #include <signal.h>
 
 #include "base/budget.hh"
-#include "base/json.hh"
+#include "base/scheduler.hh"
 #include "base/status.hh"
-#include "base/strutil.hh"
-#include "cat/eval.hh"
 #include "lkmm/batch.hh"
 #include "lkmm/catalog.hh"
-#include "lkmm/sweep_journal.hh"
-#include "model/alpha_model.hh"
-#include "model/armv8_model.hh"
-#include "model/c11_model.hh"
-#include "model/lkmm_model.hh"
-#include "model/power_model.hh"
-#include "model/sc_model.hh"
-#include "model/tso_model.hh"
+#include "lkmm/report.hh"
+#include "model/registry.hh"
 
 namespace
 {
@@ -82,29 +74,6 @@ installSignalHandlers()
     sigaction(SIGTERM, &sa, nullptr);
 }
 
-std::unique_ptr<lkmm::Model>
-makeModel(const std::string &name)
-{
-    using namespace lkmm;
-    if (name == "lkmm")
-        return std::make_unique<LkmmModel>();
-    if (name == "sc")
-        return std::make_unique<ScModel>();
-    if (name == "tso" || name == "x86")
-        return std::make_unique<TsoModel>();
-    if (name == "power")
-        return std::make_unique<PowerModel>();
-    if (name == "armv7")
-        return std::make_unique<PowerModel>(PowerModel::Flavor::Armv7);
-    if (name == "armv8")
-        return std::make_unique<Armv8Model>();
-    if (name == "alpha")
-        return std::make_unique<AlphaModel>();
-    if (name == "c11")
-        return std::make_unique<C11Model>();
-    return nullptr;
-}
-
 int
 usage()
 {
@@ -118,15 +87,22 @@ usage()
         "  --catalog           queue the built-in Table 5 catalog\n"
         "\n"
         "model:\n"
-        "  --model NAME        lkmm (default), sc, tso/x86, power,\n"
-        "                      armv7, armv8, alpha, c11\n"
-        "  --cat FILE          use a cat model file instead\n"
+        "  --model NAME        a registry model (see --list-models;\n"
+        "                      default lkmm), or cat:FILE / a path\n"
+        "                      ending in .cat for a cat model file\n"
+        "  --cat FILE          shorthand for --model cat:FILE\n"
         "  --cross-check NAME  re-run completed tests under a second\n"
         "                      model; disagreements become records\n"
+        "  --list-models       print the model registry and exit\n"
         "\n"
-        "robustness:\n"
-        "  --isolation MODE    in-process (default) or forked\n"
-        "  --jobs N            concurrent children in forked mode\n"
+        "robustness/parallelism:\n"
+        "  --isolation MODE    in-process (default), forked, or\n"
+        "                      inproc-parallel (checks --jobs tests\n"
+        "                      concurrently on a thread pool; report\n"
+        "                      is verdict-identical to in-process)\n"
+        "  --jobs N            concurrent children (forked) or\n"
+        "                      worker threads (inproc-parallel);\n"
+        "                      0 = all hardware threads\n"
         "  --task-deadline-ms N  per-child watchdog deadline\n"
         "  --task-cpu-s N      per-child RLIMIT_CPU seconds\n"
         "  --task-mem-mb N     per-child RLIMIT_AS megabytes\n"
@@ -140,6 +116,9 @@ usage()
         "  --max-rf N          per-test rf-assignment cap\n"
         "  --retries N         escalating-budget retries\n"
         "  --escalation F      budget scale per retry (default 8)\n"
+        "  --sweep-time-limit-ms N  whole-sweep wall-clock budget,\n"
+        "                      shared by every worker\n"
+        "  --sweep-max-candidates N  whole-sweep candidate cap\n"
         "\n"
         "reproducibility:\n"
         "  --seed N            campaign seed (default 1); recorded in\n"
@@ -189,65 +168,6 @@ slurp(const std::filesystem::path &path)
                        std::istreambuf_iterator<char>());
 }
 
-lkmm::json::Value
-summaryJson(const lkmm::BatchReport &report)
-{
-    using lkmm::json::Array;
-    using lkmm::json::Object;
-    using lkmm::json::Value;
-
-    Object root;
-    root["tests"] = Value(report.results.size() + report.failures.size());
-    root["complete"] = Value(report.completeCount());
-    root["truncated"] = Value(report.truncatedCount());
-    root["failed"] = Value(report.failures.size());
-    root["divergences"] = Value(report.divergences.size());
-    root["resumed"] = Value(report.resumedCount);
-    root["cancelled"] = Value(report.cancelled);
-    root["seed"] = Value(static_cast<std::int64_t>(report.seed));
-
-    Array results;
-    for (const lkmm::BatchItemResult &r : report.results)
-        results.push_back(lkmm::toJson(r));
-    root["results"] = Value(std::move(results));
-
-    Array failures;
-    for (const lkmm::TestFailure &f : report.failures)
-        failures.push_back(lkmm::toJson(f));
-    root["failures"] = Value(std::move(failures));
-
-    Array divergences;
-    for (const lkmm::Divergence &d : report.divergences)
-        divergences.push_back(lkmm::toJson(d));
-    root["divergences_detail"] = Value(std::move(divergences));
-
-    return Value(std::move(root));
-}
-
-void
-printTextSummary(std::FILE *out, const lkmm::BatchReport &report,
-                 bool quiet)
-{
-    std::fprintf(out, "seed %llu\n",
-                 static_cast<unsigned long long>(report.seed));
-    if (!quiet) {
-        for (const lkmm::BatchItemResult &r : report.results) {
-            std::fprintf(out, "%-28s %-8s %s%s\n", r.name.c_str(),
-                         lkmm::verdictName(r.result.verdict),
-                         lkmm::completenessName(r.result.completeness),
-                         r.attempts > 1
-                             ? lkmm::format(" (%d attempts)", r.attempts)
-                                   .c_str()
-                             : "");
-        }
-    }
-    for (const lkmm::TestFailure &f : report.failures)
-        std::fprintf(out, "FAILED %s\n", f.toString().c_str());
-    for (const lkmm::Divergence &d : report.divergences)
-        std::fprintf(out, "DIVERGED %s\n", d.toString().c_str());
-    std::fprintf(out, "%s\n", report.summary().c_str());
-}
-
 } // namespace
 
 int
@@ -280,7 +200,11 @@ main(int argc, char **argv)
                 catFile = next();
             else if (arg == "--cross-check")
                 crossCheckName = next();
-            else if (arg == "--catalog")
+            else if (arg == "--list-models") {
+                std::printf("%s",
+                            ModelRegistry::instance().helpText().c_str());
+                return 0;
+            } else if (arg == "--catalog")
                 useCatalog = true;
             else if (arg == "--isolation") {
                 const std::string mode = next();
@@ -288,10 +212,22 @@ main(int argc, char **argv)
                     opts.isolation = IsolationMode::Forked;
                 else if (mode == "in-process" || mode == "inprocess")
                     opts.isolation = IsolationMode::InProcess;
+                else if (mode == "inproc-parallel" ||
+                         mode == "in-process-parallel")
+                    opts.isolation = IsolationMode::InProcessParallel;
                 else
                     return usage();
-            } else if (arg == "--jobs")
+            } else if (arg == "--jobs") {
                 opts.workers = std::stoi(next());
+                if (opts.workers <= 0) {
+                    opts.workers = static_cast<int>(
+                        ThreadPool::hardwareThreads());
+                }
+            } else if (arg == "--sweep-time-limit-ms")
+                opts.sweepBudget.wallClock =
+                    std::chrono::milliseconds(std::stoll(next()));
+            else if (arg == "--sweep-max-candidates")
+                opts.sweepBudget.maxCandidates = std::stoull(next());
             else if (arg == "--task-deadline-ms")
                 opts.taskDeadline =
                     std::chrono::milliseconds(std::stoll(next()));
@@ -346,28 +282,20 @@ main(int argc, char **argv)
     }
 
     try {
-        std::unique_ptr<Model> model;
-        if (!catFile.empty()) {
-            model = std::make_unique<CatModel>(
-                CatModel::fromFile(catFile));
-        } else {
-            model = makeModel(modelName);
-            if (!model) {
-                std::fprintf(stderr, "lkmm-sweep: unknown model '%s'\n",
-                             modelName.c_str());
-                return 1;
-            }
-        }
+        // One resolution path for every spelling: registry names,
+        // aliases, cat:FILE and bare .cat paths.  The factory also
+        // goes into the batch options so inproc-parallel workers
+        // each construct their own instance.
+        const ModelRegistry &registry = ModelRegistry::instance();
+        const std::string modelSpec =
+            catFile.empty() ? modelName : "cat:" + catFile;
+        opts.modelFactory = registry.factoryFor(modelSpec);
+        std::unique_ptr<Model> model = opts.modelFactory();
+
         std::unique_ptr<Model> crossCheck;
         if (!crossCheckName.empty()) {
-            crossCheck = makeModel(crossCheckName);
-            if (!crossCheck) {
-                std::fprintf(stderr,
-                             "lkmm-sweep: unknown cross-check model "
-                             "'%s'\n",
-                             crossCheckName.c_str());
-                return 1;
-            }
+            opts.crossCheckFactory = registry.factoryFor(crossCheckName);
+            crossCheck = opts.crossCheckFactory();
             opts.crossCheck = crossCheck.get();
         }
 
@@ -392,13 +320,17 @@ main(int argc, char **argv)
             return 1;
         }
         if (!quiet) {
+            const char *mode =
+                opts.isolation == IsolationMode::Forked
+                    ? "forked"
+                    : opts.isolation == IsolationMode::InProcessParallel
+                          ? "inproc-parallel"
+                          : "in-process";
             std::fprintf(stderr,
-                         "lkmm-sweep: %zu tests, model %s, %s mode, "
-                         "seed %llu%s\n",
-                         runner.size(), model->name().c_str(),
-                         opts.isolation == IsolationMode::Forked
-                             ? "forked"
-                             : "in-process",
+                         "lkmm-sweep: %zu tests, model %s, %s mode "
+                         "(%d jobs), seed %llu%s\n",
+                         runner.size(), model->name().c_str(), mode,
+                         std::max(1, opts.workers),
                          static_cast<unsigned long long>(opts.seed),
                          opts.journalPath.empty()
                              ? ""
@@ -417,9 +349,9 @@ main(int argc, char **argv)
             }
         }
         if (summaryFormat == "json")
-            std::fprintf(out, "%s\n", summaryJson(report).pretty().c_str());
+            std::fprintf(out, "%s\n", toJson(report).pretty().c_str());
         else
-            printTextSummary(out, report, quiet);
+            printText(out, report, quiet);
         if (out != stdout)
             std::fclose(out);
 
@@ -427,6 +359,13 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "lkmm-sweep: cancelled; rerun with --resume "
                          "to finish\n");
+            return 3;
+        }
+        if (report.sweepBound != BoundKind::None) {
+            std::fprintf(stderr,
+                         "lkmm-sweep: sweep budget exhausted (%s); "
+                         "rerun with --resume to finish\n",
+                         boundKindName(report.sweepBound));
             return 3;
         }
         return report.failures.empty() && report.divergences.empty() ? 0
