@@ -73,6 +73,34 @@ BM_EnumerateCandidates(benchmark::State &state)
 }
 BENCHMARK(BM_EnumerateCandidates);
 
+/**
+ * Candidate throughput over the whole paper catalog, with the
+ * incremental engine (arg 1) vs the brute-force reference (arg 0).
+ * items_per_second is candidates/sec; CI records both into
+ * BENCH_enumerate.json and gates pruned >= 1.5x brute-force.
+ */
+void
+BM_EnumerateCatalog(benchmark::State &state)
+{
+    EnumerateOptions opts;
+    opts.prune = state.range(0) != 0;
+    std::vector<CatalogEntry> entries = table5();
+    std::size_t candidates = 0;
+    for (auto _ : state) {
+        for (const CatalogEntry &entry : entries) {
+            Enumerator en(entry.prog, opts);
+            en.forEach([](const CandidateExecution &) { return true; });
+            candidates += en.stats().candidates;
+        }
+    }
+    benchmark::DoNotOptimize(candidates);
+    state.SetItemsProcessed(static_cast<std::int64_t>(candidates));
+}
+BENCHMARK(BM_EnumerateCatalog)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_LkmmCheck(benchmark::State &state)
 {

@@ -17,6 +17,7 @@
 #define LKMM_CAT_EVAL_HH
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "cat/ast.hh"
@@ -103,6 +104,23 @@ class CatModel : public Model
     std::string name_;
     cat::CatFile file_;
     std::size_t maxEvalSteps_ = 0;
+
+    /**
+     * Derived-relation memo across consecutive check() calls.
+     *
+     * Top-level let bindings are classified by the builtins they
+     * transitively reference: Static (po/deps/sets only), Rf
+     * (additionally rf/loc) or Co (co/fr — never memoized).  The
+     * enumerator delivers candidates grouped by path combo and,
+     * within a combo, by rf assignment, so Static values repeat
+     * across a whole combo and Rf values across each rf's co block;
+     * the memo replays them instead of re-evaluating the let bodies.
+     * Hits are validated by directly comparing the underlying
+     * relations (never hashes: a collision would silently change a
+     * verdict).  Mutex-guarded; shared by copies of the model.
+     */
+    struct Memo;
+    std::shared_ptr<Memo> memo_;
 };
 
 } // namespace lkmm

@@ -278,21 +278,126 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
     return val;
 }
 
-/** Build the abstract-execution relations for a layout + valuation. */
+/**
+ * Is a partial rf assignment (sources chosen for the first
+ * `numAssigned` reads, in readIds order) still completable?
+ *
+ * Runs the same monotone fixpoint as valuate() with the unassigned
+ * reads left unknown.  Every value/location it derives is forced in
+ * *every* completion of the prefix (Expr::eval is strict — unknown
+ * inputs yield unknown, never a guess — and event values are
+ * single-assignment), so any violation found here is a violation of
+ * all completions and the whole subtree can be skipped.  Crucially
+ * the out-of-thin-air-zero rule is NOT applied: it resolves values
+ * that are merely unknown-so-far, which a completion may pin
+ * differently.  Only three forced violations are detected:
+ *
+ *  - a Check item (branch outcome / spinlock read requirement)
+ *    whose value is known and wrong;
+ *  - an address that is known and is not a valid location;
+ *  - a read and its chosen rf source whose resolved locations are
+ *    both known and differ.
+ *
+ * Returns true when no forced violation exists (the prefix may still
+ * fail the full valuation once completed).
+ */
+bool
+partialFeasible(const Layout &lay, const std::vector<EventId> &rfSrc,
+                std::size_t numAssigned)
+{
+    const std::size_t n = lay.events.size();
+    std::vector<LocId> loc(n, -1);
+    std::vector<std::optional<Value>> ev_value(n);
+
+    std::vector<EventId> rf_of(n, NO_EVENT);
+    for (std::size_t i = 0; i < numAssigned; ++i)
+        rf_of[lay.readIds[i]] = rfSrc[i];
+
+    for (const Event &e : lay.events) {
+        if (e.isInit) {
+            loc[e.id] = e.loc;
+            ev_value[e.id] = e.value;
+        }
+    }
+
+    const int max_locs = lay.prog->numLocs();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t t = 0; t < lay.paths.size(); ++t) {
+            const ThreadPath &path = *lay.paths[t];
+            std::vector<std::optional<Value>> env(path.numRegs);
+            for (std::size_t i = 0; i < path.items.size(); ++i) {
+                const PathItem &item = path.items[i];
+                switch (item.kind) {
+                  case PathItem::Kind::Let:
+                    env[item.dest] = item.value.eval(env);
+                    break;
+                  case PathItem::Kind::Check: {
+                    auto v = item.value.eval(env);
+                    if (v && (*v != 0) != item.expectTrue)
+                        return false;
+                    break;
+                  }
+                  case PathItem::Kind::Event: {
+                    const EventId e = lay.eventOf[t][i];
+                    const Event &ev = lay.events[e];
+                    if (ev.kind == EvKind::Fence)
+                        break;
+                    auto addr_v = item.addr.eval(env);
+                    if (addr_v) {
+                        if (!isLocHandle(*addr_v))
+                            return false;
+                        LocId l = valueToLoc(*addr_v);
+                        if (l < 0 || l >= max_locs)
+                            return false;
+                        if (loc[e] == -1) {
+                            loc[e] = l;
+                            changed = true;
+                        }
+                    }
+                    if (ev.kind == EvKind::Read) {
+                        if (rf_of[e] != NO_EVENT) {
+                            if (loc[e] != -1 && loc[rf_of[e]] != -1 &&
+                                loc[e] != loc[rf_of[e]]) {
+                                return false;
+                            }
+                            auto v = ev_value[rf_of[e]];
+                            if (v && !ev_value[e]) {
+                                ev_value[e] = v;
+                                changed = true;
+                            }
+                        }
+                        env[ev.dest] = ev_value[e];
+                    } else {
+                        auto v = item.value.eval(env);
+                        if (v && !ev_value[e]) {
+                            ev_value[e] = v;
+                            changed = true;
+                        }
+                    }
+                    break;
+                  }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * Fill in the parts of an execution that depend only on the layout:
+ * the events and the abstract-execution relations.  Valid for every
+ * rf/co choice of the path combo.
+ */
 void
-buildRelations(const Layout &lay, const Valuation &val,
-               const std::vector<EventId> &rfSrc, CandidateExecution &ex)
+buildStaticRelations(const Layout &lay, CandidateExecution &ex)
 {
     const std::size_t n = lay.events.size();
 
     ex.program = lay.prog;
     ex.events = lay.events;
-    for (std::size_t e = 0; e < n; ++e) {
-        if (!ex.events[e].isInit) {
-            ex.events[e].loc = val.loc[e];
-            ex.events[e].value = val.value[e];
-        }
-    }
 
     ex.po = Relation(n);
     ex.addr = Relation(n);
@@ -329,11 +434,31 @@ buildRelations(const Layout &lay, const Valuation &val,
                 ex.rmw.add(lay.eventOf[t][item.rmwRead], e);
         }
     }
+}
 
+/** Stamp a solved rf assignment onto a statically-built execution. */
+void
+applyValuation(const Layout &lay, const Valuation &val,
+               const std::vector<EventId> &rfSrc, CandidateExecution &ex)
+{
+    for (std::size_t e = 0; e < lay.events.size(); ++e) {
+        if (!ex.events[e].isInit) {
+            ex.events[e].loc = val.loc[e];
+            ex.events[e].value = val.value[e];
+        }
+    }
     for (std::size_t i = 0; i < lay.readIds.size(); ++i)
         ex.rf.add(rfSrc[i], lay.readIds[i]);
-
     ex.finalRegs = val.finalRegs;
+}
+
+/** Build the abstract-execution relations for a layout + valuation. */
+void
+buildRelations(const Layout &lay, const Valuation &val,
+               const std::vector<EventId> &rfSrc, CandidateExecution &ex)
+{
+    buildStaticRelations(lay, ex);
+    applyValuation(lay, val, rfSrc, ex);
 }
 
 } // namespace
@@ -400,75 +525,168 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
             }
         }
 
+        // suffix[k] = number of complete rf assignments below a node
+        // that has chosen sources for reads 0..k-1 (expanded subtree
+        // size); used to account pruned subtrees in whole complete
+        // assignments so rfSpace = rfPruned + rfAssignments holds.
+        const std::size_t num_reads = lay.readIds.size();
+        std::vector<std::size_t> suffix(num_reads + 1, 1);
+        for (std::size_t i = num_reads; i-- > 0;)
+            suffix[i] = suffix[i + 1] * rf_cands[i].size();
+
+        // Statics of this path combo, shared by every candidate when
+        // pruning: the incremental engine copies this base instead of
+        // rebuilding po/deps and the po-derived sets per candidate.
+        CandidateExecution base;
+        if (opts_.prune) {
+            buildStaticRelations(lay, base);
+            base.finalizeStatic();
+        }
+
+        // The partial check can only ever cut on a forced Check
+        // violation, a forced-bad address, or a forced location
+        // mismatch; with all-static locations and no Check items
+        // none of those exist and the check is pure overhead.
+        bool can_partial_reject = false;
+        for (const ThreadPath *path : combo) {
+            for (const PathItem &item : path->items) {
+                if (item.kind == PathItem::Kind::Check)
+                    can_partial_reject = true;
+            }
+        }
+        for (const Event &e : lay.events) {
+            if (!e.isInit && e.kind != EvKind::Fence &&
+                lay.staticLoc[e.id] < 0) {
+                can_partial_reject = true;
+            }
+        }
+
+        // Dispatched once per consistent rf assignment; enumerates
+        // the per-location co permutations.  `exRf` is null in the
+        // brute-force engine (each candidate then rebuilds from
+        // scratch); otherwise it is the rf-finalized copy of `base`,
+        // reused across the co permutations — each candidate only
+        // overwrites co and recomputes the co-derived stage.
+        std::vector<EventId> rf_src(num_reads);
+        auto forEachCo = [&](const Valuation &val,
+                             CandidateExecution *exRf) {
+            // Group writes by resolved location for co.
+            std::vector<std::vector<EventId>> by_loc(prog_.numLocs());
+            for (EventId w : lay.writeIds) {
+                if (!lay.events[w].isInit)
+                    by_loc[val.loc[w]].push_back(w);
+            }
+
+            std::size_t total_perms = 1;
+            std::size_t delivered = 0;
+            if (opts_.prune) {
+                for (const auto &ws : by_loc) {
+                    for (std::size_t k = 2; k <= ws.size(); ++k)
+                        total_perms *= k;
+                }
+            }
+
+            // Enumerate per-location permutations.
+            std::function<void(std::size_t, Relation &)> chooseCo =
+                [&](std::size_t loc_i, Relation &co) {
+                if (stop)
+                    return;
+                if (loc_i == by_loc.size()) {
+                    if (!tracker.onCandidate()) {
+                        stop = true;
+                        return;
+                    }
+                    if (exRf) {
+                        exRf->co = co;
+                        exRf->finalizeCo();
+                        ++stats_.candidates;
+                        ++delivered;
+                        if (!fn(*exRf))
+                            stop = true;
+                        return;
+                    }
+                    CandidateExecution ex;
+                    buildRelations(lay, val, rf_src, ex);
+                    ex.co = co;
+                    ex.finalize();
+                    ++stats_.candidates;
+                    ++delivered;
+                    if (!fn(ex))
+                        stop = true;
+                    return;
+                }
+                auto &ws = by_loc[loc_i];
+                std::sort(ws.begin(), ws.end());
+                do {
+                    Relation co2 = co;
+                    // init write first, then the permutation.
+                    EventId init_w = static_cast<EventId>(loc_i);
+                    for (EventId w : ws)
+                        co2.add(init_w, w);
+                    for (std::size_t a = 0; a < ws.size(); ++a) {
+                        for (std::size_t b = a + 1; b < ws.size();
+                             ++b) {
+                            co2.add(ws[a], ws[b]);
+                        }
+                    }
+                    chooseCo(loc_i + 1, co2);
+                } while (!stop &&
+                         std::next_permutation(ws.begin(), ws.end()));
+            };
+            Relation co(n);
+            chooseCo(0, co);
+            if (stop && opts_.prune)
+                stats_.coPruned += total_perms - delivered;
+        };
+
         // Depth-first product over rf choices.
-        std::vector<EventId> rf_src(lay.readIds.size());
         std::function<void(std::size_t)> chooseRf =
             [&](std::size_t read_idx) {
             if (stop)
                 return;
-            if (read_idx == lay.readIds.size()) {
+            if (read_idx == num_reads) {
                 if (!tracker.onRfAssignment()) {
                     stop = true;
                     return;
                 }
                 ++stats_.rfAssignments;
+                ++stats_.rfSpace;
                 Valuation val = valuate(lay, rf_src);
                 if (!val.consistent) {
                     ++stats_.valuationRejects;
                     return;
                 }
+                ++stats_.rfConsistent;
 
-                // Group writes by resolved location for co.
-                std::vector<std::vector<EventId>> by_loc(
-                    prog_.numLocs());
-                for (EventId w : lay.writeIds) {
-                    if (!lay.events[w].isInit)
-                        by_loc[val.loc[w]].push_back(w);
+                if (!opts_.prune) {
+                    forEachCo(val, nullptr);
+                    return;
                 }
-
-                // Enumerate per-location permutations.
-                std::function<void(std::size_t, Relation &)> chooseCo =
-                    [&](std::size_t loc_i, Relation &co) {
-                    if (stop)
-                        return;
-                    if (loc_i == by_loc.size()) {
-                        if (!tracker.onCandidate()) {
-                            stop = true;
-                            return;
-                        }
-                        CandidateExecution ex;
-                        buildRelations(lay, val, rf_src, ex);
-                        ex.co = co;
-                        ex.finalize();
-                        ++stats_.candidates;
-                        if (!fn(ex))
-                            stop = true;
-                        return;
-                    }
-                    auto &ws = by_loc[loc_i];
-                    std::sort(ws.begin(), ws.end());
-                    do {
-                        Relation co2 = co;
-                        // init write first, then the permutation.
-                        EventId init_w = static_cast<EventId>(loc_i);
-                        for (EventId w : ws)
-                            co2.add(init_w, w);
-                        for (std::size_t a = 0; a < ws.size(); ++a) {
-                            for (std::size_t b = a + 1; b < ws.size();
-                                 ++b) {
-                                co2.add(ws[a], ws[b]);
-                            }
-                        }
-                        chooseCo(loc_i + 1, co2);
-                    } while (!stop &&
-                             std::next_permutation(ws.begin(), ws.end()));
-                };
-                Relation co(n);
-                chooseCo(0, co);
+                // Mutate the shared static base rather than copying
+                // it: applyValuation overwrites every non-init event
+                // and finalRegs wholesale, and finalizeRf/finalizeCo
+                // overwrite all their outputs, so only rf (which
+                // applyValuation accumulates into) needs a reset.
+                base.rf = Relation(n);
+                applyValuation(lay, val, rf_src, base);
+                base.finalizeRf();
+                forEachCo(val, &base);
                 return;
             }
             for (EventId w : rf_cands[read_idx]) {
                 rf_src[read_idx] = w;
+                // Prune: a proper prefix with a forced violation has
+                // no consistent completion — skip its whole subtree.
+                // Complete assignments go straight to the full
+                // valuation instead.
+                if (opts_.prune && can_partial_reject &&
+                    read_idx + 1 < num_reads &&
+                    !partialFeasible(lay, rf_src, read_idx + 1)) {
+                    ++stats_.partialValuationRejects;
+                    stats_.rfPruned += suffix[read_idx + 1];
+                    stats_.rfSpace += suffix[read_idx + 1];
+                    continue;
+                }
                 chooseRf(read_idx + 1);
                 if (stop)
                     return;

@@ -24,23 +24,87 @@
 namespace lkmm
 {
 
+/**
+ * Knobs of the enumeration engine.
+ *
+ * `prune` selects between the two engines, which deliver the same
+ * candidate stream (same candidates, same order within each rf
+ * assignment's co block) — the conformance suite in
+ * tests/lkmm/conformance_test.cc enforces the equivalence:
+ *
+ *  - prune=true (default): the incremental engine.  Po-derived
+ *    static relations (po, addr/data/ctrl deps, fence and
+ *    annotation sets, RCU critical sections) are computed once per
+ *    path combo and copied into each candidate; rf-derived
+ *    relations once per rf assignment; only the co-derived
+ *    relations are computed per candidate.  Partial rf prefixes
+ *    that are provably value-infeasible are cut without
+ *    materializing their subtrees.
+ *  - prune=false: the brute-force reference engine — every
+ *    complete rf assignment is materialized and handed to the full
+ *    valuation, and every candidate rebuilds its relations from
+ *    scratch.  Kept as the oracle for the conformance suite and
+ *    the bench baseline.
+ */
+struct EnumerateOptions
+{
+    bool prune = true;
+};
+
 /** Enumerates candidate executions of one program. */
 class Enumerator
 {
   public:
+    /**
+     * Per-stage search counters.
+     *
+     * Complete rf assignments are accounted exactly:
+     *
+     *   rfSpace = rfPruned + rfAssignments          (complete runs)
+     *   rfAssignments = valuationRejects + rfConsistent
+     *
+     * and pruning is sound: a brute-force run of the same program
+     * satisfies valuationRejects(brute) = valuationRejects(pruned)
+     * + rfPruned(pruned) — every pruned assignment is one the full
+     * valuation would have rejected.  The pruning counters
+     * (rfPruned, coPruned, partialValuationRejects) are always zero
+     * when EnumerateOptions::prune is false.
+     */
     struct Stats
     {
         std::size_t pathCombos = 0;
+        /** Complete rf assignments in the search space (expanded). */
+        std::size_t rfSpace = 0;
         std::size_t rfAssignments = 0;
         std::size_t valuationRejects = 0;
+        /** Complete rf assignments that passed the full valuation. */
+        std::size_t rfConsistent = 0;
+        /**
+         * Complete rf assignments skipped because a prefix was
+         * provably infeasible (expanded subtree size).
+         */
+        std::size_t rfPruned = 0;
+        /**
+         * Candidates (co permutations) of a consistent rf assignment
+         * that were cut by an early stop — a tripped budget bound or
+         * a callback that returned false — before being built.
+         */
+        std::size_t coPruned = 0;
+        /** Number of infeasible-prefix cuts (prune events). */
+        std::size_t partialValuationRejects = 0;
         std::size_t candidates = 0;
     };
 
     explicit Enumerator(const Program &prog) : prog_(prog) {}
 
     /** Enumerate under a budget: the run stops at the first bound. */
-    Enumerator(const Program &prog, const RunBudget &budget)
-        : prog_(prog), budget_(budget)
+    Enumerator(const Program &prog, const RunBudget &budget,
+               const EnumerateOptions &opts = {})
+        : prog_(prog), budget_(budget), opts_(opts)
+    {}
+
+    Enumerator(const Program &prog, const EnumerateOptions &opts)
+        : prog_(prog), opts_(opts)
     {}
 
     /**
@@ -69,6 +133,7 @@ class Enumerator
   private:
     const Program &prog_;
     RunBudget budget_;
+    EnumerateOptions opts_;
     Stats stats_;
     Completeness completeness_ = Completeness::Complete;
     BoundKind tripped_ = BoundKind::None;

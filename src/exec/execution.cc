@@ -40,12 +40,22 @@ Event::toString(const std::vector<std::string> &locNames) const
 void
 CandidateExecution::finalize()
 {
+    finalizeStatic();
+    finalizeRf();
+    finalizeCo();
+}
+
+void
+CandidateExecution::finalizeStatic()
+{
     const std::size_t n = events.size();
 
     reads_ = EventSet(n);
     writes_ = EventSet(n);
     fences_ = EventSet(n);
     all_ = EventSet::full(n);
+    byAnn_.clear();
+    fenceRelCache_.clear();
 
     for (const Event &e : events) {
         switch (e.kind) {
@@ -60,29 +70,15 @@ CandidateExecution::finalize()
     }
     mem_ = reads_ | writes_;
 
-    // loc, int, ext ------------------------------------------------
-    loc_ = Relation(n);
+    // int, ext ------------------------------------------------------
     int_ = Relation(n);
     for (const Event &a : events) {
         for (const Event &b : events) {
-            if (a.isMem() && b.isMem() && a.loc == b.loc)
-                loc_.add(a.id, b.id);
             if (a.tid >= 0 && a.tid == b.tid)
                 int_.add(a.id, b.id);
         }
     }
     ext_ = ~int_;
-
-    // Communication relations ---------------------------------------
-    fr_ = rf.inverse().seq(co);
-    com_ = rf | co | fr_;
-    poLoc_ = po & loc_;
-    rfi_ = rf & int_;
-    rfe_ = rf & ext_;
-    coe_ = co & ext_;
-    coi_ = co & int_;
-    fre_ = fr_ & ext_;
-    fri_ = fr_ & int_;
 
     // Fence-pair relations -------------------------------------------
     rmb_ = fenceRel(Ann::Rmb).restrictDomain(reads_).restrictRange(reads_);
@@ -96,7 +92,6 @@ CandidateExecution::finalize()
     const EventSet &acq = withAnn(Ann::Acquire);
     poRel_ = po.restrictDomain(mem_).restrictRange(rel & writes_);
     acqPo_ = po.restrictDomain(acq & reads_).restrictRange(mem_);
-    rfiRelAcq_ = rfi_.restrictDomain(rel).restrictRange(acq);
 
     // RCU relations ---------------------------------------------------
     const EventSet &sync = withAnn(Ann::SyncRcu);
@@ -122,6 +117,41 @@ CandidateExecution::finalize()
     }
 
     rscs_ = po.seq(crit_.inverse()).seq(po.opt());
+}
+
+void
+CandidateExecution::finalizeRf()
+{
+    const std::size_t n = events.size();
+
+    // loc needs the *resolved* event locations, available only after
+    // the valuation fixed dynamic addresses.
+    loc_ = Relation(n);
+    for (const Event &a : events) {
+        for (const Event &b : events) {
+            if (a.isMem() && b.isMem() && a.loc == b.loc)
+                loc_.add(a.id, b.id);
+        }
+    }
+    poLoc_ = po & loc_;
+
+    rfi_ = rf & int_;
+    rfe_ = rf & ext_;
+    rfInv_ = rf.inverse();
+    rfiRelAcq_ = rfi_.restrictDomain(withAnn(Ann::Release))
+        .restrictRange(withAnn(Ann::Acquire));
+}
+
+void
+CandidateExecution::finalizeCo()
+{
+    // Communication relations ---------------------------------------
+    fr_ = rfInv_.seq(co);
+    com_ = rf | co | fr_;
+    coe_ = co & ext_;
+    coi_ = co & int_;
+    fre_ = fr_ & ext_;
+    fri_ = fr_ & int_;
 
     // Final state ------------------------------------------------------
     if (program) {
@@ -164,8 +194,13 @@ CandidateExecution::withAnn(Ann a) const
 Relation
 CandidateExecution::fenceRel(Ann a) const
 {
-    const EventSet &fs = withAnn(a);
-    return po.restrictRange(fs).seq(po);
+    auto it = fenceRelCache_.find(a);
+    if (it == fenceRelCache_.end()) {
+        const EventSet &fs = withAnn(a);
+        it = fenceRelCache_.emplace(a, po.restrictRange(fs).seq(po))
+                 .first;
+    }
+    return it->second;
 }
 
 bool

@@ -55,6 +55,33 @@ class CandidateExecution
     /** Populate every derived relation; call once after filling in. */
     void finalize();
 
+    // Staged finalization -------------------------------------------
+    // finalize() == finalizeStatic(); finalizeRf(); finalizeCo().
+    // The incremental enumerator uses the stages to share work: the
+    // static stage depends only on events (kind/ann/tid) and the
+    // abstract execution, so it runs once per path combo and is
+    // copied into every candidate; the rf stage additionally needs
+    // resolved event locations and rf; the co stage needs co.
+
+    /**
+     * Derived data that depends only on the events and the abstract
+     * execution (po, deps): predefined sets, int/ext, the fence-pair
+     * relations, po-rel/acq-po, and the RCU relations.
+     */
+    void finalizeStatic();
+
+    /**
+     * Derived data that additionally needs resolved event locations
+     * and the rf witness: loc, po-loc, rfi/rfe, rfi-rel-acq.
+     */
+    void finalizeRf();
+
+    /**
+     * Derived data that additionally needs the co witness: fr, com,
+     * the internal/external splits of co and fr, and finalMem.
+     */
+    void finalizeCo();
+
     // Predefined sets ----------------------------------------------
     const EventSet &reads() const { return reads_; }
     const EventSet &writes() const { return writes_; }
@@ -131,10 +158,20 @@ class CandidateExecution
     std::map<Ann, EventSet> byAnn_;
 
     Relation loc_, int_, ext_;
+    Relation rfInv_; ///< rf^-1, fixed per rf stage; feeds fr in co
     Relation fr_, com_, poLoc_;
     Relation rfi_, rfe_, coe_, coi_, fre_, fri_;
     Relation rmb_, wmb_, mb_, rbDep_, poRel_, acqPo_, rfiRelAcq_;
     Relation gp_, crit_, rscs_;
+
+    /**
+     * fenceRel(a) depends only on po and the annotation sets, so it
+     * is stable from finalizeStatic() on; models call it repeatedly
+     * per candidate, so cache per annotation.  Lazily filled from a
+     * const accessor, like withAnn(); executions are not shared
+     * across threads.
+     */
+    mutable std::map<Ann, Relation> fenceRelCache_;
 };
 
 } // namespace lkmm

@@ -150,7 +150,8 @@ BatchRunner::runItem(Item &item, const Model &model,
         RunBudget budget = opts_.budget;
         budget.shared = sweepTracker;
         for (;;) {
-            res.result = runTest(*item.prog, model, budget);
+            res.result = runTest(*item.prog, model, budget,
+                                 opts_.enumerate);
             if (res.result.truncated() &&
                 (res.result.trippedBound == BoundKind::Cancelled ||
                  res.result.trippedBound == BoundKind::SweepBudget)) {
@@ -180,7 +181,8 @@ BatchRunner::runItem(Item &item, const Model &model,
         try {
             RunBudget refBudget = opts_.budget;
             refBudget.shared = sweepTracker;
-            RunResult ref = runTest(*item.prog, *crossCheck, refBudget);
+            RunResult ref = runTest(*item.prog, *crossCheck, refBudget,
+                                    opts_.enumerate);
             if (ref.truncated() &&
                 (ref.trippedBound == BoundKind::Cancelled ||
                  ref.trippedBound == BoundKind::SweepBudget)) {
@@ -557,8 +559,14 @@ BatchRunner::run()
         if (outcome.result) {
             const Enumerator::Stats &s = outcome.result->result.stats;
             report.stats.pathCombos += s.pathCombos;
+            report.stats.rfSpace += s.rfSpace;
             report.stats.rfAssignments += s.rfAssignments;
             report.stats.valuationRejects += s.valuationRejects;
+            report.stats.rfConsistent += s.rfConsistent;
+            report.stats.rfPruned += s.rfPruned;
+            report.stats.coPruned += s.coPruned;
+            report.stats.partialValuationRejects +=
+                s.partialValuationRejects;
             report.stats.candidates += s.candidates;
             report.results.push_back(std::move(*outcome.result));
         }

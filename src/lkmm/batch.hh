@@ -168,6 +168,13 @@ struct BatchOptions
 {
     /** Initial per-test budget (unlimited by default). */
     RunBudget budget;
+    /**
+     * Enumerator knobs, applied to every test (primary and
+     * cross-check runs).  prune=false selects the brute-force
+     * reference engine — same results, no pruning (see
+     * EnumerateOptions).
+     */
+    EnumerateOptions enumerate;
     /** Extra attempts granted to truncated tests. */
     int maxRetries = 0;
     /** Budget scale factor per retry (see RunBudget::scaled). */

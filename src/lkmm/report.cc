@@ -25,9 +25,15 @@ toJson(const BatchReport &report)
 
     json::Object stats;
     stats["pathCombos"] = json::Value(report.stats.pathCombos);
+    stats["rfSpace"] = json::Value(report.stats.rfSpace);
     stats["rfAssignments"] = json::Value(report.stats.rfAssignments);
     stats["valuationRejects"] =
         json::Value(report.stats.valuationRejects);
+    stats["rfConsistent"] = json::Value(report.stats.rfConsistent);
+    stats["rfPruned"] = json::Value(report.stats.rfPruned);
+    stats["coPruned"] = json::Value(report.stats.coPruned);
+    stats["partialValuationRejects"] =
+        json::Value(report.stats.partialValuationRejects);
     stats["candidates"] = json::Value(report.stats.candidates);
     root["stats"] = json::Value(std::move(stats));
 
@@ -50,7 +56,8 @@ toJson(const BatchReport &report)
 }
 
 void
-printText(std::FILE *out, const BatchReport &report, bool quiet)
+printText(std::FILE *out, const BatchReport &report, bool quiet,
+          bool showStats)
 {
     std::fprintf(out, "seed %llu\n",
                  static_cast<unsigned long long>(report.seed));
@@ -69,6 +76,20 @@ printText(std::FILE *out, const BatchReport &report, bool quiet)
         std::fprintf(out, "FAILED %s\n", f.toString().c_str());
     for (const Divergence &d : report.divergences)
         std::fprintf(out, "DIVERGED %s\n", d.toString().c_str());
+    if (showStats) {
+        const Enumerator::Stats &s = report.stats;
+        std::fprintf(out,
+                     "stats: pathCombos=%zu rfSpace=%zu "
+                     "rfAssignments=%zu valuationRejects=%zu "
+                     "rfConsistent=%zu candidates=%zu\n",
+                     s.pathCombos, s.rfSpace, s.rfAssignments,
+                     s.valuationRejects, s.rfConsistent, s.candidates);
+        std::fprintf(out,
+                     "prune: rfPruned=%zu coPruned=%zu "
+                     "partialValuationRejects=%zu\n",
+                     s.rfPruned, s.coPruned,
+                     s.partialValuationRejects);
+    }
     std::fprintf(out, "%s\n", report.summary().c_str());
 }
 

@@ -32,8 +32,11 @@ json::Value toJson(const BatchReport &report);
 /**
  * The human-readable sweep summary: per-test verdict lines (unless
  * quiet), FAILED/DIVERGED lines, and the one-line totals footer.
+ * With showStats, the merged enumerator counters — including the
+ * per-stage prune counters — are printed before the footer.
  */
-void printText(std::FILE *out, const BatchReport &report, bool quiet);
+void printText(std::FILE *out, const BatchReport &report, bool quiet,
+               bool showStats = false);
 
 } // namespace lkmm
 

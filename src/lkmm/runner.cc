@@ -17,13 +17,13 @@ namespace
  */
 RunResult
 runCore(const Program &prog, const Model &model, const RunBudget &budget,
-        bool fast)
+        bool fast, const EnumerateOptions &opts)
 {
     RunResult res;
     const bool exists = prog.quantifier == Quantifier::Exists;
     bool counterexample = false;
 
-    Enumerator en(prog, budget);
+    Enumerator en(prog, budget, opts);
     en.forEach([&](const CandidateExecution &ex) {
         ++res.candidates;
         const bool cond = ex.satisfiesCondition();
@@ -87,16 +87,17 @@ runCore(const Program &prog, const Model &model, const RunBudget &budget,
 } // namespace
 
 RunResult
-runTest(const Program &prog, const Model &model, const RunBudget &budget)
+runTest(const Program &prog, const Model &model, const RunBudget &budget,
+        const EnumerateOptions &opts)
 {
-    return runCore(prog, model, budget, /*fast=*/false);
+    return runCore(prog, model, budget, /*fast=*/false, opts);
 }
 
 Verdict
 quickVerdict(const Program &prog, const Model &model,
-             const RunBudget &budget)
+             const RunBudget &budget, const EnumerateOptions &opts)
 {
-    return runCore(prog, model, budget, /*fast=*/true).verdict;
+    return runCore(prog, model, budget, /*fast=*/true, opts).verdict;
 }
 
 } // namespace lkmm

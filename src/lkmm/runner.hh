@@ -102,7 +102,8 @@ struct RunResult
  *    otherwise a truncated run reports Unknown.
  */
 RunResult runTest(const Program &prog, const Model &model,
-                  const RunBudget &budget = RunBudget::unlimited());
+                  const RunBudget &budget = RunBudget::unlimited(),
+                  const EnumerateOptions &opts = {});
 
 /**
  * Fast verdict: stops at the first decisive candidate — the first
@@ -114,7 +115,8 @@ RunResult runTest(const Program &prog, const Model &model,
  * enumerate-and-filter implementation in the tree.
  */
 Verdict quickVerdict(const Program &prog, const Model &model,
-                     const RunBudget &budget = RunBudget::unlimited());
+                     const RunBudget &budget = RunBudget::unlimited(),
+                     const EnumerateOptions &opts = {});
 
 } // namespace lkmm
 

@@ -89,9 +89,15 @@ toJson(const BatchItemResult &result)
         json::Value(completenessName(result.result.completeness));
     o["bound"] = json::Value(boundKindName(result.result.trippedBound));
     o["pathCombos"] = json::Value(result.result.stats.pathCombos);
+    o["rfSpace"] = json::Value(result.result.stats.rfSpace);
     o["rfAssignments"] = json::Value(result.result.stats.rfAssignments);
     o["valuationRejects"] =
         json::Value(result.result.stats.valuationRejects);
+    o["rfConsistent"] = json::Value(result.result.stats.rfConsistent);
+    o["rfPruned"] = json::Value(result.result.stats.rfPruned);
+    o["coPruned"] = json::Value(result.result.stats.coPruned);
+    o["partialValuationRejects"] =
+        json::Value(result.result.stats.partialValuationRejects);
     json::Array states;
     for (const std::string &s : result.result.allowedFinalStates)
         states.push_back(json::Value(s));
@@ -174,10 +180,21 @@ decodeRecord(const json::Value &record,
         // decode with zeros).
         res.result.stats.pathCombos =
             static_cast<std::size_t>(record.getInt("pathCombos", 0));
+        res.result.stats.rfSpace =
+            static_cast<std::size_t>(record.getInt("rfSpace", 0));
         res.result.stats.rfAssignments =
             static_cast<std::size_t>(record.getInt("rfAssignments", 0));
         res.result.stats.valuationRejects = static_cast<std::size_t>(
             record.getInt("valuationRejects", 0));
+        res.result.stats.rfConsistent =
+            static_cast<std::size_t>(record.getInt("rfConsistent", 0));
+        res.result.stats.rfPruned =
+            static_cast<std::size_t>(record.getInt("rfPruned", 0));
+        res.result.stats.coPruned =
+            static_cast<std::size_t>(record.getInt("coPruned", 0));
+        res.result.stats.partialValuationRejects =
+            static_cast<std::size_t>(
+                record.getInt("partialValuationRejects", 0));
         res.result.stats.candidates = res.result.candidates;
         if (const json::Value *states = record.get("finalStates")) {
             for (const json::Value &s : states->asArray())

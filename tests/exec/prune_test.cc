@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Accounting tests for the incremental pruning counters.
+ *
+ * The Stats identities documented on Enumerator::Stats are checked
+ * for every paper-catalog program, in both engines:
+ *
+ *   rfSpace      = rfPruned + rfAssignments
+ *   rfAssignments = valuationRejects + rfConsistent
+ *
+ * and across engines — pruning only skips work, it never changes
+ * what is delivered:
+ *
+ *   valuationRejects(brute) = valuationRejects(pruned) + rfPruned
+ *   rfSpace, rfConsistent, candidates, pathCombos identical
+ *
+ * With prune=false every pruning counter must be exactly zero.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/enumerate.hh"
+#include "lkmm/catalog.hh"
+#include "lkmm/runner.hh"
+#include "model/lkmm_model.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+Enumerator::Stats
+enumerate(const Program &prog, bool prune)
+{
+    EnumerateOptions opts;
+    opts.prune = prune;
+    Enumerator en(prog, opts);
+    en.forEach([](const CandidateExecution &) { return true; });
+    return en.stats();
+}
+
+TEST(PruneAccounting, IdentitiesHoldPerCatalogTest)
+{
+    for (const CatalogEntry &entry : table5()) {
+        SCOPED_TRACE(entry.prog.name);
+        for (bool prune : {true, false}) {
+            SCOPED_TRACE(prune ? "pruned" : "brute");
+            const Enumerator::Stats s = enumerate(entry.prog, prune);
+            EXPECT_EQ(s.rfSpace, s.rfPruned + s.rfAssignments);
+            EXPECT_EQ(s.rfAssignments,
+                      s.valuationRejects + s.rfConsistent);
+        }
+    }
+}
+
+TEST(PruneAccounting, CountersZeroWhenPruningDisabled)
+{
+    for (const CatalogEntry &entry : table5()) {
+        SCOPED_TRACE(entry.prog.name);
+        const Enumerator::Stats s = enumerate(entry.prog, false);
+        EXPECT_EQ(s.rfPruned, 0u);
+        EXPECT_EQ(s.coPruned, 0u);
+        EXPECT_EQ(s.partialValuationRejects, 0u);
+        // Without cuts the visited space is exactly the assignments.
+        EXPECT_EQ(s.rfSpace, s.rfAssignments);
+    }
+}
+
+TEST(PruneAccounting, PruningOnlySkipsRejectedWork)
+{
+    for (const CatalogEntry &entry : table5()) {
+        SCOPED_TRACE(entry.prog.name);
+        const Enumerator::Stats on = enumerate(entry.prog, true);
+        const Enumerator::Stats off = enumerate(entry.prog, false);
+        EXPECT_EQ(on.pathCombos, off.pathCombos);
+        EXPECT_EQ(on.rfSpace, off.rfSpace);
+        EXPECT_EQ(on.rfConsistent, off.rfConsistent);
+        EXPECT_EQ(on.candidates, off.candidates);
+        // Every pruned assignment is one the brute-force engine
+        // valuates and rejects.
+        EXPECT_EQ(off.valuationRejects,
+                  on.valuationRejects + on.rfPruned);
+    }
+}
+
+TEST(PruneAccounting, CountersFlowThroughRunResult)
+{
+    LkmmModel model;
+    EnumerateOptions brute;
+    brute.prune = false;
+    for (const CatalogEntry &entry : table5()) {
+        SCOPED_TRACE(entry.prog.name);
+        const RunResult on = runTest(entry.prog, model);
+        const RunResult off = runTest(entry.prog, model,
+                                      RunBudget::unlimited(), brute);
+        EXPECT_EQ(on.verdict, off.verdict);
+        EXPECT_EQ(on.stats.rfPruned + on.stats.rfAssignments,
+                  on.stats.rfSpace);
+        EXPECT_EQ(off.stats.rfPruned, 0u);
+        EXPECT_EQ(off.stats.partialValuationRejects, 0u);
+        EXPECT_EQ(on.stats.candidates, off.stats.candidates);
+    }
+}
+
+TEST(PruneAccounting, PruningActuallyFiresSomewhere)
+{
+    // The counters are only meaningful if the catalog exercises
+    // them: at least one program must hit the partial-valuation cut.
+    std::size_t total_pruned = 0;
+    for (const CatalogEntry &entry : table5())
+        total_pruned += enumerate(entry.prog, true).rfPruned;
+    EXPECT_GT(total_pruned, 0u);
+}
+
+} // namespace
+} // namespace lkmm

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -148,6 +149,95 @@ TEST(RelationProperty, CompositionLaws)
         // Composition distributes over union on both sides.
         EXPECT_EQ(a.seq(b | c), a.seq(b) | a.seq(c));
         EXPECT_EQ((a | b).seq(c), a.seq(c) | b.seq(c));
+    });
+}
+
+// Naive pair-set reference implementations ---------------------------
+//
+// The incremental enumerator prunes subtrees based on what the
+// closure/acyclicity primitives report, so those primitives are
+// checked here against the most boring possible implementation: an
+// explicit set of pairs, closed by repeated joining.
+
+using PairSet = std::set<std::pair<EventId, EventId>>;
+
+PairSet
+toPairs(const Relation &r)
+{
+    PairSet out;
+    for (EventId a = 0; a < r.size(); ++a) {
+        for (EventId b = 0; b < r.size(); ++b) {
+            if (r.contains(a, b))
+                out.emplace(a, b);
+        }
+    }
+    return out;
+}
+
+/** Transitive closure by joining until fixpoint. */
+PairSet
+naiveClosure(PairSet pairs)
+{
+    for (;;) {
+        PairSet next = pairs;
+        for (const auto &[a, b] : pairs) {
+            for (const auto &[c, d] : pairs) {
+                if (b == c)
+                    next.emplace(a, d);
+            }
+        }
+        if (next == pairs)
+            return pairs;
+        pairs = std::move(next);
+    }
+}
+
+bool
+naiveAcyclic(const PairSet &pairs)
+{
+    for (const auto &[a, b] : naiveClosure(pairs)) {
+        if (a == b)
+            return false;
+    }
+    return true;
+}
+
+/** Dense and sparse relations across a spread of sizes. */
+template <typename Check>
+void
+forRandomDensities(Check check)
+{
+    Rng rng(20260806);
+    for (std::size_t n : {1, 2, 4, 7, 12}) {
+        // fill/64 density from near-empty to near-full.
+        for (std::uint64_t fill : {1, 8, 24, 48, 62}) {
+            for (int round = 0; round < 4; ++round)
+                check(randomRelation(rng, n, fill));
+        }
+    }
+}
+
+TEST(RelationProperty, TransitiveClosureMatchesNaiveReference)
+{
+    forRandomDensities([](const Relation &a) {
+        EXPECT_EQ(toPairs(a.plus()), naiveClosure(toPairs(a)));
+        // r* = r+ | id on top of the verified closure.
+        PairSet star = naiveClosure(toPairs(a));
+        for (EventId e = 0; e < a.size(); ++e)
+            star.emplace(e, e);
+        EXPECT_EQ(toPairs(a.star()), star);
+    });
+}
+
+TEST(RelationProperty, AcyclicMatchesNaiveReference)
+{
+    forRandomDensities([](const Relation &a) {
+        EXPECT_EQ(a.acyclic(), naiveAcyclic(toPairs(a)));
+        // findCycle's verdict must agree with the reference, and
+        // its witness (checked real in CycleWitnessesAreReal) is
+        // only absent when the reference finds no cycle.
+        EXPECT_EQ(a.findCycle().has_value(),
+                  !naiveAcyclic(toPairs(a)));
     });
 }
 

@@ -130,7 +130,17 @@ usage()
         "  --summary FORMAT    text (default) or json\n"
         "  --out FILE          write the summary there instead of\n"
         "                      stdout\n"
-        "  --quiet             no per-test progress lines\n");
+        "  --quiet             no per-test progress lines\n"
+        "  --stats             print the merged enumerator counters,\n"
+        "                      including the per-stage prune counters\n"
+        "                      (rfPruned, coPruned,\n"
+        "                      partialValuationRejects); the json\n"
+        "                      summary always carries them\n"
+        "\n"
+        "enumeration:\n"
+        "  --no-prune          brute-force engine: disable the\n"
+        "                      incremental pruning (same results;\n"
+        "                      reference/baseline mode)\n");
     return 1;
 }
 
@@ -182,6 +192,7 @@ main(int argc, char **argv)
     std::vector<std::string> inputs;
     bool useCatalog = false;
     bool quiet = false;
+    bool showStats = false;
     std::string summaryFormat = "text";
     std::string outFile;
     BatchOptions opts;
@@ -260,6 +271,10 @@ main(int argc, char **argv)
                 outFile = next();
             else if (arg == "--quiet")
                 quiet = true;
+            else if (arg == "--stats")
+                showStats = true;
+            else if (arg == "--no-prune")
+                opts.enumerate.prune = false;
             else if (arg == "--help" || arg == "-h")
                 return usage();
             else if (arg.rfind("--", 0) == 0)
@@ -351,7 +366,7 @@ main(int argc, char **argv)
         if (summaryFormat == "json")
             std::fprintf(out, "%s\n", toJson(report).pretty().c_str());
         else
-            printText(out, report, quiet);
+            printText(out, report, quiet, showStats);
         if (out != stdout)
             std::fclose(out);
 
