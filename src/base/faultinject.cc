@@ -1,10 +1,12 @@
 #include "base/faultinject.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <ctime>
 #include <mutex>
+#include <new>
 
 #include "base/status.hh"
 #include "base/strutil.hh"
@@ -24,7 +26,20 @@ std::atomic<bool> g_armed[kNumPoints];
 std::mutex g_filter_mutex;
 std::string g_filter;
 
-/** Parse LKMM_FAULT_INJECT once, on first use of any point. */
+/**
+ * The active fault plan.  g_plan_active is the lock-free fast-path
+ * gate: instrumented sites pay one relaxed load when no plan is
+ * set.  The plan body and its hit counter live behind the mutex;
+ * g_plan_fired survives clearPlan() so a caller can ask whether the
+ * schedule tripped after the fact.
+ */
+std::atomic<bool> g_plan_active{false};
+std::atomic<bool> g_plan_fired{false};
+std::mutex g_plan_mutex;
+FaultPlan g_plan;
+std::uint64_t g_plan_hits = 0;
+
+/** Parse LKMM_FAULT_INJECT/... once, on first use of any point. */
 std::once_flag g_env_once;
 
 void
@@ -36,6 +51,9 @@ armFromEnv()
     const char *filter = std::getenv("LKMM_FAULT_INJECT_FILTER");
     if (filter && *filter)
         setFilter(filter);
+    const char *plan = std::getenv("LKMM_FAULT_PLAN");
+    if (plan && *plan)
+        setPlan(FaultPlan::parse(plan));
 }
 
 bool
@@ -49,6 +67,83 @@ void
 ensureEnvLoaded()
 {
     std::call_once(g_env_once, armFromEnv);
+}
+
+[[noreturn]] void
+spinForever()
+{
+    // Spin until a watchdog SIGKILL arrives; nanosleep keeps the
+    // loop cheap without consuming the CPU rlimit.
+    for (;;) {
+        struct timespec ts = {0, 50 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+    }
+}
+
+/** What an instrumented site should do right now. */
+struct PlanAction
+{
+    bool fire = false;
+    FaultKind kind = FaultKind::Error;
+    std::uint32_t tornBytes = 0;
+};
+
+/**
+ * Advance the plan's hit counter for a passage of site `id` and
+ * decide whether this passage trips.  One-shot: a tripping passage
+ * deactivates the plan.
+ */
+PlanAction
+planCheck(const char *id, const char *what)
+{
+    ensureEnvLoaded();
+    PlanAction action;
+    if (!g_plan_active.load(std::memory_order_relaxed))
+        return action;
+    if (!filterMatches(what))
+        return action;
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    if (!g_plan_active.load(std::memory_order_relaxed) ||
+        g_plan.site != id) {
+        return action;
+    }
+    if (++g_plan_hits < g_plan.hit)
+        return action;
+    g_plan_active.store(false, std::memory_order_relaxed);
+    g_plan_fired.store(true, std::memory_order_relaxed);
+    action.fire = true;
+    action.kind = g_plan.kind;
+    action.tornBytes = g_plan.tornBytes;
+    return action;
+}
+
+[[noreturn]] void
+throwInjected(const char *id, const char *what)
+{
+    throw StatusError(Status(
+        StatusCode::Internal,
+        std::string("injected fault (error) at ") + id +
+            (what ? std::string(": ") + what : std::string())));
+}
+
+/** Perform the kinds every entry point handles the same way. */
+[[noreturn]] void
+fireCommon(const PlanAction &action, const char *id, const char *what)
+{
+    switch (action.kind) {
+      case FaultKind::Crash:
+        // SIGKILL: die without flushing anything, the closest
+        // emulation of power loss / OOM-kill available in-process.
+        std::raise(SIGKILL);
+        spinForever(); // unreachable (raise cannot return unkilled)
+      case FaultKind::Hang:
+        spinForever();
+      case FaultKind::Enomem:
+        throw std::bad_alloc();
+      default:
+        break;
+    }
+    throwInjected(id, what);
 }
 
 } // namespace
@@ -104,6 +199,12 @@ reset()
     for (auto &a : g_armed)
         a.store(false, std::memory_order_relaxed);
     setFilter("");
+    {
+        std::lock_guard<std::mutex> lock(g_plan_mutex);
+        g_plan_active.store(false, std::memory_order_relaxed);
+        g_plan_fired.store(false, std::memory_order_relaxed);
+        g_plan_hits = 0;
+    }
 }
 
 void
@@ -125,35 +226,262 @@ maybeFail(Point p, const char *what)
 {
     ensureEnvLoaded();
     auto &flag = g_armed[static_cast<int>(p)];
-    if (!flag.load(std::memory_order_relaxed))
-        return;
-    if (!filterMatches(what))
-        return;
-    // One-shot: disarm before failing so a retry can succeed.  For
-    // the crash points this only matters to the forked child's copy
-    // of the flag; the parent stays armed, which is why crash tests
-    // always pair arming with a filter.
-    if (!flag.exchange(false, std::memory_order_relaxed))
-        return;
-    switch (p) {
-      case Point::CrashSegv:
-        std::raise(SIGSEGV);
-        return;
-      case Point::CrashAbort:
-        std::abort();
-      case Point::Hang:
-        // Spin until a watchdog SIGKILL arrives; nanosleep keeps
-        // the loop cheap without consuming the CPU rlimit.
-        for (;;) {
-            struct timespec ts = {0, 50 * 1000 * 1000};
-            nanosleep(&ts, nullptr);
+    if (flag.load(std::memory_order_relaxed) && filterMatches(what)) {
+        // One-shot: disarm before failing so a retry can succeed.
+        // For the crash points this only matters to the forked
+        // child's copy of the flag; the parent stays armed, which is
+        // why crash tests always pair arming with a filter.
+        if (flag.exchange(false, std::memory_order_relaxed)) {
+            switch (p) {
+              case Point::CrashSegv:
+                std::raise(SIGSEGV);
+                break;
+              case Point::CrashAbort:
+                std::abort();
+              case Point::Hang:
+                spinForever();
+              default:
+                throw StatusError(Status(
+                    StatusCode::Internal,
+                    std::string("injected fault at ") + pointName(p) +
+                        ": " + (what ? what : "")));
+            }
+            return;
         }
-      default:
-        break;
     }
-    throw StatusError(Status(
-        StatusCode::Internal,
-        std::string("injected fault at ") + pointName(p) + ": " + what));
+    // The legacy points double as plan-targetable sites.
+    checkSite(pointName(p), what);
+}
+
+/* ------------------------------------------------------------------ */
+/* Fault-site registry and fault plans                                */
+/* ------------------------------------------------------------------ */
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Error: return "error";
+      case FaultKind::TornWrite: return "torn-write";
+      case FaultKind::Crash: return "crash";
+      case FaultKind::Hang: return "hang";
+      case FaultKind::Eintr: return "eintr";
+      case FaultKind::Enomem: return "enomem";
+    }
+    return "unknown";
+}
+
+std::optional<FaultKind>
+faultKindFromName(const std::string &name)
+{
+    for (int i = 0; i < kNumFaultKinds; ++i) {
+        const FaultKind k = static_cast<FaultKind>(i);
+        if (name == faultKindName(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+const std::vector<SiteInfo> &
+siteRegistry()
+{
+    static const unsigned kErr = kindBit(FaultKind::Error);
+    static const unsigned kTorn = kindBit(FaultKind::TornWrite);
+    static const unsigned kCrash = kindBit(FaultKind::Crash);
+    static const unsigned kHang = kindBit(FaultKind::Hang);
+    static const unsigned kEintr = kindBit(FaultKind::Eintr);
+    static const unsigned kMem = kindBit(FaultKind::Enomem);
+    static const std::vector<SiteInfo> registry = {
+        {site::kLitmusParse, "litmus parser entry", kErr | kMem},
+        {site::kCatParse, "cat parser entry", kErr | kMem},
+        {site::kCatEval, "cat evaluator entry", kErr | kMem},
+        {site::kEnumerate, "candidate enumerator entry", kErr | kMem},
+        {site::kBatchItem, "batch runner, start of one test",
+         kErr | kMem | kCrash | kHang},
+        {site::kBatchParse, "batch runner, lazy litmus parse",
+         kErr | kMem},
+        {site::kBatchRecord, "batch runner, outcome recording",
+         kErr | kMem},
+        {site::kBatchAlloc,
+         "batch runner, result allocation in the hot path", kMem},
+        {site::kBatchChildDecode,
+         "batch runner, forked-child payload decode", kErr},
+        {site::kJournalCreate, "journal open(O_TRUNC) on create", kErr},
+        {site::kJournalReopen, "journal open on resume", kErr},
+        {site::kJournalTruncate, "journal torn-tail truncate", kErr},
+        {site::kJournalWrite, "journal record append",
+         kErr | kTorn | kCrash | kHang | kMem},
+        {site::kJournalSync, "journal fdatasync", kErr},
+        {site::kJournalDirSync, "journal parent-directory fsync", kErr},
+        {site::kJournalRecover, "journal recovery scan", kErr},
+        {site::kJsonSerialize, "canonical JSON serialization",
+         kErr | kMem},
+        {site::kJsonParse, "JSON parsing", kErr},
+        {site::kSubprocessPipe, "sandbox pipe2()", kErr | kMem},
+        {site::kSubprocessFork, "sandbox fork()", kErr | kMem},
+        {site::kSubprocessChildWrite, "sandboxed child result write",
+         kErr | kEintr},
+        {site::kSubprocessRead, "parent result-pipe read",
+         kErr | kEintr},
+        {site::kSubprocessKill, "watchdog SIGKILL", kErr},
+        {site::kSubprocessWaitpid, "child reaping waitpid",
+         kErr | kEintr},
+        {site::kSubprocessPoll, "result-pipe poll", kErr | kEintr},
+        {site::kSchedulerPost, "thread-pool task post", kErr | kMem},
+        {site::kSchedulerTask, "thread-pool task dispatch", kErr},
+        {site::kSweepEncode, "sweep-journal record encode",
+         kErr | kMem},
+        {site::kSweepDecode, "sweep-journal record decode", kErr},
+        {site::kFuzzJournal, "fuzz-campaign journal append",
+         kErr | kMem},
+        {site::kFuzzRepro, "fuzz repro corpus write", kErr},
+    };
+    return registry;
+}
+
+const SiteInfo *
+findSite(const std::string &id)
+{
+    for (const SiteInfo &info : siteRegistry()) {
+        if (id == info.id)
+            return &info;
+    }
+    return nullptr;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string s =
+        site + ":" + std::to_string(hit) + ":" + faultKindName(kind);
+    if (kind == FaultKind::TornWrite)
+        s += ":" + std::to_string(tornBytes);
+    return s;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    const std::vector<std::string> parts = split(spec, ':');
+    if (parts.size() < 3 || parts.size() > 4) {
+        throw StatusError(Status(
+            StatusCode::InvalidArgument,
+            "bad fault plan '" + spec +
+                "' (want site:hit:kind[:tornBytes])"));
+    }
+    FaultPlan plan;
+    plan.site = trim(parts[0]);
+    const SiteInfo *info = findSite(plan.site);
+    if (!info) {
+        throw StatusError(Status(StatusCode::InvalidArgument,
+                                 "unknown fault site '" + plan.site +
+                                     "' in plan '" + spec + "'"));
+    }
+    try {
+        plan.hit = std::stoull(trim(parts[1]));
+    } catch (const std::exception &) {
+        plan.hit = 0;
+    }
+    if (plan.hit == 0) {
+        throw StatusError(Status(
+            StatusCode::InvalidArgument,
+            "bad hit count in fault plan '" + spec + "' (1-based)"));
+    }
+    const std::optional<FaultKind> kind =
+        faultKindFromName(trim(parts[2]));
+    if (!kind) {
+        throw StatusError(Status(StatusCode::InvalidArgument,
+                                 "unknown fault kind in plan '" + spec +
+                                     "'"));
+    }
+    plan.kind = *kind;
+    if (!info->supports(plan.kind)) {
+        throw StatusError(Status(
+            StatusCode::InvalidArgument,
+            "site '" + plan.site + "' does not support fault kind '" +
+                faultKindName(plan.kind) + "'"));
+    }
+    if (parts.size() == 4) {
+        try {
+            plan.tornBytes = static_cast<std::uint32_t>(
+                std::stoul(trim(parts[3])));
+        } catch (const std::exception &) {
+            throw StatusError(Status(
+                StatusCode::InvalidArgument,
+                "bad tornBytes in fault plan '" + spec + "'"));
+        }
+    }
+    return plan;
+}
+
+void
+setPlan(const FaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plan = plan;
+    g_plan_hits = 0;
+    g_plan_fired.store(false, std::memory_order_relaxed);
+    g_plan_active.store(true, std::memory_order_relaxed);
+}
+
+void
+clearPlan()
+{
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plan_active.store(false, std::memory_order_relaxed);
+}
+
+bool
+planFired()
+{
+    return g_plan_fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+planHits()
+{
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    return g_plan_hits;
+}
+
+void
+checkSite(const char *id, const char *what)
+{
+    const PlanAction action = planCheck(id, what);
+    if (!action.fire)
+        return;
+    // Eintr/TornWrite only make sense at their specialized entry
+    // points; at a generic site they degrade to a plain error.
+    fireCommon(action, id, what);
+}
+
+int
+checkSiteErrno(const char *id, int errnoForError, const char *what)
+{
+    const PlanAction action = planCheck(id, what);
+    if (!action.fire)
+        return 0;
+    switch (action.kind) {
+      case FaultKind::Eintr:
+        return EINTR;
+      case FaultKind::Enomem:
+        return ENOMEM;
+      case FaultKind::Error:
+        return errnoForError;
+      default:
+        fireCommon(action, id, what); // crash/hang act directly
+    }
+}
+
+std::optional<std::uint32_t>
+checkTornWrite(const char *id, const char *what)
+{
+    const PlanAction action = planCheck(id, what);
+    if (!action.fire)
+        return std::nullopt;
+    if (action.kind == FaultKind::TornWrite)
+        return action.tornBytes;
+    fireCommon(action, id, what);
 }
 
 } // namespace lkmm::faultinject

@@ -19,6 +19,28 @@
  * from the first bad line on is discarded — because an append-only
  * writer can't vouch for anything written after a corruption.
  *
+ * Durability guarantees, by Durability mode:
+ *
+ *  - PageCache (the default): append() returns once the record is in
+ *    the kernel page cache.  A *process* crash (SIGKILL, abort,
+ *    panic) loses nothing — the kernel still owns the bytes; at
+ *    worst the final record is torn and recovery drops it.  A
+ *    *system* crash (power loss) may lose recent records, or even
+ *    the whole file if the directory entry was never synced.
+ *  - Fsync (opt-in): create()/append() additionally fsync the parent
+ *    directory once at open (so the file itself survives power
+ *    loss), and append() issues fdatasync per record.  After
+ *    append() returns, the record survives power loss; the journal
+ *    can lose at most the record being appended when the power
+ *    failed, and recovery drops exactly that torn tail.  Cost: one
+ *    device round-trip per record.
+ *
+ * Either way the on-disk format is identical; torn-write recovery
+ * is what distinguishes "lost tail" (acceptable in both modes) from
+ * "corrupt tail accepted as data" (never acceptable — that is what
+ * the CRC exists to catch, and what lkmm-chaos's ablation check
+ * proves it catches).
+ *
  * The journal is deliberately generic: records are json::Value
  * objects; the sweep-record schema lives in lkmm/sweep_journal.hh.
  */
@@ -66,25 +88,38 @@ struct RecoverResult
  */
 RecoverResult recover(const std::string &path);
 
+/** How hard append() pushes a record toward the platter. */
+enum class Durability
+{
+    /** Record reaches the kernel page cache (crash-safe, not
+     *  power-loss-safe).  The default. */
+    PageCache,
+    /** fdatasync per append + parent-directory fsync at open
+     *  (power-loss-safe at device-round-trip cost). */
+    Fsync,
+};
+
 /**
  * Appends checksummed records to a journal file.
  *
  * Writers are move-only and flush each record eagerly: after
- * append() returns, the record is in the kernel page cache (and a
- * torn write of it is recoverable).  sync() additionally issues
- * fdatasync for callers that want power-loss durability.
+ * append() returns, the record is durable to the chosen Durability
+ * level (see the file comment for the exact guarantees).  sync()
+ * additionally issues fdatasync on demand in PageCache mode.
  */
 class Writer
 {
   public:
     /** Start a fresh journal, truncating any existing file. */
-    static Writer create(const std::string &path);
+    static Writer create(const std::string &path,
+                         Durability durability = Durability::PageCache);
 
     /**
      * Continue a recovered journal: truncate to validBytes (cutting
      * any torn tail) and append from there.
      */
-    static Writer append(const std::string &path, std::uint64_t validBytes);
+    static Writer append(const std::string &path, std::uint64_t validBytes,
+                         Durability durability = Durability::PageCache);
 
     Writer(Writer &&other) noexcept;
     Writer &operator=(Writer &&other) noexcept;
@@ -103,10 +138,27 @@ class Writer
     bool isOpen() const { return fd_ >= 0; }
 
   private:
-    explicit Writer(int fd) : fd_(fd) {}
+    Writer(int fd, Durability durability)
+        : fd_(fd), durability_(durability)
+    {}
 
     int fd_ = -1;
+    Durability durability_ = Durability::PageCache;
 };
+
+namespace testing
+{
+/**
+ * Ablation hook: when disabled, decodeLine() accepts any
+ * syntactically valid line without verifying its checksum.  This
+ * deliberately breaks the corruption-detection guarantee; it exists
+ * only so the chaos suite can prove it would notice if the CRC check
+ * ever regressed (lkmm-chaos --ablate-crc must FAIL).  Never set in
+ * production code.
+ */
+void setCrcChecksDisabled(bool disabled);
+bool crcChecksDisabled();
+} // namespace testing
 
 } // namespace lkmm::journal
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "base/faultinject.hh"
 #include "base/status.hh"
 #include "base/strutil.hh"
 
@@ -502,6 +503,7 @@ Value::getBool(const std::string &key, bool dflt) const
 std::string
 Value::serialize() const
 {
+    faultinject::checkSite(faultinject::site::kJsonSerialize);
     std::string out;
     serializeInto(*this, out, -1, 0);
     return out;
@@ -518,6 +520,7 @@ Value::pretty() const
 Value
 Value::parse(const std::string &text)
 {
+    faultinject::checkSite(faultinject::site::kJsonParse);
     return Parser(text).parseDocument();
 }
 

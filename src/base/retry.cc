@@ -1,0 +1,146 @@
+#include "base/retry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <new>
+
+namespace lkmm::retry
+{
+
+namespace
+{
+
+/** Message substrings that mark a failure as resource-transient. */
+const char *const kTransientMarkers[] = {
+    "EINTR",
+    "EAGAIN",
+    "ENOMEM",
+    "Interrupted system call",
+    "Resource temporarily unavailable",
+    "Cannot allocate memory",
+    "bad_alloc",
+    "injected fault (enomem)",
+};
+
+bool
+messageLooksTransient(const std::string &message)
+{
+    for (const char *marker : kTransientMarkers) {
+        if (message.find(marker) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+FailureClass
+classify(const Status &status)
+{
+    switch (status.code()) {
+      case StatusCode::Ok:
+      case StatusCode::ParseError:
+      case StatusCode::EvalError:
+      case StatusCode::InvalidArgument:
+        return FailureClass::Persistent;
+      case StatusCode::BudgetExceeded:
+        // Deterministic at a fixed budget; the runner's escalation
+        // path (RetryPolicy::budgetRetries) owns this case.
+        return FailureClass::Persistent;
+      case StatusCode::IoError:
+      case StatusCode::Internal:
+        return messageLooksTransient(status.message())
+                   ? FailureClass::Transient
+                   : FailureClass::Persistent;
+    }
+    return FailureClass::Persistent;
+}
+
+FailureClass
+classifyException(const std::exception &e)
+{
+    if (dynamic_cast<const std::bad_alloc *>(&e))
+        return FailureClass::Transient;
+    return classify(statusOf(e));
+}
+
+std::string
+failureSignature(const std::string &phase, const Status &status)
+{
+    // Normalize volatile detail out of the message: digit runs
+    // (line numbers, pids, budgets, addresses) become '#' so two
+    // attempts at the same failure compare equal even when the
+    // specifics drift.
+    std::string normalized;
+    normalized.reserve(status.message().size());
+    bool inRun = false;
+    for (const char c : status.message()) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            if (!inRun)
+                normalized.push_back('#');
+            inRun = true;
+        } else {
+            inRun = false;
+            normalized.push_back(c);
+        }
+    }
+    return phase + "/" + statusCodeName(status.code()) + "/" +
+           normalized;
+}
+
+std::chrono::microseconds
+RetryPolicy::delayBefore(int attempt, Rng &rng) const
+{
+    if (attempt < 1 || baseDelay.count() <= 0)
+        return std::chrono::microseconds(0);
+    double delay = static_cast<double>(baseDelay.count());
+    for (int i = 1; i < attempt; ++i)
+        delay *= multiplier;
+    delay = std::min(delay, static_cast<double>(maxDelay.count()));
+    if (jitter > 0) {
+        // Uniform in [0, jitter] of the deterministic delay, drawn
+        // from the caller's Rng so schedules replay identically.
+        const double frac =
+            static_cast<double>(rng.below(1u << 20)) / (1u << 20);
+        delay += delay * jitter * frac;
+    }
+    delay = std::min(delay, static_cast<double>(maxDelay.count()));
+    return std::chrono::microseconds(
+        static_cast<std::int64_t>(delay));
+}
+
+bool
+Quarantine::record(const std::string &task,
+                   const std::string &signature)
+{
+    if (limit_ <= 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &sigs = failures_[task];
+    const bool wasQuarantined =
+        sigs.size() >= static_cast<std::size_t>(limit_);
+    sigs.insert(signature);
+    return !wasQuarantined &&
+           sigs.size() >= static_cast<std::size_t>(limit_);
+}
+
+bool
+Quarantine::quarantined(const std::string &task) const
+{
+    if (limit_ <= 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = failures_.find(task);
+    return it != failures_.end() &&
+           it->second.size() >= static_cast<std::size_t>(limit_);
+}
+
+std::size_t
+Quarantine::distinctFailures(const std::string &task) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = failures_.find(task);
+    return it == failures_.end() ? 0 : it->second.size();
+}
+
+} // namespace lkmm::retry

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Retry policy: failure classification, bounded jittered backoff,
+ * and per-task quarantine.
+ *
+ * The batch runner used to retry failed tests by blindly escalating
+ * the budget — fine for BudgetExceeded, wrong for everything else:
+ * a transient fork EAGAIN deserves an immediate (slightly delayed)
+ * retry at the same budget, while a deterministic crash deserves no
+ * retry at all, and certainly not an unbounded stream of them once
+ * lkmm-serve keeps a catalog hot for days.  This header splits the
+ * decision into three parts:
+ *
+ *  - classify(): is a failure Transient (resource pressure, signal
+ *    interruption — retrying may heal it) or Persistent (a property
+ *    of the input — retrying reproduces it)?
+ *  - RetryPolicy: how many attempts, with what jittered exponential
+ *    backoff, plus the budget-escalation schedule the runner keeps
+ *    for BudgetExceeded failures.
+ *  - Quarantine: after a task has failed with N *distinct* failure
+ *    signatures, stop scheduling retries for it entirely — distinct
+ *    signatures mean the failure is not one flaky cause but a
+ *    genuinely sick task.
+ *
+ * Backoff delays are deterministic given the Rng: chaos schedules
+ * replay identically.
+ */
+
+#ifndef LKMM_BASE_RETRY_HH
+#define LKMM_BASE_RETRY_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "base/rng.hh"
+#include "base/status.hh"
+
+namespace lkmm::retry
+{
+
+/** Whether retrying a failure could plausibly change the outcome. */
+enum class FailureClass
+{
+    /** Resource pressure or interruption: retry may heal it. */
+    Transient,
+    /** Deterministic property of the input: retry reproduces it. */
+    Persistent,
+};
+
+/**
+ * Classify a Status.  ENOMEM/EINTR/EAGAIN-shaped messages are
+ * Transient; parse/eval/invalid-argument failures are Persistent.
+ * BudgetExceeded is Persistent here — at the same budget it would
+ * recur — and is instead handled by the runner's escalation path.
+ */
+FailureClass classify(const Status &status);
+
+/** Classify a caught exception (bad_alloc is always Transient). */
+FailureClass classifyException(const std::exception &e);
+
+/**
+ * A stable signature for quarantine accounting: the phase, the
+ * status code name, and the message with volatile details (numbers,
+ * addresses, paths) normalized away, so "the same failure" compares
+ * equal across attempts.
+ */
+std::string failureSignature(const std::string &phase,
+                             const Status &status);
+
+/** Bounded jittered exponential backoff plus budget escalation. */
+struct RetryPolicy
+{
+    /** Total attempts for a transiently-failing operation (1 = no
+     *  retry).  Attempts are counted per operation, not per task. */
+    int maxAttempts = 3;
+    /** Delay before the first retry; doubles (×multiplier) after. */
+    std::chrono::microseconds baseDelay{200};
+    /** Backoff cap. */
+    std::chrono::microseconds maxDelay{50000};
+    double multiplier = 2.0;
+    /** Fraction of the delay drawn uniformly at random and added,
+     *  in [0, jitter]; 0 disables jitter. */
+    double jitter = 0.5;
+    /** Distinct failure signatures a task may accumulate before it
+     *  is quarantined (0 disables quarantine). */
+    int quarantineDistinctSignatures = 3;
+    /** BudgetExceeded handling (the old maxRetries/escalation): how
+     *  many times to re-run with a scaled budget, and the scale
+     *  factor applied per retry. */
+    int budgetRetries = 0;
+    double budgetEscalation = 8.0;
+
+    /**
+     * The delay to sleep before retry attempt `attempt` (1-based:
+     * attempt 1 is the first retry).  Deterministic given rng.
+     */
+    std::chrono::microseconds delayBefore(int attempt, Rng &rng) const;
+};
+
+/**
+ * Thread-safe per-task failure ledger.  A task is quarantined once
+ * it has failed with `limit` distinct signatures; quarantined tasks
+ * should not be retried (their next failure is recorded as final).
+ */
+class Quarantine
+{
+  public:
+    explicit Quarantine(int limit) : limit_(limit) {}
+
+    /**
+     * Record a failure signature for a task.  Returns true if this
+     * call tripped the task into quarantine (i.e. it was not
+     * quarantined before and now is).
+     */
+    bool record(const std::string &task, const std::string &signature);
+
+    /** Is the task quarantined? */
+    bool quarantined(const std::string &task) const;
+
+    /** Distinct signatures recorded for the task so far. */
+    std::size_t distinctFailures(const std::string &task) const;
+
+  private:
+    int limit_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::set<std::string>> failures_;
+};
+
+} // namespace lkmm::retry
+
+#endif // LKMM_BASE_RETRY_HH

@@ -27,6 +27,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::post(std::function<void()> task)
 {
+    faultinject::checkSite(faultinject::site::kSchedulerPost);
     {
         std::lock_guard<std::mutex> lock(mu_);
         queue_.push_back(std::move(task));
@@ -57,7 +58,13 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            // post()'s contract says tasks capture their own
+            // exceptions; if one leaks anyway, losing it beats
+            // std::terminate taking down a whole sweep.
+        }
     }
 }
 

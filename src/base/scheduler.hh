@@ -34,6 +34,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "base/faultinject.hh"
+
 namespace lkmm
 {
 
@@ -52,7 +54,15 @@ class ThreadPool
 
     std::size_t size() const { return workers_.size(); }
 
-    /** Enqueue one task; runs on some worker, FIFO dispatch. */
+    /**
+     * Enqueue one task; runs on some worker, FIFO dispatch.  Tasks
+     * should capture their own exceptions (parallelIndexed does); one
+     * that throws anyway is swallowed by the worker rather than
+     * terminating the process.  post() itself can throw (allocation
+     * failure, injected scheduler-post fault), in which case the task
+     * was NOT enqueued and will never run — callers joining on a
+     * fixed task count must account for that (see parallelIndexed).
+     */
     void post(std::function<void()> task);
 
     /** std::thread::hardware_concurrency, clamped to at least 1. */
@@ -105,21 +115,42 @@ parallelIndexed(ThreadPool &pool, std::size_t n, Fn &&fn)
     join.results.resize(n);
     join.errors.resize(n);
 
-    for (std::size_t i = 0; i < n; ++i) {
-        pool.post([&join, &fn, i]() {
-            std::optional<R> result;
-            std::exception_ptr error;
-            try {
-                result.emplace(fn(i));
-            } catch (...) {
-                error = std::current_exception();
-            }
-            std::lock_guard<std::mutex> lock(join.mu);
-            join.results[i] = std::move(result);
-            join.errors[i] = error;
-            if (--join.remaining == 0)
-                join.done.notify_all();
-        });
+    std::size_t posted = 0;
+    std::exception_ptr postError;
+    try {
+        for (; posted < n; ++posted) {
+            const std::size_t i = posted;
+            pool.post([&join, &fn, i]() {
+                std::optional<R> result;
+                std::exception_ptr error;
+                try {
+                    faultinject::checkSite(
+                        faultinject::site::kSchedulerTask);
+                    result.emplace(fn(i));
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(join.mu);
+                join.results[i] = std::move(result);
+                join.errors[i] = error;
+                if (--join.remaining == 0)
+                    join.done.notify_all();
+            });
+        }
+    } catch (...) {
+        // post() failed: the task at index `posted` (and everything
+        // after it) was never enqueued.  Record the failure there and
+        // stop waiting for the tasks that will never run — otherwise
+        // the join below would deadlock on a count that can't reach
+        // zero.
+        postError = std::current_exception();
+    }
+    if (postError) {
+        std::lock_guard<std::mutex> lock(join.mu);
+        join.errors[posted] = postError;
+        join.remaining -= n - posted;
+        if (join.remaining == 0)
+            join.done.notify_all();
     }
 
     std::unique_lock<std::mutex> lock(join.mu);

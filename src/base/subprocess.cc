@@ -10,11 +10,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "base/eintr.hh"
+#include "base/faultinject.hh"
 #include "base/status.hh"
 #include "base/strutil.hh"
 
 namespace lkmm::subprocess
 {
+
+namespace site = faultinject::site;
 
 namespace
 {
@@ -52,13 +56,12 @@ writeAll(int fd, const std::string &data)
 {
     std::size_t written = 0;
     while (written < data.size()) {
-        ssize_t n = ::write(fd, data.data() + written,
-                            data.size() - written);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
+        ssize_t n = retryEintr(site::kSubprocessChildWrite, EPIPE, [&] {
+            return ::write(fd, data.data() + written,
+                           data.size() - written);
+        });
+        if (n < 0)
             return; // parent gone; nothing sensible left to do
-        }
         written += static_cast<std::size_t>(n);
     }
 }
@@ -84,10 +87,16 @@ Child
 Child::spawn(const std::function<std::string()> &work, const Limits &limits)
 {
     int pipefd[2];
-    if (::pipe2(pipefd, O_CLOEXEC) != 0)
+    if (retryEintr(site::kSubprocessPipe, EMFILE,
+                   [&] { return ::pipe2(pipefd, O_CLOEXEC); }) != 0) {
         sysError("pipe2 failed");
+    }
 
-    pid_t pid = ::fork();
+    // fork's characteristic transient failure is EAGAIN (pid/rlimit
+    // pressure); the batch runner's RetryPolicy heals it with
+    // backoff, which the subprocess-fork fault site exists to prove.
+    pid_t pid = retryEintr(site::kSubprocessFork, EAGAIN,
+                           [&] { return ::fork(); });
     if (pid < 0) {
         int saved = errno;
         ::close(pipefd[0]);
@@ -104,6 +113,11 @@ Child::spawn(const std::function<std::string()> &work, const Limits &limits)
         // A parent that died early must not leave us writing to a
         // broken pipe forever.
         ::signal(SIGPIPE, SIG_DFL);
+        if (limits.newProcessGroup) {
+            // Become our own group leader so the watchdog can kill
+            // the whole group and leak scans can find stragglers.
+            ::setpgid(0, 0);
+        }
         applyLimits(limits);
         int code = 0;
         try {
@@ -120,6 +134,7 @@ Child::spawn(const std::function<std::string()> &work, const Limits &limits)
     Child child;
     child.pid_ = pid;
     child.fd_ = pipefd[0];
+    child.processGroup_ = limits.newProcessGroup;
     if (limits.deadline.count() > 0) {
         child.hasDeadline_ = true;
         child.deadline_ = std::chrono::steady_clock::now() + limits.deadline;
@@ -128,7 +143,8 @@ Child::spawn(const std::function<std::string()> &work, const Limits &limits)
 }
 
 Child::Child(Child &&other) noexcept
-    : pid_(other.pid_), fd_(other.fd_), timedOut_(other.timedOut_),
+    : pid_(other.pid_), fd_(other.fd_),
+      processGroup_(other.processGroup_), timedOut_(other.timedOut_),
       finished_(other.finished_), hasDeadline_(other.hasDeadline_),
       deadline_(other.deadline_), output_(std::move(other.output_))
 {
@@ -144,6 +160,7 @@ Child::operator=(Child &&other) noexcept
         reapForDestructor();
         pid_ = other.pid_;
         fd_ = other.fd_;
+        processGroup_ = other.processGroup_;
         timedOut_ = other.timedOut_;
         finished_ = other.finished_;
         hasDeadline_ = other.hasDeadline_;
@@ -169,7 +186,12 @@ Child::reapForDestructor()
         fd_ = -1;
     }
     if (pid_ > 0 && !finished_) {
-        ::kill(pid_, SIGKILL);
+        // No injection here: the destructor is the last line of
+        // defense against process leaks and must stay infallible.
+        if (processGroup_)
+            ::kill(-pid_, SIGKILL);
+        else
+            ::kill(pid_, SIGKILL);
         int status;
         while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
         }
@@ -184,7 +206,9 @@ Child::onReadable()
         return true;
     char buf[4096];
     for (;;) {
-        ssize_t n = ::read(fd_, buf, sizeof(buf));
+        ssize_t n = retryEintr(site::kSubprocessRead, EIO, [&] {
+            return ::read(fd_, buf, sizeof(buf));
+        });
         if (n > 0) {
             output_.append(buf, static_cast<std::size_t>(n));
             if (n < static_cast<ssize_t>(sizeof(buf)))
@@ -196,8 +220,6 @@ Child::onReadable()
             fd_ = -1;
             return true; // EOF: child closed its end
         }
-        if (errno == EINTR)
-            continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             return false;
         // Read error: treat like EOF, the wait status tells the rest.
@@ -212,7 +234,15 @@ Child::killTimedOut()
 {
     if (pid_ > 0 && !finished_) {
         timedOut_ = true;
-        ::kill(pid_, SIGKILL);
+        // An injected kill failure leaves the child running; finish()
+        // then blocks until it exits on its own, and the destructor
+        // path still reaps it — degraded, never leaked.
+        if (faultinject::checkSiteErrno(site::kSubprocessKill, EPERM) != 0)
+            return;
+        if (processGroup_)
+            ::kill(-pid_, SIGKILL);
+        else
+            ::kill(pid_, SIGKILL);
     }
 }
 
@@ -230,9 +260,10 @@ Child::finish()
 
     if (pid_ > 0 && !finished_) {
         int status = 0;
-        while (::waitpid(pid_, &status, 0) < 0) {
-            if (errno != EINTR)
-                sysError("waitpid failed");
+        if (retryEintr(site::kSubprocessWaitpid, ECHILD, [&] {
+                return ::waitpid(pid_, &status, 0);
+            }) < 0) {
+            sysError("waitpid failed");
         }
         finished_ = true;
         if (timedOut_) {
@@ -270,7 +301,17 @@ runIsolated(const std::function<std::string()> &work, const Limits &limits)
             timeoutMs = static_cast<int>(left.count()) + 1;
         }
 
-        int rc = ::poll(&pfd, 1, timeoutMs);
+        // poll's EINTR is handled at this level, NOT hidden in
+        // retryEintr: an EINTR wake-up is how cancellation tokens
+        // set from signal handlers get noticed (see base/eintr.hh).
+        int rc;
+        if (int injected = faultinject::checkSiteErrno(
+                site::kSubprocessPoll, EIO)) {
+            errno = injected;
+            rc = -1;
+        } else {
+            rc = ::poll(&pfd, 1, timeoutMs);
+        }
         if (rc < 0) {
             if (errno == EINTR)
                 continue;

@@ -58,6 +58,15 @@ struct Limits
      * AddressSanitizer: ASan reserves terabytes of shadow VA.
      */
     std::size_t memoryBytes = 0;
+    /**
+     * Run the child in its own process group (setpgid(0, 0)).  Two
+     * payoffs: the watchdog SIGKILL hits the whole group, so a child
+     * that itself forked cannot leave orphaned grandchildren, and a
+     * post-run scan for surviving group members (the child's pid is
+     * the pgid) can *prove* nothing leaked — which is exactly what
+     * lkmm-chaos does after every schedule.
+     */
+    bool newProcessGroup = false;
 };
 
 /** How a child ended. */
@@ -156,6 +165,7 @@ class Child
 
     pid_t pid_ = -1;
     int fd_ = -1;
+    bool processGroup_ = false;
     bool timedOut_ = false;
     bool finished_ = false;
     bool hasDeadline_ = false;

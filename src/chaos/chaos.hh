@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Systematic fault-schedule exploration for the robustness layer.
+ *
+ * The paper's premise — rare interleavings hide real bugs — applies
+ * to our own infrastructure: the journal, the fork sandbox, the
+ * scheduler and the batch runner all have recovery paths that only
+ * run when something goes wrong, which is exactly when they must be
+ * correct.  lkmm-chaos makes "something goes wrong" exhaustive
+ * instead of anecdotal: it enumerates every (site, hit, kind) fault
+ * schedule the registry admits (base/faultinject.hh), runs a fixed
+ * workload under each schedule in a sandboxed child, and then
+ * proves the robustness invariants:
+ *
+ *  1. Crash consistency: after any injected fault, journal::recover
+ *     succeeds, and a resumed run produces a report byte-identical
+ *     to the reference — the faulted run's own report when it
+ *     completed (the fault was absorbed or recorded), the baseline
+ *     report otherwise (the fault killed the run mid-flight).
+ *  2. Torn-tail recovery: the baseline journal truncated at *every*
+ *     byte offset recovers exactly the records whose lines fit
+ *     intact, and a corrupted (bit-flipped, still-parseable) record
+ *     is rejected by the CRC — the --ablate-crc mode disables the
+ *     check precisely to prove the suite would catch that
+ *     regression.
+ *  3. Exit taxonomy: a crash fault dies by SIGKILL (Signaled), a
+ *     hang dies by watchdog (TimedOut), every other fault leaves
+ *     the child exiting cleanly with a structured payload.
+ *  4. No leaks: the child runs as a process-group leader, and after
+ *     it is reaped no process with its pgid survives.
+ *  5. Sound degradation: any truncated result in a report carries
+ *     Verdict::Unknown, never a definite verdict.
+ *
+ * Workloads are two-stage (fresh run of half the corpus, then a
+ * resumed run of all of it) so the resume-only sites — journal
+ * reopen/truncate/recover, sweep-record decode — are reachable in a
+ * single child.
+ */
+
+#ifndef LKMM_CHAOS_CHAOS_HH
+#define LKMM_CHAOS_CHAOS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/faultinject.hh"
+#include "base/json.hh"
+
+namespace lkmm::chaos
+{
+
+struct ChaosOptions
+{
+    /** "sweep" (in-process batch), "sweep-forked" (sandboxed batch,
+     *  reaches the subprocess sites), or "fuzz" (campaign). */
+    std::string workload = "sweep";
+    /** Litmus catalog directory for the sweep workloads. */
+    std::string litmusDir = "litmus/tests";
+    /** How many catalog tests the sweep workloads use. */
+    std::size_t sweepTests = 4;
+    /** Explore hits 1..maxHits of every site. */
+    int maxHits = 2;
+    /** Restrict to these site ids (empty = all registered sites). */
+    std::vector<std::string> sites;
+    /** Restrict to these fault kinds (empty = all). */
+    std::vector<faultinject::FaultKind> kinds;
+    /** tornBytes values explored for torn-write schedules. */
+    std::vector<std::uint32_t> tornOffsets = {0, 1, 9, 25};
+    /**
+     * Ablation mode: disable the journal CRC check globally and
+     * expect the suite to FAIL (the corruption check must report a
+     * violation).  Proves the suite can catch a broken recovery
+     * path.
+     */
+    bool ablateCrc = false;
+    /** Scratch directory for per-schedule journals (required). */
+    std::string workdir;
+    /** Where failing FaultPlans are dumped ("" = don't). */
+    std::string reproDir;
+    /** Watchdog deadline for each chaos child. */
+    std::chrono::nanoseconds childDeadline = std::chrono::seconds(10);
+    /** Per-test watchdog inside the sweep-forked workload; must be
+     *  well under childDeadline so a hanging grandchild is reaped
+     *  by the sweep, not by our watchdog. */
+    std::chrono::nanoseconds taskDeadline = std::chrono::seconds(3);
+    /** Stop after this many schedules (0 = all). */
+    std::size_t maxSchedules = 0;
+    /** Run only this schedule (overrides enumeration). */
+    std::vector<faultinject::FaultPlan> explicitPlans;
+};
+
+/** How one schedule fared. */
+enum class ScheduleStatus
+{
+    /** Fault fired and every invariant held. */
+    Passed,
+    /** The workload never reached the site's k-th hit (vacuous). */
+    NotReached,
+    /** An invariant was violated — a real robustness bug. */
+    Violation,
+};
+
+const char *scheduleStatusName(ScheduleStatus s);
+
+struct ScheduleResult
+{
+    faultinject::FaultPlan plan;
+    ScheduleStatus status = ScheduleStatus::Passed;
+    /** Violation explanations (empty when the schedule passed). */
+    std::vector<std::string> problems;
+    /** How the faulted child ended ("exited 0", "killed by ..."). */
+    std::string childOutcome;
+};
+
+struct ChaosReport
+{
+    std::vector<ScheduleResult> schedules;
+    /** Failures of the baseline-journal checks (every-offset
+     *  truncation, corruption rejection). */
+    std::vector<std::string> journalCheckProblems;
+    /** Infrastructure failure that aborted the run ("" = none). */
+    std::string fatal;
+
+    std::size_t passedCount() const;
+    std::size_t notReachedCount() const;
+    std::size_t violationCount() const;
+    bool ok() const;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+    /** Structured form for --summary json. */
+    json::Value toJson() const;
+};
+
+/** The (site, hit, kind[, tornBytes]) schedules a run will explore. */
+std::vector<faultinject::FaultPlan>
+enumerateSchedules(const ChaosOptions &opts);
+
+/**
+ * Explore every schedule and check the invariants.  Throws
+ * StatusError only for setup problems (bad options, unusable
+ * workdir); schedule outcomes — including violations — are data in
+ * the report.
+ */
+ChaosReport runChaos(const ChaosOptions &opts);
+
+} // namespace lkmm::chaos
+
+#endif // LKMM_CHAOS_CHAOS_HH

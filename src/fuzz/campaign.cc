@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "base/faultinject.hh"
 #include "base/scheduler.hh"
 #include "base/status.hh"
 #include "diy/generator.hh"
@@ -72,6 +73,8 @@ void
 writeRepro(const std::string &dir, const std::string &signature,
            const std::string &text)
 {
+    faultinject::checkSite(faultinject::site::kFuzzRepro,
+                           signature.c_str());
     const std::string path =
         dir + "/" + sanitizeForFilename(signature) + ".litmus";
     std::ofstream out(path, std::ios::trunc);
@@ -209,13 +212,18 @@ runFuzz(const FuzzOptions &opts)
                 writeRepro(opts.corpusDir, f.finding.signature(),
                            f.minimized);
             }
-            if (writer)
+            if (writer) {
+                faultinject::checkSite(
+                    faultinject::site::kFuzzJournal);
                 writer->append(encodeFuzzFinding(f));
+            }
             if (opts.onFinding)
                 opts.onFinding(f);
         }
-        if (writer)
+        if (writer) {
+            faultinject::checkSite(faultinject::site::kFuzzJournal);
             writer->append(encodeFuzzIter(iter));
+        }
         report.iters = iter + 1;
     };
 

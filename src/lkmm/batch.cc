@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <functional>
 #include <mutex>
+#include <thread>
 
 #include <poll.h>
 
 #include "base/faultinject.hh"
+#include "base/rng.hh"
 #include "base/scheduler.hh"
 #include "base/strutil.hh"
 #include "base/subprocess.hh"
@@ -74,7 +77,8 @@ BatchReport::find(const std::string &name) const
 }
 
 BatchRunner::BatchRunner(const Model &model, BatchOptions opts)
-    : model_(model), opts_(std::move(opts))
+    : model_(model), opts_(std::move(opts)),
+      quarantine_(opts_.retry.quarantineDistinctSignatures)
 {
 }
 
@@ -117,6 +121,49 @@ BatchRunner::cancelled() const
     return opts_.budget.cancel && opts_.budget.cancel->cancelled();
 }
 
+std::optional<Status>
+BatchRunner::runWithRetry(const std::string &test, const char *phase,
+                          int &transientRetries,
+                          const std::function<void()> &fn) const
+{
+    const retry::RetryPolicy &policy = opts_.retry;
+    // Jitter is deterministic per (seed, test, phase) so a replayed
+    // schedule backs off identically.
+    Rng rng(opts_.seed ^ std::hash<std::string>{}(test) ^
+            std::hash<std::string>{}(phase));
+    for (int attempt = 1;; ++attempt) {
+        try {
+            fn();
+            return std::nullopt;
+        } catch (const std::exception &e) {
+            const Status status = statusOf(e);
+            const bool transient = retry::classifyException(e) ==
+                                   retry::FailureClass::Transient;
+            if (transient && attempt < policy.maxAttempts &&
+                !quarantine_.quarantined(test)) {
+                const auto delay = policy.delayBefore(attempt, rng);
+                if (delay.count() > 0)
+                    std::this_thread::sleep_for(delay);
+                ++transientRetries;
+                continue;
+            }
+            // Definitive: remember the signature so a task failing
+            // in ever-new ways eventually stops earning retries.
+            quarantine_.record(test,
+                               retry::failureSignature(phase, status));
+            if (quarantine_.quarantined(test)) {
+                return Status(
+                    status.code(),
+                    status.message() +
+                        format(" [quarantined after %zu distinct "
+                               "failures]",
+                               quarantine_.distinctFailures(test)));
+            }
+            return status;
+        }
+    }
+}
+
 std::optional<ItemOutcome>
 BatchRunner::runItem(Item &item, const Model &model,
                      const Model *crossCheck,
@@ -132,46 +179,62 @@ BatchRunner::runItem(Item &item, const Model &model,
                            item.name.c_str());
     faultinject::maybeFail(faultinject::Point::Hang, item.name.c_str());
 
-    // Parse stage (failure-isolated).
+    // Parse stage (failure-isolated; transient faults retried).
     if (!item.prog) {
-        try {
-            item.prog = parseLitmus(item.source);
-        } catch (const std::exception &e) {
+        int parseRetries = 0;
+        std::optional<Status> failed =
+            runWithRetry(item.name, "parse", parseRetries, [&] {
+                faultinject::checkSite(faultinject::site::kBatchParse,
+                                       item.name.c_str());
+                item.prog = parseLitmus(item.source);
+            });
+        if (failed) {
             outcome.failures.push_back(
-                TestFailure{item.name, "parse", statusOf(e)});
+                TestFailure{item.name, "parse", std::move(*failed)});
             return outcome;
         }
     }
 
-    // Run stage with the escalating-budget retry policy.
+    // Run stage: transient failures heal via runWithRetry's backoff;
+    // truncation follows the deterministic escalating-budget
+    // schedule, whose attempt count is journaled.
     BatchItemResult res;
     res.name = item.name;
-    try {
-        RunBudget budget = opts_.budget;
-        budget.shared = sweepTracker;
-        for (;;) {
-            res.result = runTest(*item.prog, model, budget,
-                                 opts_.enumerate);
-            if (res.result.truncated() &&
-                (res.result.trippedBound == BoundKind::Cancelled ||
-                 res.result.trippedBound == BoundKind::SweepBudget)) {
-                // Cancellation and sweep-budget exhaustion are not
-                // per-test properties; the caller drops the item so
-                // a resume reruns it.
-                return std::nullopt;
-            }
-            if (!res.result.truncated() ||
-                res.attempts > opts_.maxRetries) {
-                break;
-            }
-            budget = budget.scaled(opts_.escalation);
-            budget.shared = sweepTracker;
-            ++res.attempts;
+    RunBudget budget = opts_.budget;
+    budget.shared = sweepTracker;
+    for (;;) {
+        std::optional<Status> failed =
+            runWithRetry(item.name, "run", res.transientRetries, [&] {
+                faultinject::checkSite(faultinject::site::kBatchItem,
+                                       item.name.c_str());
+                res.result = runTest(*item.prog, model, budget,
+                                     opts_.enumerate);
+                // The allocation-failure hook in the hot path: an
+                // injected ENOMEM here models the result-copy
+                // allocation failing after a completed search.
+                faultinject::checkSite(faultinject::site::kBatchAlloc,
+                                       item.name.c_str());
+            });
+        if (failed) {
+            outcome.failures.push_back(
+                TestFailure{item.name, "run", std::move(*failed)});
+            return outcome;
         }
-    } catch (const std::exception &e) {
-        outcome.failures.push_back(
-            TestFailure{item.name, "run", statusOf(e)});
-        return outcome;
+        if (res.result.truncated() &&
+            (res.result.trippedBound == BoundKind::Cancelled ||
+             res.result.trippedBound == BoundKind::SweepBudget)) {
+            // Cancellation and sweep-budget exhaustion are not
+            // per-test properties; the caller drops the item so
+            // a resume reruns it.
+            return std::nullopt;
+        }
+        if (!res.result.truncated() ||
+            res.attempts > opts_.retry.budgetRetries) {
+            break;
+        }
+        budget = budget.scaled(opts_.retry.budgetEscalation);
+        budget.shared = sweepTracker;
+        ++res.attempts;
     }
 
     // Cross-check stage: divergences are recorded, not thrown; an
@@ -207,6 +270,8 @@ BatchRunner::record(const std::string &name, ItemOutcome outcome,
                     std::map<std::string, ItemOutcome> &outcomes,
                     journal::Writer *writer)
 {
+    faultinject::checkSite(faultinject::site::kBatchRecord,
+                           name.c_str());
     if (writer) {
         for (const json::Value &rec : toRecords(outcome))
             writer->append(rec);
@@ -311,6 +376,8 @@ ItemOutcome
 decodeChildOutcome(const std::string &name,
                    const subprocess::Outcome &child)
 {
+    faultinject::checkSite(faultinject::site::kBatchChildDecode,
+                           name.c_str());
     ItemOutcome outcome;
     switch (child.kind) {
       case subprocess::ExitKind::TimedOut:
@@ -414,7 +481,33 @@ BatchRunner::runForked(std::vector<Item *> &pending,
                 payload["records"] = json::Value(std::move(records));
                 return json::Value(std::move(payload)).serialize();
             };
-            live.push_back({subprocess::Child::spawn(work, limits), item});
+            // fork/pipe failures under load (EAGAIN, EMFILE) are the
+            // canonical transient fault: retry with backoff, and only
+            // record a failure once the policy gives up.
+            std::optional<subprocess::Child> spawned;
+            int spawnRetries = 0;
+            std::optional<Status> failed =
+                runWithRetry(item->name, "spawn", spawnRetries, [&] {
+                    spawned.emplace(
+                        subprocess::Child::spawn(work, limits));
+                });
+            if (failed) {
+                ItemOutcome outcome;
+                outcome.failures.push_back(TestFailure{
+                    item->name, "spawn", std::move(*failed)});
+                record(item->name, std::move(outcome), outcomes,
+                       writer);
+                continue;
+            }
+            live.push_back({std::move(*spawned), item});
+        }
+        if (live.empty()) {
+            // Every remaining item failed to spawn and was recorded
+            // as a failure.  Polling zero fds with no deadline would
+            // block forever; re-check the loop condition instead
+            // (found by lkmm-chaos: subprocess-pipe:1:error on a
+            // one-test sweep).
+            continue;
         }
 
         // Wait for output or the nearest deadline.
@@ -433,8 +526,17 @@ BatchRunner::runForked(std::vector<Item *> &pending,
                 timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
             }
         }
-        int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+        // EINTR is handled here, not in retryEintr: the wake-up is
+        // how a signal-handler-set cancel token gets noticed.
+        int rc;
+        if (int injected = faultinject::checkSiteErrno(
+                faultinject::site::kSubprocessPoll, EIO)) {
+            errno = injected;
+            rc = -1;
+        } else {
+            rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
                         timeoutMs);
+        }
         if (rc < 0) {
             if (errno == EINTR)
                 continue; // e.g. SIGINT: re-check the cancel token

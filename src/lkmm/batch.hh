@@ -9,11 +9,14 @@
  *  - per-test failure isolation: parser, evaluator and enumerator
  *    errors become structured TestFailure records (see
  *    base/status.hh) and the sweep continues;
- *  - per-test budgets with a retry-with-escalating-budget policy:
- *    a truncated run is retried with every bound scaled by
- *    BatchOptions::escalation, up to maxRetries extra attempts,
- *    and otherwise reported as Completeness::Truncated with the
- *    bound that fired;
+ *  - a structured retry policy (base/retry.hh): transient failures
+ *    (fork EAGAIN, ENOMEM, EINTR-shaped I/O errors) are retried
+ *    with bounded jittered exponential backoff, deterministic
+ *    failures are not, a task that keeps failing in *distinct* ways
+ *    is quarantined, and a truncated run is retried with every
+ *    bound scaled by RetryPolicy::budgetEscalation, up to
+ *    budgetRetries extra attempts, otherwise reported as
+ *    Completeness::Truncated with the bound that fired;
  *  - a cross-check mode: every test that completes under the
  *    primary model is re-run under a reference model (typically
  *    CatModel on lkmm.cat vs the native LkmmModel) and verdict
@@ -46,6 +49,7 @@
 #define LKMM_LKMM_BATCH_HH
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -54,6 +58,7 @@
 
 #include "base/budget.hh"
 #include "base/journal.hh"
+#include "base/retry.hh"
 #include "base/status.hh"
 #include "lkmm/runner.hh"
 
@@ -64,9 +69,10 @@ namespace lkmm
 struct TestFailure
 {
     std::string test;
-    /** Which stage failed: "parse", "run", "cross-check", "crash"
-     *  (child died on a signal or without a result) or "timeout"
-     *  (child SIGKILLed by the watchdog). */
+    /** Which stage failed: "parse", "run", "cross-check", "spawn"
+     *  (forking the sandbox child failed even after retries),
+     *  "crash" (child died on a signal or without a result) or
+     *  "timeout" (child SIGKILLed by the watchdog). */
     std::string phase;
     Status status;
 
@@ -89,8 +95,17 @@ struct BatchItemResult
 {
     std::string name;
     RunResult result;
-    /** Total runTest attempts (1 + retries actually taken). */
+    /** Budget-escalation attempts (1 + escalations actually taken).
+     *  Deterministic for a given test and budget, so it is part of
+     *  the journaled record. */
     int attempts = 1;
+    /**
+     * Transient-failure retries absorbed along the way (backoff
+     * retries that healed).  Deliberately NOT journaled: whether a
+     * fork hit EAGAIN is environment noise, and recording it would
+     * break the byte-identical-resume guarantee.
+     */
+    int transientRetries = 0;
 };
 
 /**
@@ -175,10 +190,14 @@ struct BatchOptions
      * EnumerateOptions).
      */
     EnumerateOptions enumerate;
-    /** Extra attempts granted to truncated tests. */
-    int maxRetries = 0;
-    /** Budget scale factor per retry (see RunBudget::scaled). */
-    double escalation = 8.0;
+    /**
+     * Retry/backoff/quarantine policy (see base/retry.hh).
+     * retry.budgetRetries/budgetEscalation grant truncated tests
+     * extra attempts at scaled budgets (the old maxRetries/
+     * escalation knobs); retry.maxAttempts bounds backoff retries
+     * of transient failures.
+     */
+    retry::RetryPolicy retry;
     /**
      * Reference model for cross-check mode (not owned; null
      * disables).  Must outlive the runner.
@@ -290,6 +309,19 @@ class BatchRunner
     bool cancelled() const;
 
     /**
+     * Run fn under the transient-retry policy: transient failures
+     * (see retry::classifyException) are retried with jittered
+     * backoff up to retry.maxAttempts total attempts, unless the
+     * test is quarantined.  Returns nullopt once fn succeeds, or
+     * the definitive Status to record; transientRetries counts the
+     * retries absorbed.
+     */
+    std::optional<Status>
+    runWithRetry(const std::string &test, const char *phase,
+                 int &transientRetries,
+                 const std::function<void()> &fn) const;
+
+    /**
      * Parse + run + cross-check one item against the given model
      * instances, charging `sweepTracker` (nullable) alongside the
      * per-test budget; nullopt on cancellation or sweep-budget
@@ -321,6 +353,9 @@ class BatchRunner
     BatchOptions opts_;
     std::vector<Item> items_;
     std::set<std::string> names_;
+    /** Per-test distinct-failure ledger; thread-safe, shared by all
+     *  workers of one run. */
+    mutable retry::Quarantine quarantine_;
 };
 
 } // namespace lkmm

@@ -1,5 +1,6 @@
 #include "lkmm/sweep_journal.hh"
 
+#include "base/faultinject.hh"
 #include "base/status.hh"
 
 namespace lkmm
@@ -133,6 +134,7 @@ toJson(const Divergence &divergence)
 std::vector<json::Value>
 toRecords(const ItemOutcome &outcome)
 {
+    faultinject::checkSite(faultinject::site::kSweepEncode);
     std::vector<json::Value> records;
     if (outcome.result)
         records.push_back(toJson(*outcome.result));
@@ -148,6 +150,7 @@ decodeRecord(const json::Value &record,
              std::map<std::string, ItemOutcome> &outcomes,
              std::string *model)
 {
+    faultinject::checkSite(faultinject::site::kSweepDecode);
     const std::string type = record.getString("type");
     if (type == "meta") {
         if (record.getInt("version") != kSweepJournalVersion) {

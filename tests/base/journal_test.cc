@@ -177,5 +177,125 @@ TEST_F(JournalTest, TornNewlineFreeTailAfterValidLine)
     EXPECT_TRUE(rec.droppedTail);
 }
 
+TEST_F(JournalTest, TruncationAtEveryByteOffsetRecoversIntactPrefix)
+{
+    // The crash-consistency property, proven exhaustively: for EVERY
+    // possible torn-write length, recovery returns exactly the
+    // records whose lines fit intact, reports exactly their total
+    // length as trustworthy, and the truncated journal remains
+    // cleanly appendable.
+    const std::string full = path("every_offset_src");
+    {
+        journal::Writer w = journal::Writer::create(full);
+        for (int i = 0; i < 4; ++i)
+            w.append(record(i));
+    }
+    const std::string bytes = readFile(full);
+    std::vector<std::size_t> lineEnds;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        if (bytes[i] == '\n')
+            lineEnds.push_back(i + 1);
+    }
+    ASSERT_EQ(lineEnds.size(), 4u);
+
+    const std::string p = path("every_offset");
+    for (std::size_t offset = 0; offset <= bytes.size(); ++offset) {
+        {
+            std::ofstream out(p, std::ios::binary | std::ios::trunc);
+            out << bytes.substr(0, offset);
+        }
+        std::size_t wantRecords = 0;
+        std::size_t wantValid = 0;
+        for (std::size_t end : lineEnds) {
+            if (end > offset)
+                break;
+            ++wantRecords;
+            wantValid = end;
+        }
+        journal::RecoverResult rec = journal::recover(p);
+        ASSERT_EQ(rec.records.size(), wantRecords) << "offset " << offset;
+        ASSERT_EQ(rec.validBytes, wantValid) << "offset " << offset;
+        ASSERT_EQ(rec.droppedTail, offset != wantValid)
+            << "offset " << offset;
+        for (std::size_t i = 0; i < wantRecords; ++i)
+            ASSERT_EQ(rec.records[i], record(static_cast<int>(i)));
+        // The reopened journal accepts appends at every offset.
+        {
+            journal::Writer w = journal::Writer::append(p, rec.validBytes);
+            w.append(record(99));
+        }
+        journal::RecoverResult again = journal::recover(p);
+        ASSERT_EQ(again.records.size(), wantRecords + 1)
+            << "offset " << offset;
+        ASSERT_EQ(again.records.back(), record(99)) << "offset " << offset;
+    }
+}
+
+TEST_F(JournalTest, FsyncDurabilityWritesTheSameFormat)
+{
+    // Fsync mode changes when bytes are durable, never what they
+    // are: a PageCache reader must accept an Fsync journal and
+    // vice versa.
+    const std::string p = path("fsync");
+    {
+        journal::Writer w =
+            journal::Writer::create(p, journal::Durability::Fsync);
+        w.append(record(0));
+        w.append(record(1));
+    }
+    journal::RecoverResult rec = journal::recover(p);
+    ASSERT_EQ(rec.records.size(), 2u);
+    EXPECT_FALSE(rec.droppedTail);
+
+    // Torn-tail repair works identically in Fsync mode.
+    const std::string third = journal::encodeLine(record(2));
+    appendRaw(p, third.substr(0, third.size() / 3));
+    journal::RecoverResult torn = journal::recover(p);
+    ASSERT_EQ(torn.records.size(), 2u);
+    {
+        journal::Writer w = journal::Writer::append(
+            p, torn.validBytes, journal::Durability::Fsync);
+        w.append(record(2));
+    }
+    journal::RecoverResult again = journal::recover(p);
+    ASSERT_EQ(again.records.size(), 3u);
+    EXPECT_EQ(again.records[2], record(2));
+}
+
+TEST_F(JournalTest, CrcAblationHookDisablesCorruptionDetection)
+{
+    // The hook exists so lkmm-chaos --ablate-crc can prove the suite
+    // notices a CRC regression; this test pins the hook's semantics
+    // (and restores it, whatever happens).
+    struct Restore
+    {
+        ~Restore() { journal::testing::setCrcChecksDisabled(false); }
+    } restore;
+
+    std::string line = journal::encodeLine(record(1));
+    line.pop_back(); // strip '\n'
+    // Flip a digit inside the data so the JSON stays well-formed.
+    const std::size_t dataPos = line.find("\"data\"");
+    ASSERT_NE(dataPos, std::string::npos);
+    std::size_t flip = std::string::npos;
+    for (std::size_t i = dataPos; i < line.size(); ++i) {
+        if (line[i] >= '0' && line[i] <= '9') {
+            flip = i;
+            break;
+        }
+    }
+    ASSERT_NE(flip, std::string::npos);
+    line[flip] = static_cast<char>('0' + (line[flip] - '0' + 1) % 10);
+
+    EXPECT_FALSE(journal::decodeLine(line).has_value())
+        << "with CRC checks on, the corrupt record is rejected";
+    journal::testing::setCrcChecksDisabled(true);
+    EXPECT_TRUE(journal::testing::crcChecksDisabled());
+    EXPECT_TRUE(journal::decodeLine(line).has_value())
+        << "ablated: the corrupt record is (wrongly) accepted";
+    journal::testing::setCrcChecksDisabled(false);
+    EXPECT_FALSE(journal::decodeLine(line).has_value());
+}
+
 } // namespace
 } // namespace lkmm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The retry/backoff policy layer (base/retry): transient-vs-
+ * persistent classification, signature normalization, deterministic
+ * jittered backoff, and the distinct-failure quarantine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "base/retry.hh"
+#include "base/rng.hh"
+#include "base/status.hh"
+
+namespace lkmm::retry
+{
+namespace
+{
+
+TEST(Classify, DeterministicCodesArePersistent)
+{
+    EXPECT_EQ(classify(Status(StatusCode::ParseError, "x")),
+              FailureClass::Persistent);
+    EXPECT_EQ(classify(Status(StatusCode::EvalError, "x")),
+              FailureClass::Persistent);
+    EXPECT_EQ(classify(Status(StatusCode::InvalidArgument, "x")),
+              FailureClass::Persistent);
+    EXPECT_EQ(classify(Status(StatusCode::BudgetExceeded, "x")),
+              FailureClass::Persistent);
+}
+
+TEST(Classify, ResourceShapedIoErrorsAreTransient)
+{
+    EXPECT_EQ(classify(Status(StatusCode::Internal,
+                              "fork failed: Resource temporarily "
+                              "unavailable")),
+              FailureClass::Transient);
+    EXPECT_EQ(classify(Status(StatusCode::IoError,
+                              "read failed: Interrupted system call")),
+              FailureClass::Transient);
+    EXPECT_EQ(classify(Status(StatusCode::Internal,
+                              "injected fault (enomem) at batch-alloc")),
+              FailureClass::Transient);
+    EXPECT_EQ(classify(Status(StatusCode::IoError,
+                              "disk on fire")),
+              FailureClass::Persistent);
+}
+
+TEST(Classify, BadAllocExceptionIsTransient)
+{
+    try {
+        throw std::bad_alloc();
+    } catch (const std::exception &e) {
+        EXPECT_EQ(classifyException(e), FailureClass::Transient);
+    }
+    try {
+        throw StatusError(Status(StatusCode::ParseError, "nope"));
+    } catch (const std::exception &e) {
+        EXPECT_EQ(classifyException(e), FailureClass::Persistent);
+    }
+}
+
+TEST(FailureSignature, NormalizesDigitRuns)
+{
+    const std::string a = failureSignature(
+        "run", Status(StatusCode::Internal, "pid 12345 died at 0x7f3a"));
+    const std::string b = failureSignature(
+        "run", Status(StatusCode::Internal, "pid 999 died at 0x7f3a"));
+    EXPECT_EQ(a, b) << "volatile numbers must not split buckets";
+    const std::string c = failureSignature(
+        "parse", Status(StatusCode::Internal, "pid 12345 died at 0x7f3a"));
+    EXPECT_NE(a, c) << "phase is part of the signature";
+}
+
+TEST(RetryPolicy, BackoffIsDeterministicBoundedAndGrowing)
+{
+    RetryPolicy policy;
+    policy.baseDelay = std::chrono::microseconds(100);
+    policy.maxDelay = std::chrono::microseconds(1000);
+    policy.multiplier = 2.0;
+    policy.jitter = 0.5;
+
+    Rng a(42), b(42);
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+        const auto da = policy.delayBefore(attempt, a);
+        const auto db = policy.delayBefore(attempt, b);
+        EXPECT_EQ(da.count(), db.count()) << "same seed, same delay";
+        EXPECT_LE(da, policy.maxDelay + policy.maxDelay / 2)
+            << "cap plus jitter headroom";
+        EXPECT_GE(da.count(), 0);
+    }
+    // Without jitter the ramp is exactly exponential-with-cap.
+    policy.jitter = 0.0;
+    Rng c(1);
+    EXPECT_EQ(policy.delayBefore(1, c).count(), 100);
+    EXPECT_EQ(policy.delayBefore(2, c).count(), 200);
+    EXPECT_EQ(policy.delayBefore(3, c).count(), 400);
+    EXPECT_EQ(policy.delayBefore(6, c).count(), 1000) << "capped";
+}
+
+TEST(QuarantineTest, TripsOnDistinctSignaturesOnly)
+{
+    Quarantine q(3);
+    EXPECT_FALSE(q.record("LB", "run/internal/sig-a"));
+    EXPECT_FALSE(q.record("LB", "run/internal/sig-a"))
+        << "repeat of a known signature must not advance the count";
+    EXPECT_FALSE(q.record("LB", "run/internal/sig-b"));
+    EXPECT_FALSE(q.quarantined("LB"));
+    EXPECT_TRUE(q.record("LB", "run/internal/sig-c"))
+        << "third distinct signature trips";
+    EXPECT_TRUE(q.quarantined("LB"));
+    EXPECT_EQ(q.distinctFailures("LB"), 3u);
+    // Only the tripping record() returns true.
+    EXPECT_FALSE(q.record("LB", "run/internal/sig-d"));
+    EXPECT_TRUE(q.quarantined("LB"));
+}
+
+TEST(QuarantineTest, TasksAreIndependent)
+{
+    Quarantine q(1);
+    EXPECT_TRUE(q.record("LB", "run/internal/x"));
+    EXPECT_FALSE(q.quarantined("MP"));
+    EXPECT_TRUE(q.record("MP", "run/internal/x"));
+}
+
+} // namespace
+} // namespace lkmm::retry

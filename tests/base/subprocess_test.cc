@@ -13,6 +13,10 @@
 #include <ctime>
 #include <string>
 
+#include <unistd.h>
+
+#include "base/faultinject.hh"
+#include "base/status.hh"
 #include "base/subprocess.hh"
 
 namespace lkmm
@@ -157,6 +161,70 @@ TEST(Subprocess, OutcomeDescribeShapes)
     signaled.kind = ExitKind::Signaled;
     signaled.signal = SIGKILL;
     EXPECT_NE(signaled.describe().find("signal 9"), std::string::npos);
+}
+
+TEST(Subprocess, NewProcessGroupMakesChildTheGroupLeader)
+{
+    Limits limits;
+    limits.newProcessGroup = true;
+    const Outcome out = runIsolated(
+        [] { return std::to_string(::getpgid(0)) + ":" +
+                    std::to_string(::getpid()); },
+        limits);
+    ASSERT_TRUE(out.ok()) << out.describe();
+    const std::size_t colon = out.output.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_EQ(out.output.substr(0, colon), out.output.substr(colon + 1))
+        << "the child's pid must be its pgid";
+
+    // Without the flag the child stays in the parent's group.
+    const Outcome same = runIsolated(
+        [] { return std::to_string(::getpgid(0)); });
+    ASSERT_TRUE(same.ok());
+    EXPECT_EQ(same.output, std::to_string(::getpgid(0)));
+}
+
+TEST(Subprocess, InjectedEintrOnReadIsAbsorbed)
+{
+    // retryEintr around the parent's pipe read: one injected EINTR
+    // must be invisible to the caller.
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kSubprocessRead;
+    plan.kind = faultinject::FaultKind::Eintr;
+    faultinject::setPlan(plan);
+    const Outcome out = runIsolated([] { return std::string("ok"); });
+    EXPECT_TRUE(faultinject::planFired());
+    faultinject::reset();
+    ASSERT_TRUE(out.ok()) << out.describe();
+    EXPECT_EQ(out.output, "ok");
+}
+
+TEST(Subprocess, InjectedEintrOnWaitpidIsAbsorbed)
+{
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kSubprocessWaitpid;
+    plan.kind = faultinject::FaultKind::Eintr;
+    faultinject::setPlan(plan);
+    const Outcome out = runIsolated([] { return std::string("ok"); });
+    EXPECT_TRUE(faultinject::planFired());
+    faultinject::reset();
+    ASSERT_TRUE(out.ok()) << out.describe();
+}
+
+TEST(Subprocess, InjectedForkFailureSurfacesAsStatusError)
+{
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kSubprocessFork;
+    plan.kind = faultinject::FaultKind::Error;
+    faultinject::setPlan(plan);
+    EXPECT_THROW(runIsolated([] { return std::string("never"); }),
+                 StatusError);
+    EXPECT_TRUE(faultinject::planFired());
+    faultinject::reset();
+    // One-shot: the next spawn succeeds (this is what lets the batch
+    // runner's transient-retry policy heal a flaky fork).
+    const Outcome out = runIsolated([] { return std::string("ok"); });
+    ASSERT_TRUE(out.ok());
 }
 
 } // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The chaos engine's schedule enumerator (src/chaos/chaos): full
+ * coverage of the site registry, filter semantics, torn-offset
+ * expansion, and the explicit-plan override.  The end-to-end
+ * invariant battery runs as the lkmm-chaos CLI smoke tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "chaos/chaos.hh"
+
+namespace lkmm::chaos
+{
+namespace
+{
+
+TEST(EnumerateSchedules, CoversEverySupportedSiteKindPair)
+{
+    ChaosOptions opts;
+    opts.maxHits = 1;
+    opts.tornOffsets = {0};
+    const auto plans = enumerateSchedules(opts);
+
+    std::set<std::pair<std::string, int>> seen;
+    for (const faultinject::FaultPlan &p : plans) {
+        EXPECT_EQ(p.hit, 1u);
+        const faultinject::SiteInfo *info = faultinject::findSite(p.site);
+        ASSERT_NE(info, nullptr) << p.site;
+        EXPECT_TRUE(info->supports(p.kind)) << p.toString();
+        seen.insert({p.site, static_cast<int>(p.kind)});
+    }
+    // Every (site, kind) the registry admits appears exactly once.
+    std::size_t want = 0;
+    for (const faultinject::SiteInfo &info : faultinject::siteRegistry()) {
+        for (int k = 0; k < faultinject::kNumFaultKinds; ++k) {
+            if (info.supports(static_cast<faultinject::FaultKind>(k)))
+                ++want;
+        }
+    }
+    EXPECT_EQ(seen.size(), want);
+    EXPECT_EQ(plans.size(), want) << "single hit, single torn offset";
+    EXPECT_GE(seen.size(), 25u) << "registry floor";
+}
+
+TEST(EnumerateSchedules, MaxHitsAndTornOffsetsMultiply)
+{
+    ChaosOptions opts;
+    opts.sites = {faultinject::site::kJournalWrite};
+    opts.maxHits = 2;
+    opts.tornOffsets = {0, 1, 9};
+    const auto plans = enumerateSchedules(opts);
+    // journal-write supports error, torn-write, crash, hang, enomem:
+    // 4 plain kinds x 2 hits + torn-write x 2 hits x 3 offsets.
+    EXPECT_EQ(plans.size(), 4u * 2 + 2 * 3);
+    std::size_t torn = 0;
+    for (const auto &p : plans) {
+        EXPECT_EQ(p.site, faultinject::site::kJournalWrite);
+        EXPECT_LE(p.hit, 2u);
+        if (p.kind == faultinject::FaultKind::TornWrite)
+            ++torn;
+    }
+    EXPECT_EQ(torn, 6u);
+}
+
+TEST(EnumerateSchedules, KindFilterRestricts)
+{
+    ChaosOptions opts;
+    opts.maxHits = 1;
+    opts.kinds = {faultinject::FaultKind::Eintr};
+    const auto plans = enumerateSchedules(opts);
+    ASSERT_FALSE(plans.empty());
+    for (const auto &p : plans)
+        EXPECT_EQ(p.kind, faultinject::FaultKind::Eintr);
+}
+
+TEST(EnumerateSchedules, MaxSchedulesTruncatesAndExplicitPlanWins)
+{
+    ChaosOptions opts;
+    opts.maxSchedules = 5;
+    EXPECT_EQ(enumerateSchedules(opts).size(), 5u);
+
+    opts.explicitPlans.push_back(
+        faultinject::FaultPlan::parse("journal-write:2:torn-write:7"));
+    const auto plans = enumerateSchedules(opts);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].toString(), "journal-write:2:torn-write:7");
+}
+
+TEST(ChaosReportShape, CountsAndSummary)
+{
+    ChaosReport report;
+    ScheduleResult pass;
+    pass.status = ScheduleStatus::Passed;
+    ScheduleResult miss;
+    miss.status = ScheduleStatus::NotReached;
+    ScheduleResult bad;
+    bad.status = ScheduleStatus::Violation;
+    bad.problems.push_back("boom");
+    report.schedules = {pass, miss, bad};
+
+    EXPECT_EQ(report.passedCount(), 1u);
+    EXPECT_EQ(report.notReachedCount(), 1u);
+    EXPECT_EQ(report.violationCount(), 1u);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.summary().find("1 violations"), std::string::npos);
+
+    const json::Value j = report.toJson();
+    EXPECT_EQ(j.getInt("violations"), 1);
+    EXPECT_FALSE(j.getBool("ok", true));
+
+    report.schedules.pop_back();
+    EXPECT_TRUE(report.ok());
+    report.journalCheckProblems.push_back("corrupt accepted");
+    EXPECT_FALSE(report.ok()) << "journal-check failures fail the run";
+}
+
+} // namespace
+} // namespace lkmm::chaos

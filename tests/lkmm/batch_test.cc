@@ -118,8 +118,8 @@ TEST(Batch, RetryEscalationCompletesTruncatedRuns)
 
     BatchOptions opts;
     opts.budget.maxCandidates = 1;
-    opts.maxRetries = 10;
-    opts.escalation = 4.0;
+    opts.retry.budgetRetries = 10;
+    opts.retry.budgetEscalation = 4.0;
     BatchRunner runner(model, opts);
     runner.add(p.name, p);
 
@@ -237,6 +237,125 @@ TEST_F(BatchFaultTest, InjectedParserFaultIsIsolated)
     EXPECT_EQ(report.failures[0].phase, "parse");
     EXPECT_EQ(report.failures[0].status.code(), StatusCode::Internal);
     ASSERT_NE(report.find("SB"), nullptr);
+}
+
+TEST_F(BatchFaultTest, TransientEnomemHealsWithBackoffRetry)
+{
+    // An injected bad_alloc at the batch allocation hook is the
+    // canonical transient failure: the retry policy absorbs it and
+    // the test still completes, with the healed retry counted in
+    // transientRetries (NOT in the journaled attempts field).
+    LkmmModel model;
+    BatchOptions opts;
+    opts.retry.baseDelay = std::chrono::microseconds(1);
+    BatchRunner runner(model, opts);
+    runner.add("SB", sb());
+
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kBatchAlloc;
+    plan.kind = faultinject::FaultKind::Enomem;
+    faultinject::setPlan(plan);
+    BatchReport report = runner.run();
+
+    EXPECT_TRUE(faultinject::planFired());
+    EXPECT_TRUE(report.failures.empty());
+    const BatchItemResult *res = report.find("SB");
+    ASSERT_NE(res, nullptr);
+    EXPECT_EQ(res->result.verdict, Verdict::Allow);
+    EXPECT_EQ(res->transientRetries, 1);
+    EXPECT_EQ(res->attempts, 1)
+        << "transient retries must not inflate the journaled attempts";
+}
+
+TEST_F(BatchFaultTest, PersistentFaultIsNotRetried)
+{
+    LkmmModel model;
+    BatchOptions opts;
+    opts.retry.baseDelay = std::chrono::microseconds(1);
+    BatchRunner runner(model, opts);
+    runner.add("SB", sb());
+
+    // An Error-kind fault produces a non-transient message; the
+    // policy must record it without burning retry attempts.
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kBatchItem;
+    plan.kind = faultinject::FaultKind::Error;
+    faultinject::setPlan(plan);
+    BatchReport report = runner.run();
+
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].test, "SB");
+    EXPECT_EQ(report.failures[0].phase, "run");
+    EXPECT_EQ(report.find("SB"), nullptr);
+}
+
+TEST_F(BatchFaultTest, QuarantineMarksRepeatOffenders)
+{
+    // Directly exercise the quarantine path runWithRetry uses: a
+    // task accumulating distinct failure signatures is cut off.
+    retry::Quarantine q(2);
+    EXPECT_FALSE(q.record(
+        "LB", retry::failureSignature(
+                  "run", Status(StatusCode::Internal, "boom at 3"))));
+    EXPECT_FALSE(q.record(
+        "LB", retry::failureSignature(
+                  "run", Status(StatusCode::Internal, "boom at 7"))))
+        << "digit-normalized: same signature, count stays at 1";
+    EXPECT_TRUE(q.record(
+        "LB", retry::failureSignature(
+                  "run", Status(StatusCode::IoError, "disk gone"))));
+    EXPECT_TRUE(q.quarantined("LB"));
+}
+
+TEST_F(BatchFaultTest, ForkedSpawnFailureIsRecordedNotHung)
+{
+    // Regression test for the zero-fd infinite poll found by
+    // lkmm-chaos (subprocess-pipe:1:error on a one-test forked
+    // sweep): the spawn failure must become a TestFailure and the
+    // sweep must return, not block.
+    LkmmModel model;
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    opts.workers = 2;
+    opts.taskDeadline = std::chrono::seconds(30);
+    opts.retry.baseDelay = std::chrono::microseconds(1);
+    BatchRunner runner(model, opts);
+    runner.add("SB", sb());
+
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kSubprocessPipe;
+    plan.kind = faultinject::FaultKind::Error;
+    faultinject::setPlan(plan);
+    BatchReport report = runner.run();
+
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].test, "SB");
+    EXPECT_EQ(report.failures[0].phase, "spawn");
+}
+
+TEST_F(BatchFaultTest, ForkedSpawnTransientFailureHeals)
+{
+    // An injected EAGAIN-shaped fork failure is transient: the retry
+    // policy respawns and the test completes normally.
+    LkmmModel model;
+    BatchOptions opts;
+    opts.isolation = IsolationMode::Forked;
+    opts.workers = 1;
+    opts.taskDeadline = std::chrono::seconds(30);
+    opts.retry.baseDelay = std::chrono::microseconds(1);
+    BatchRunner runner(model, opts);
+    runner.add("SB", sb());
+
+    faultinject::FaultPlan plan;
+    plan.site = faultinject::site::kSubprocessFork;
+    plan.kind = faultinject::FaultKind::Error; // "fork failed: EAGAIN..."
+    faultinject::setPlan(plan);
+    BatchReport report = runner.run();
+
+    EXPECT_TRUE(faultinject::planFired());
+    EXPECT_TRUE(report.failures.empty()) << "spawn retry should heal";
+    ASSERT_NE(report.find("SB"), nullptr);
+    EXPECT_EQ(report.find("SB")->result.verdict, Verdict::Allow);
 }
 
 } // namespace

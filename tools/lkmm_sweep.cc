@@ -262,9 +262,9 @@ main(int argc, char **argv)
             else if (arg == "--max-rf")
                 opts.budget.maxRfAssignments = std::stoull(next());
             else if (arg == "--retries")
-                opts.maxRetries = std::stoi(next());
+                opts.retry.budgetRetries = std::stoi(next());
             else if (arg == "--escalation")
-                opts.escalation = std::stod(next());
+                opts.retry.budgetEscalation = std::stod(next());
             else if (arg == "--summary")
                 summaryFormat = next();
             else if (arg == "--out")
