@@ -335,6 +335,13 @@ siteRegistry()
         {site::kFuzzJournal, "fuzz-campaign journal append",
          kErr | kMem},
         {site::kFuzzRepro, "fuzz repro corpus write", kErr},
+        {site::kServeAccept, "serve daemon accept()", kErr | kEintr},
+        {site::kServeRequestRead, "serve request-frame read",
+         kErr | kEintr},
+        {site::kServeResponseWrite, "serve response-frame write",
+         kErr | kEintr},
+        {site::kServeCacheWrite, "serve verdict-cache append",
+         kErr | kCrash | kHang | kMem},
     };
     return registry;
 }

@@ -189,6 +189,12 @@ inline constexpr const char *kSweepDecode = "sweep-decode";
 /* fuzz campaign */
 inline constexpr const char *kFuzzJournal = "fuzz-journal";
 inline constexpr const char *kFuzzRepro = "fuzz-repro";
+/* serve daemon */
+inline constexpr const char *kServeAccept = "serve-accept";
+inline constexpr const char *kServeRequestRead = "serve-request-read";
+inline constexpr const char *kServeResponseWrite =
+    "serve-response-write";
+inline constexpr const char *kServeCacheWrite = "serve-cache-write";
 } // namespace site
 
 /** One entry of the fault-site registry. */

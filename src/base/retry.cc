@@ -20,6 +20,13 @@ const char *const kTransientMarkers[] = {
     "Cannot allocate memory",
     "bad_alloc",
     "injected fault (enomem)",
+    // A client vanishing mid-conversation is transient *per client*:
+    // the daemon drops that connection and keeps serving everyone
+    // else (lkmm-serve must never die because one reader went away).
+    "EPIPE",
+    "ECONNRESET",
+    "Broken pipe",
+    "Connection reset by peer",
 };
 
 bool

@@ -15,15 +15,18 @@
 #include <dirent.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/un.h>
 
 #include "base/journal.hh"
 #include "base/status.hh"
 #include "base/subprocess.hh"
 #include "fuzz/campaign.hh"
+#include "litmus/printer.hh"
 #include "lkmm/batch.hh"
 #include "lkmm/catalog.hh"
 #include "lkmm/sweep_journal.hh"
 #include "model/lkmm_model.hh"
+#include "serve/server.hh"
 
 namespace lkmm::chaos
 {
@@ -187,6 +190,134 @@ runFuzzWorkload(const std::string &journalPath,
     return canonicalFuzzContent(full);
 }
 
+/**
+ * Where the serve workload's listening socket lives.  sun_path is
+ * only ~108 bytes, so a deeply nested --workdir can overflow it; in
+ * that case fall back to a short mkdtemp under /tmp (the journal —
+ * the thing the chaos invariants inspect — stays in scheduleDir
+ * regardless).
+ */
+std::string
+serveSocketPath(const std::string &scheduleDir)
+{
+    const std::string preferred = scheduleDir + "/serve.sock";
+    if (preferred.size() < sizeof(sockaddr_un::sun_path))
+        return preferred;
+    char tmpl[] = "/tmp/lkmm-chaos-serve-XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+        throw StatusError(Status(StatusCode::IoError,
+                                 std::string("mkdtemp: ") +
+                                     std::strerror(errno)));
+    }
+    return std::string(tmpl) + "/serve.sock";
+}
+
+/**
+ * One verify request against a live daemon, with bounded retries.
+ *
+ * Fault plans are one-shot, so any transport failure or error
+ * response (a torn accept, a dropped connection, a shed) must
+ * succeed on a fresh connection; if it still fails after the retry
+ * budget the schedule found a real stuck-client bug and we throw.
+ * The 2 s receive timeout is what turns a wedged server into an
+ * IoError instead of a hung child — hang-kind schedules then run
+ * the retries dry and die by watchdog, which the exit taxonomy
+ * expects.
+ */
+json::Value
+serveRequest(const std::string &socketPath, const json::Value &req)
+{
+    std::string lastError;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        try {
+            serve::Client client = serve::Client::connect(socketPath);
+            client.setTimeout(std::chrono::milliseconds(2000));
+            json::Value resp = client.request(req);
+            if (resp.getString("status") == "ok")
+                return resp;
+            lastError = resp.serialize();
+        } catch (const std::exception &e) {
+            lastError = e.what();
+        }
+    }
+    throw StatusError(Status(StatusCode::Internal,
+                             "serve request did not succeed after "
+                             "retries: " +
+                                 lastError));
+}
+
+/**
+ * Two-stage serve workload: stage A starts a daemon with its verdict
+ * cache journaled at journalPath and verifies the first half of the
+ * corpus (populating the cache); stage B restarts the daemon on the
+ * same journal — the warm-recovery path — and verifies the full
+ * corpus.  A crash-kind schedule at serve-cache-write is therefore
+ * exactly the advertised kill -9 mid-append, and the resume child
+ * proves the surviving journal prefix still yields byte-identical
+ * verdicts.
+ *
+ * Canonical content is the sorted array of "result" objects only:
+ * those are deterministic (no deadlines, so every run completes)
+ * whether a given reply came from the cache or a fresh computation.
+ */
+std::string
+runServeWorkload(const ChaosOptions &opts, const std::string &journalPath,
+                 const std::string &scheduleDir, bool resumeOnly)
+{
+    std::vector<std::pair<std::string, std::string>> tests;
+    for (const CatalogEntry &entry : sweepCorpus(opts)) {
+        if (auto printed = tryPrintLitmus(entry.prog))
+            tests.emplace_back(entry.prog.name, *printed);
+    }
+    if (tests.size() < 2) {
+        throw StatusError(Status(StatusCode::Internal,
+                                 "serve workload needs >=2 printable "
+                                 "catalog tests"));
+    }
+
+    serve::ServeOptions so;
+    so.socketPath = serveSocketPath(scheduleDir);
+    so.workers = 2;
+    so.maxPending = 16;
+    so.cache.path = journalPath;
+
+    auto stage = [&](std::size_t count, json::Array *out) {
+        serve::Server server(so);
+        server.start();
+        for (std::size_t i = 0; i < count; ++i) {
+            json::Object req;
+            req["op"] = json::Value(std::string("verify"));
+            req["litmus"] = json::Value(tests[i].second);
+            const json::Value resp =
+                serveRequest(so.socketPath, json::Value(std::move(req)));
+            if (out != nullptr) {
+                const json::Value *result = resp.get("result");
+                if (result == nullptr) {
+                    throw StatusError(Status(StatusCode::Internal,
+                                             "ok response without result"));
+                }
+                out->push_back(*result);
+            }
+        }
+        server.stop();
+    };
+
+    if (!resumeOnly)
+        stage(tests.size() / 2, nullptr);
+    json::Array results;
+    stage(tests.size(), &results);
+
+    std::sort(results.begin(), results.end(),
+              [](const json::Value &a, const json::Value &b) {
+                  return a.getString("test") < b.getString("test");
+              });
+    json::Object o;
+    o["results"] = json::Value(std::move(results));
+    return json::Value(std::move(o)).serialize();
+}
+
 std::string
 runWorkload(const ChaosOptions &opts, const std::string &scheduleDir,
             bool resumeOnly)
@@ -204,9 +335,13 @@ runWorkload(const ChaosOptions &opts, const std::string &scheduleDir,
         return runFuzzWorkload(journalPath, scheduleDir + "/corpus",
                                resumeOnly);
     }
+    if (opts.workload == "serve") {
+        return runServeWorkload(opts, journalPath, scheduleDir,
+                                resumeOnly);
+    }
     throw StatusError(Status(StatusCode::InvalidArgument,
                              "unknown chaos workload '" + opts.workload +
-                                 "' (sweep, sweep-forked, fuzz)"));
+                                 "' (sweep, sweep-forked, fuzz, serve)"));
 }
 
 // Child protocol -----------------------------------------------------

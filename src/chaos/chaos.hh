@@ -54,7 +54,9 @@ namespace lkmm::chaos
 struct ChaosOptions
 {
     /** "sweep" (in-process batch), "sweep-forked" (sandboxed batch,
-     *  reaches the subprocess sites), or "fuzz" (campaign). */
+     *  reaches the subprocess sites), "fuzz" (campaign), or "serve"
+     *  (daemon with journaled verdict cache; reaches the serve-*
+     *  sites). */
     std::string workload = "sweep";
     /** Litmus catalog directory for the sweep workloads. */
     std::string litmusDir = "litmus/tests";

@@ -1,0 +1,240 @@
+#include "serve/cache.hh"
+
+#include <cstdio>
+
+#include "base/faultinject.hh"
+#include "base/status.hh"
+#include "litmus/printer.hh"
+
+namespace lkmm::serve
+{
+
+std::string
+canonicalFingerprint(const Program &prog, const std::string &rawSource)
+{
+    if (std::optional<std::string> printed = tryPrintLitmus(prog))
+        return *printed;
+    return rawSource;
+}
+
+std::string
+cacheKey(const std::string &fingerprint, const std::string &modelSpec,
+         const EnumerateOptions &opts)
+{
+    json::Object key;
+    key["fp"] = fingerprint;
+    key["model"] = modelSpec;
+    key["prune"] = opts.prune;
+    return json::Value(std::move(key)).serialize();
+}
+
+VerdictCache::VerdictCache(CacheOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.path.empty())
+        return;
+
+    const journal::RecoverResult recovered =
+        journal::recover(opts_.path);
+    stats_.droppedTail = recovered.droppedTail;
+    for (const json::Value &record : recovered.records) {
+        const json::Value *key = record.get("key");
+        const json::Value *result = record.get("result");
+        if (!key || !key->isString() || !result)
+            continue; // foreign record shape: ignore, don't reject
+        auto it = index_.find(key->asString());
+        if (it != index_.end()) {
+            // Later appends win, and count as a use for LRU order.
+            it->second->second = *result;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            continue;
+        }
+        lru_.emplace_front(key->asString(), *result);
+        index_[key->asString()] = lru_.begin();
+    }
+    // Journal replay pushes each record to the front, so the list is
+    // now newest-first — already LRU order.  Trim to capacity before
+    // anyone can hit the excess.
+    while (opts_.maxEntries != 0 && lru_.size() > opts_.maxEntries) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+    stats_.recoveredEntries = lru_.size();
+
+    writer_.emplace(journal::Writer::append(
+        opts_.path, recovered.validBytes, opts_.durability));
+    journalBytes_ = recovered.validBytes;
+}
+
+VerdictCache::~VerdictCache()
+{
+    close();
+}
+
+std::optional<json::Value>
+VerdictCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+void
+VerdictCache::insert(const std::string &key, const json::Value &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Deterministic recompute: the stored value is already the
+        // canonical answer, so refresh recency and skip the journal.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, result);
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+    appendLocked(key, result);
+    evictLocked();
+    if (writer_ && opts_.compactBytes != 0 &&
+        journalBytes_ > opts_.compactBytes) {
+        compactLocked();
+    }
+}
+
+void
+VerdictCache::appendLocked(const std::string &key,
+                           const json::Value &result)
+{
+    if (!writer_)
+        return;
+    try {
+        faultinject::checkSite(faultinject::site::kServeCacheWrite,
+                               key.c_str());
+        json::Object record;
+        record["key"] = key;
+        record["result"] = result;
+        const json::Value value(std::move(record));
+        writer_->append(value);
+        journalBytes_ += journal::encodeLine(value).size();
+    } catch (...) {
+        // The append may have left a torn record; anything written
+        // after it would be unrecoverable (recovery stops at the
+        // first bad line).  Demote to memory-only instead of failing
+        // the request — cache durability is best-effort by contract.
+        ++stats_.writeErrors;
+        try {
+            writer_->close();
+        } catch (...) {
+        }
+        writer_.reset();
+    }
+}
+
+void
+VerdictCache::evictLocked()
+{
+    while (opts_.maxEntries != 0 && lru_.size() > opts_.maxEntries) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+VerdictCache::compactLocked()
+{
+    if (!writer_)
+        return;
+    const std::string tmpPath = opts_.path + ".compact";
+    try {
+        journal::Writer tmp =
+            journal::Writer::create(tmpPath, opts_.durability);
+        std::uint64_t bytes = 0;
+        // Oldest-first, so replaying the compacted journal rebuilds
+        // the exact LRU order the live cache has now.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            json::Object record;
+            record["key"] = it->first;
+            record["result"] = it->second;
+            const json::Value value(std::move(record));
+            tmp.append(value);
+            bytes += journal::encodeLine(value).size();
+        }
+        tmp.close();
+        writer_->close();
+        writer_.reset();
+        if (std::rename(tmpPath.c_str(), opts_.path.c_str()) != 0) {
+            throw StatusError(Status(
+                StatusCode::IoError,
+                "rename of compacted cache journal failed"));
+        }
+        writer_.emplace(journal::Writer::append(opts_.path, bytes,
+                                                opts_.durability));
+        journalBytes_ = bytes;
+        ++stats_.compactions;
+    } catch (...) {
+        ++stats_.writeErrors;
+        std::remove(tmpPath.c_str());
+        // If the original journal is still open we keep appending to
+        // it (compaction retries at the next threshold crossing);
+        // otherwise the cache is memory-only from here on.
+        if (writer_ && !writer_->isOpen())
+            writer_.reset();
+    }
+}
+
+void
+VerdictCache::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (writer_)
+        writer_->sync();
+}
+
+void
+VerdictCache::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (writer_) {
+        try {
+            writer_->close();
+        } catch (...) {
+        }
+        writer_.reset();
+    }
+}
+
+void
+VerdictCache::compactNow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    compactLocked();
+}
+
+CacheStats
+VerdictCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+VerdictCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+std::uint64_t
+VerdictCache::journalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return journalBytes_;
+}
+
+} // namespace lkmm::serve

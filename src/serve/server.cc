@@ -1,0 +1,591 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "base/eintr.hh"
+#include "base/faultinject.hh"
+#include "base/status.hh"
+#include "base/strutil.hh"
+#include "litmus/parser.hh"
+#include "lkmm/runner.hh"
+
+namespace lkmm::serve
+{
+
+namespace
+{
+
+json::Value
+errorValue(const Status &status)
+{
+    json::Object o;
+    o["status"] = "error";
+    o["code"] = statusCodeName(status.code());
+    o["message"] = status.message();
+    return o;
+}
+
+/**
+ * A shed response is sound degradation, not an error: the daemon
+ * declined to spend the work, so the only honest verdict is Unknown
+ * — the same contract as a tripped RunBudget bound.
+ */
+json::Value
+shedValue(const char *reason)
+{
+    json::Object o;
+    o["status"] = "shed";
+    o["reason"] = reason;
+    o["verdict"] = verdictName(Verdict::Unknown);
+    return o;
+}
+
+json::Value
+okValue(bool cached, json::Value result)
+{
+    json::Object o;
+    o["status"] = "ok";
+    o["cached"] = cached;
+    o["result"] = std::move(result);
+    return o;
+}
+
+json::Value
+resultValue(const std::string &testName, const std::string &modelSpec,
+            const RunResult &r)
+{
+    json::Object result;
+    result["test"] = testName;
+    result["model"] = modelSpec;
+    result["verdict"] = verdictName(r.verdict);
+    result["completeness"] = completenessName(r.completeness);
+    result["bound"] = boundKindName(r.trippedBound);
+    result["candidates"] = r.candidates;
+    result["allowed"] = r.allowedCandidates;
+    result["witnesses"] = r.witnesses;
+    json::Array states;
+    for (const std::string &state : r.allowedFinalStates)
+        states.emplace_back(state);
+    result["states"] = std::move(states);
+    return result;
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* ModelPool                                                          */
+/* ------------------------------------------------------------------ */
+
+void
+Server::ModelPool::prewarm(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (factories_.find(spec) == factories_.end()) {
+        factories_.emplace(spec,
+                           ModelRegistry::instance().factoryFor(spec));
+    }
+}
+
+std::unique_ptr<Model>
+Server::ModelPool::acquire(const std::string &spec)
+{
+    ModelFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto fit = factories_.find(spec);
+        if (fit == factories_.end()) {
+            fit = factories_
+                      .emplace(spec, ModelRegistry::instance()
+                                         .factoryFor(spec))
+                      .first;
+        }
+        auto &freeList = free_[spec];
+        if (!freeList.empty()) {
+            std::unique_ptr<Model> model =
+                std::move(freeList.back());
+            freeList.pop_back();
+            return model;
+        }
+        factory = fit->second;
+    }
+    // Model construction (cat files re-parse per instance) happens
+    // outside the lock so one slow spec can't serialize the pool.
+    return factory();
+}
+
+void
+Server::ModelPool::release(const std::string &spec,
+                           std::unique_ptr<Model> model)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &freeList = free_[spec];
+    if (freeList.size() < capacity_)
+        freeList.push_back(std::move(model));
+}
+
+/* ------------------------------------------------------------------ */
+/* Server lifecycle                                                   */
+/* ------------------------------------------------------------------ */
+
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)),
+      models_(opts_.workers == 0 ? ThreadPool::hardwareThreads()
+                                 : opts_.workers)
+{
+    if (opts_.socketPath.empty()) {
+        throw StatusError(Status(StatusCode::InvalidArgument,
+                                 "serve: socket path is required"));
+    }
+    sockaddr_un addr{};
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        throw StatusError(Status(
+            StatusCode::InvalidArgument,
+            format("serve: socket path too long for sockaddr_un "
+                   "(%zu bytes, limit %zu): %s",
+                   opts_.socketPath.size(), sizeof(addr.sun_path) - 1,
+                   opts_.socketPath.c_str())));
+    }
+
+    // Fail configuration errors here, before the daemon is ready:
+    // the default model spec, the cache journal, then the socket.
+    models_.prewarm(opts_.model);
+    cache_.emplace(opts_.cache);
+    if (!opts_.serverBudget.isUnlimited())
+        serverTracker_.emplace(opts_.serverBudget);
+    pool_.emplace(opts_.workers == 0 ? ThreadPool::hardwareThreads()
+                                     : opts_.workers);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0) {
+        throw StatusError(Status(
+            StatusCode::IoError,
+            format("serve: socket() failed: %s",
+                   std::strerror(errno))));
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+    // The daemon owns its socket path: a stale file from a crashed
+    // predecessor (the chaos restart scenario) is replaced, not an
+    // error.
+    ::unlink(opts_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, SOMAXCONN) != 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw StatusError(Status(
+            StatusCode::IoError,
+            format("serve: bind/listen on %s failed: %s",
+                   opts_.socketPath.c_str(), std::strerror(err))));
+    }
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (started_.exchange(true))
+        return;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::stop()
+{
+    stopping_.store(true);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opts_.socketPath.c_str());
+    }
+    {
+        // Half-close every live connection: the peer's in-flight
+        // request still runs to completion and its response is
+        // still delivered (the worker pool is alive until below);
+        // the connection thread then reads EOF and exits.
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const auto &conn : connections_) {
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RD);
+        }
+    }
+    reapConnections(true);
+    pool_.reset();
+    if (cache_) {
+        cache_->flush();
+        cache_->close();
+    }
+}
+
+void
+Server::run(const CancelToken *cancel)
+{
+    start();
+    while (!(cancel && cancel->cancelled()) &&
+           !shutdownRequested_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    stop();
+}
+
+bool
+Server::shutdownRequested() const
+{
+    return shutdownRequested_.load();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        reapConnections(false);
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue; // timeout or EINTR: re-check the stop flag
+        const int fd = retryEintr(
+            faultinject::site::kServeAccept, ECONNABORTED, [&] {
+                return ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_CLOEXEC);
+            });
+        if (fd < 0)
+            continue; // a failed accept must never kill the daemon
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.connections;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *raw = conn.get();
+        raw->thread = std::thread([this, raw] {
+            serveConnection(raw->fd);
+            raw->done.store(true);
+        });
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void
+Server::reapConnections(bool all)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+        Connection &conn = **it;
+        if (!all && !conn.done.load()) {
+            ++it;
+            continue;
+        }
+        if (conn.thread.joinable())
+            conn.thread.join();
+        if (conn.fd >= 0)
+            ::close(conn.fd);
+        it = connections_.erase(it);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Request handling                                                   */
+/* ------------------------------------------------------------------ */
+
+void
+Server::serveConnection(int fd)
+{
+    for (;;) {
+        std::optional<std::string> payload;
+        try {
+            payload = readFrame(fd, opts_.maxFrameBytes,
+                                faultinject::site::kServeRequestRead);
+        } catch (const std::exception &e) {
+            const Status status = statusOf(e);
+            if (status.code() == StatusCode::InvalidArgument) {
+                // Oversized frame: the declared length was rejected
+                // before buffering, but the stream is desynced —
+                // report the error, then drop the connection.
+                try {
+                    writeFrame(
+                        fd, errorValue(status).serialize(),
+                        faultinject::site::kServeResponseWrite);
+                } catch (...) {
+                }
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++stats_.errors;
+            } else {
+                // Torn read / reset: this client's problem only.
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++stats_.disconnects;
+            }
+            return;
+        }
+        if (!payload)
+            return; // clean disconnect between frames
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.requests;
+        }
+        const json::Value response = handleFrame(*payload);
+        try {
+            writeFrame(fd, response.serialize(),
+                       faultinject::site::kServeResponseWrite);
+        } catch (...) {
+            // The client died while we replied; the verdict (and
+            // any cache insert) is already safe, nobody else is
+            // affected.
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.disconnects;
+            return;
+        }
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.served;
+    }
+}
+
+json::Value
+Server::handleFrame(const std::string &payload)
+{
+    json::Value request;
+    try {
+        request = json::Value::parse(payload);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.errors;
+        return errorValue(statusOf(e));
+    }
+    const std::string op = request.getString("op", "verify");
+    if (op == "verify")
+        return handleVerify(request);
+    if (op == "ping") {
+        json::Object o;
+        o["status"] = "ok";
+        o["pong"] = true;
+        return o;
+    }
+    if (op == "stats") {
+        json::Object o;
+        o["status"] = "ok";
+        o["stats"] = statsObject();
+        return o;
+    }
+    if (op == "shutdown") {
+        shutdownRequested_.store(true);
+        json::Object o;
+        o["status"] = "ok";
+        o["draining"] = true;
+        return o;
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.errors;
+    }
+    return errorValue(Status(
+        StatusCode::InvalidArgument,
+        format("unknown op \"%s\" (known: verify, ping, stats, "
+               "shutdown)",
+               op.c_str())));
+}
+
+json::Value
+Server::handleVerify(const json::Value &request)
+{
+    const json::Value *litmus = request.get("litmus");
+    if (!litmus || !litmus->isString()) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.errors;
+        return errorValue(Status(
+            StatusCode::InvalidArgument,
+            "verify request is missing the \"litmus\" source field"));
+    }
+    const std::string spec = request.getString("model", opts_.model);
+    const bool nocache = request.getBool("nocache", false);
+
+    Program prog;
+    try {
+        prog = parseLitmus(litmus->asString());
+        models_.prewarm(spec); // reject unknown model specs up front
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.errors;
+        return errorValue(statusOf(e));
+    }
+
+    const EnumerateOptions enumOpts;
+    const std::string key = cacheKey(
+        canonicalFingerprint(prog, litmus->asString()), spec,
+        enumOpts);
+
+    // Cache hits are answered from the connection thread and never
+    // touch the verification queue — repeat traffic is ~free and
+    // cannot be shed.
+    if (!nocache && cache_) {
+        if (std::optional<json::Value> hit = cache_->lookup(key)) {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.cacheHits;
+            return okValue(true, std::move(*hit));
+        }
+    }
+
+    // Admission control: bound the queued-or-running verification
+    // jobs.  The (N+1)-th concurrent request is shed immediately
+    // with a sound Unknown — the daemon degrades, it never stalls.
+    const std::size_t prior =
+        pending_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.maxPending != 0 && prior >= opts_.maxPending) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.shedQueueFull;
+        return shedValue("queue-full");
+    }
+
+    // The deadline is fixed at admission: time spent waiting in the
+    // queue counts against it, so a stampede cannot stretch anyone's
+    // latency contract.
+    std::chrono::milliseconds deadline = opts_.defaultDeadline;
+    if (const json::Value *d = request.get("deadline_ms");
+        d && d->isInt() && d->asInt() > 0) {
+        deadline = std::chrono::milliseconds(d->asInt());
+    }
+    if (opts_.maxDeadline.count() > 0 &&
+        (deadline.count() == 0 || deadline > opts_.maxDeadline)) {
+        deadline = opts_.maxDeadline;
+    }
+    const bool hasDeadline = deadline.count() > 0;
+    const auto deadlineAt =
+        std::chrono::steady_clock::now() + deadline;
+
+    auto promise = std::make_shared<std::promise<json::Value>>();
+    std::future<json::Value> future = promise->get_future();
+    try {
+        pool_->post([this, promise, prog, spec, key, nocache,
+                     hasDeadline, deadlineAt, enumOpts] {
+            json::Value response;
+            try {
+                if (hasDeadline &&
+                    std::chrono::steady_clock::now() >= deadlineAt) {
+                    {
+                        std::lock_guard<std::mutex> lock(statsMutex_);
+                        ++stats_.shedDeadline;
+                    }
+                    response = shedValue("deadline");
+                } else {
+                    std::unique_ptr<Model> model =
+                        models_.acquire(spec);
+                    RunBudget budget = opts_.requestBudget;
+                    if (hasDeadline) {
+                        // Clamp to >= 1ns: a deadline that expired
+                        // this instant must trip the budget, and a
+                        // zero wallClock would mean "unlimited".
+                        const std::chrono::nanoseconds remaining =
+                            std::max<std::chrono::nanoseconds>(
+                                deadlineAt -
+                                    std::chrono::steady_clock::now(),
+                                std::chrono::nanoseconds(1));
+                        if (budget.wallClock.count() == 0 ||
+                            remaining < budget.wallClock) {
+                            budget.wallClock = remaining;
+                        }
+                    }
+                    if (serverTracker_)
+                        budget.shared = &*serverTracker_;
+                    const RunResult run =
+                        runTest(prog, *model, budget, enumOpts);
+                    models_.release(spec, std::move(model));
+                    json::Value result =
+                        resultValue(prog.name, spec, run);
+                    // Only complete runs are cached: an Unknown from
+                    // a truncated run describes this run's budget,
+                    // not the test, and must never be replayed.
+                    if (!nocache && cache_ &&
+                        run.completeness == Completeness::Complete) {
+                        cache_->insert(key, result);
+                    }
+                    response = okValue(false, std::move(result));
+                }
+            } catch (const std::exception &e) {
+                {
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    ++stats_.errors;
+                }
+                response = errorValue(statusOf(e));
+            }
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            promise->set_value(std::move(response));
+        });
+    } catch (const std::exception &e) {
+        // post() itself failed (allocation, injected scheduler
+        // fault): the job will never run, settle the books here.
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.errors;
+        return errorValue(statusOf(e));
+    }
+    return future.get();
+}
+
+json::Value
+Server::statsObject() const
+{
+    json::Object o;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        o["connections"] = stats_.connections;
+        o["requests"] = stats_.requests;
+        o["served"] = stats_.served;
+        o["cache_hits"] = stats_.cacheHits;
+        o["shed_queue_full"] = stats_.shedQueueFull;
+        o["shed_deadline"] = stats_.shedDeadline;
+        o["errors"] = stats_.errors;
+        o["disconnects"] = stats_.disconnects;
+    }
+    o["pending"] = pending_.load(std::memory_order_relaxed);
+    if (cache_) {
+        const CacheStats cs = cache_->stats();
+        json::Object c;
+        c["entries"] = cache_->size();
+        c["journal_bytes"] = cache_->journalBytes();
+        c["hits"] = cs.hits;
+        c["misses"] = cs.misses;
+        c["insertions"] = cs.insertions;
+        c["evictions"] = cs.evictions;
+        c["compactions"] = cs.compactions;
+        c["recovered_entries"] = cs.recoveredEntries;
+        c["write_errors"] = cs.writeErrors;
+        c["dropped_tail"] = cs.droppedTail;
+        o["cache"] = std::move(c);
+    }
+    return o;
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+CacheStats
+Server::cacheStats() const
+{
+    return cache_ ? cache_->stats() : CacheStats{};
+}
+
+} // namespace lkmm::serve

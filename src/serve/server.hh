@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The lkmm-serve daemon core: a unix-socket verification server
+ * with admission control, load-shedding, and a crash-safe warm
+ * verdict cache.
+ *
+ * Requests are length-prefixed JSON frames (serve/protocol.hh); the
+ * default operation submits a litmus source plus a model spec and
+ * gets back the verdict the PR-4 in-process parallel engine
+ * computes, or a cache hit byte-identical to it.
+ *
+ * The robustness contract, in priority order:
+ *
+ *  1. Soundness above all.  The daemon never invents a verdict:
+ *     every Allow/Forbid it returns came from a complete run (or a
+ *     journal replay of one), and every degradation — queue full,
+ *     deadline passed, shared budget exhausted, truncated run —
+ *     reports Verdict::Unknown with the reason, exactly as the
+ *     budget machinery does everywhere else in the tree.
+ *  2. One client cannot hurt another.  Admission control bounds the
+ *     verification queue (excess load is shed, not buffered);
+ *     per-request deadlines are fixed at admission; a malformed
+ *     frame earns an error response; a disconnect mid-request
+ *     aborts only that conversation (EPIPE is transient per client,
+ *     see base/retry).
+ *  3. Crashes lose at most the in-flight tail.  Verdicts persist
+ *     through the CRC-journaled cache; kill -9 mid-append recovers
+ *     the longest intact prefix on restart.  stop() (the SIGTERM
+ *     path) drains in-flight requests, delivers their responses,
+ *     then flushes the journal.
+ *
+ * Threading: one accept thread, one thread per live connection
+ * (parsing, cache lookups, and framing happen there — cache hits
+ * never touch the verification queue), and a fixed ThreadPool of
+ * verification workers with per-worker Model instances from the
+ * registry's factories.
+ */
+
+#ifndef LKMM_SERVE_SERVER_HH
+#define LKMM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/budget.hh"
+#include "base/scheduler.hh"
+#include "model/registry.hh"
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+
+namespace lkmm::serve
+{
+
+struct ServeOptions
+{
+    /** Unix socket to bind (stale files are replaced). */
+    std::string socketPath;
+    /** Default model spec for requests that don't name one. */
+    std::string model = "lkmm";
+    /** Verification worker threads (0 = hardware concurrency). */
+    std::size_t workers = 0;
+    /**
+     * Admission bound: requests queued-or-running on the worker
+     * pool.  The next request past the bound is shed with a sound
+     * Unknown{queue-full} instead of stalling (0 = unbounded).
+     */
+    std::size_t maxPending = 64;
+    /** Deadline applied when a request names none (0 = none). */
+    std::chrono::milliseconds defaultDeadline{0};
+    /** Cap on client-requested deadlines (0 = uncapped). */
+    std::chrono::milliseconds maxDeadline{0};
+    /** Frame-size admission check (serve/protocol.hh). */
+    std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Verdict cache configuration. */
+    CacheOptions cache;
+    /**
+     * Baseline per-request budget (all-zero = unlimited).  A
+     * request deadline tightens wallClock; if any numeric field is
+     * set, a server-wide shared BudgetTracker additionally caps the
+     * *sum* of work across concurrent requests, so sustained
+     * overload degrades to Unknown{sweep-budget} instead of
+     * unbounded latency.
+     */
+    RunBudget requestBudget;
+    /**
+     * Caps for the server-wide shared tracker (all-zero = none).
+     * Counted across every request served by this process.
+     */
+    RunBudget serverBudget;
+};
+
+struct ServerStats
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t served = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t shedQueueFull = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t disconnects = 0;
+};
+
+class Server
+{
+  public:
+    /**
+     * Bind and listen, open the cache (replaying its journal), and
+     * validate the default model spec — every configuration error
+     * throws here, before the daemon reports ready.
+     */
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the accept loop; returns immediately. */
+    void start();
+
+    /**
+     * Graceful shutdown: stop accepting, half-close live
+     * connections (in-flight requests finish and their responses
+     * are delivered), join everything, flush and close the cache.
+     * Idempotent.
+     */
+    void stop();
+
+    /**
+     * start(), then block until cancel fires or a client requests
+     * shutdown, then stop().  The daemon main loop.
+     */
+    void run(const CancelToken *cancel);
+
+    /** Did a client issue {"op":"shutdown"}? */
+    bool shutdownRequested() const;
+
+    const std::string &socketPath() const { return opts_.socketPath; }
+    ServerStats stats() const;
+    CacheStats cacheStats() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    /** Per-worker Model instances, one free-list per model spec. */
+    class ModelPool
+    {
+      public:
+        explicit ModelPool(std::size_t capacityPerSpec)
+            : capacity_(capacityPerSpec)
+        {}
+
+        /** May throw for unknown/invalid specs (registry rules). */
+        std::unique_ptr<Model> acquire(const std::string &spec);
+        void release(const std::string &spec,
+                     std::unique_ptr<Model> model);
+        /** Eagerly validate a spec (ctor-time check). */
+        void prewarm(const std::string &spec);
+
+      private:
+        std::mutex mutex_;
+        std::size_t capacity_;
+        std::map<std::string, ModelFactory> factories_;
+        std::map<std::string, std::vector<std::unique_ptr<Model>>>
+            free_;
+    };
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    void reapConnections(bool all);
+
+    /** Dispatch one request payload; never throws. */
+    json::Value handleFrame(const std::string &payload);
+    json::Value handleVerify(const json::Value &request);
+    json::Value statsObject() const;
+
+    ServeOptions opts_;
+    int listenFd_ = -1;
+    std::optional<VerdictCache> cache_;
+    std::optional<ThreadPool> pool_;
+    std::optional<BudgetTracker> serverTracker_;
+    ModelPool models_;
+
+    std::thread acceptThread_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownRequested_{false};
+
+    std::mutex connMutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    /** Verification jobs queued-or-running (admission control). */
+    std::atomic<std::size_t> pending_{0};
+
+    mutable std::mutex statsMutex_;
+    ServerStats stats_;
+};
+
+} // namespace lkmm::serve
+
+#endif // LKMM_SERVE_SERVER_HH

@@ -47,6 +47,24 @@ TEST(Classify, ResourceShapedIoErrorsAreTransient)
               FailureClass::Persistent);
 }
 
+TEST(Classify, VanishedPeersAreTransient)
+{
+    // A client dropping its connection must never look fatal to the
+    // daemon: EPIPE/ECONNRESET end one conversation, not the process.
+    EXPECT_EQ(classify(Status(StatusCode::IoError,
+                              "send: Broken pipe (errno 32, EPIPE)")),
+              FailureClass::Transient);
+    EXPECT_EQ(classify(Status(StatusCode::IoError,
+                              "recv: Connection reset by peer "
+                              "(errno 104, ECONNRESET)")),
+              FailureClass::Transient);
+    // ...but only for the I/O-shaped codes; a deterministic failure
+    // that merely mentions a pipe stays persistent.
+    EXPECT_EQ(classify(Status(StatusCode::ParseError,
+                              "EPIPE mentioned in a parse message")),
+              FailureClass::Persistent);
+}
+
 TEST(Classify, BadAllocExceptionIsTransient)
 {
     try {

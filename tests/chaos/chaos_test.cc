@@ -66,6 +66,34 @@ TEST(EnumerateSchedules, MaxHitsAndTornOffsetsMultiply)
     EXPECT_EQ(torn, 6u);
 }
 
+TEST(EnumerateSchedules, ServeSitesEnumerateWithCrashAndHang)
+{
+    ChaosOptions opts;
+    opts.maxHits = 1;
+    opts.tornOffsets = {0};
+    opts.sites = {faultinject::site::kServeAccept,
+                  faultinject::site::kServeRequestRead,
+                  faultinject::site::kServeResponseWrite,
+                  faultinject::site::kServeCacheWrite};
+    const auto plans = enumerateSchedules(opts);
+
+    std::set<std::string> sites;
+    bool cacheCrash = false;
+    bool cacheHang = false;
+    for (const faultinject::FaultPlan &p : plans) {
+        sites.insert(p.site);
+        if (p.site == faultinject::site::kServeCacheWrite) {
+            cacheCrash |= p.kind == faultinject::FaultKind::Crash;
+            cacheHang |= p.kind == faultinject::FaultKind::Hang;
+        }
+    }
+    EXPECT_EQ(sites.size(), 4u) << "all serve sites registered";
+    // The cache append is the crash-consistency site: kill -9 and
+    // wedge schedules must be enumerable there, not just soft errors.
+    EXPECT_TRUE(cacheCrash);
+    EXPECT_TRUE(cacheHang);
+}
+
 TEST(EnumerateSchedules, KindFilterRestricts)
 {
     ChaosOptions opts;

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include <signal.h>
+
 #include "base/status.hh"
 #include "chaos/chaos.hh"
 
@@ -52,7 +54,8 @@ usage()
         "                      journal-write:2:torn-write:7\n"
         "\n"
         "workload:\n"
-        "  --workload NAME     sweep (default), sweep-forked, fuzz\n"
+        "  --workload NAME     sweep (default), sweep-forked, fuzz,\n"
+        "                      serve\n"
         "  --sweep-tests N     catalog tests per sweep (default 4)\n"
         "  --child-deadline-ms N   chaos-child watchdog (default 10000)\n"
         "  --task-deadline-ms N    per-test watchdog inside the\n"
@@ -120,6 +123,9 @@ int
 main(int argc, char **argv)
 {
     using namespace lkmm;
+    // Writing a summary into a closed pipe (`lkmm-chaos | head`)
+    // must surface as EPIPE, not kill the run mid-schedule.
+    signal(SIGPIPE, SIG_IGN);
     chaos::ChaosOptions opts;
     std::string summaryMode = "text";
     bool verbose = false;

@@ -54,6 +54,9 @@ installSignalHandlers()
     sa.sa_flags = 0;
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+    // A reader going away (`... | head`, a dead lkmm-serve client)
+    // must surface as EPIPE on the write, never as process death.
+    signal(SIGPIPE, SIG_IGN);
 }
 
 int
