@@ -342,6 +342,20 @@ siteRegistry()
          kErr | kEintr},
         {site::kServeCacheWrite, "serve verdict-cache append",
          kErr | kCrash | kHang | kMem},
+        {site::kServeWorkerSpawn,
+         "serve worker-process spawn (socketpair + fork)",
+         kErr | kMem},
+        {site::kServeWorkerDispatch,
+         "serve worker dispatch round-trip framing (parent side)",
+         kErr | kEintr},
+        {site::kServeWorkerResult,
+         "serve worker result write (worker side; crash/hang kill "
+         "the worker, not the daemon)",
+         kErr | kEintr | kCrash | kHang | kMem},
+        {site::kServeWorkerRecycle,
+         "serve worker retirement (recycle after N requests or RSS "
+         "high-water)",
+         kErr},
     };
     return registry;
 }

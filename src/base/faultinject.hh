@@ -195,6 +195,14 @@ inline constexpr const char *kServeRequestRead = "serve-request-read";
 inline constexpr const char *kServeResponseWrite =
     "serve-response-write";
 inline constexpr const char *kServeCacheWrite = "serve-cache-write";
+/* serve worker tier (process-isolated execution) */
+inline constexpr const char *kServeWorkerSpawn = "serve-worker-spawn";
+inline constexpr const char *kServeWorkerDispatch =
+    "serve-worker-dispatch";
+inline constexpr const char *kServeWorkerResult =
+    "serve-worker-result";
+inline constexpr const char *kServeWorkerRecycle =
+    "serve-worker-recycle";
 } // namespace site
 
 /** One entry of the fault-site registry. */

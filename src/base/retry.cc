@@ -117,29 +117,38 @@ RetryPolicy::delayBefore(int attempt, Rng &rng) const
 }
 
 bool
+Quarantine::quarantinedLocked(const Ledger &ledger) const
+{
+    if (limit_ > 0 &&
+        ledger.signatures.size() >= static_cast<std::size_t>(limit_))
+        return true;
+    return totalLimit_ > 0 &&
+        ledger.total >= static_cast<std::size_t>(totalLimit_);
+}
+
+bool
 Quarantine::record(const std::string &task,
                    const std::string &signature)
 {
-    if (limit_ <= 0)
+    if (limit_ <= 0 && totalLimit_ <= 0)
         return false;
     std::lock_guard<std::mutex> lock(mutex_);
-    auto &sigs = failures_[task];
-    const bool wasQuarantined =
-        sigs.size() >= static_cast<std::size_t>(limit_);
-    sigs.insert(signature);
-    return !wasQuarantined &&
-           sigs.size() >= static_cast<std::size_t>(limit_);
+    Ledger &ledger = failures_[task];
+    const bool wasQuarantined = quarantinedLocked(ledger);
+    ledger.signatures.insert(signature);
+    ++ledger.total;
+    ledger.last = signature;
+    return !wasQuarantined && quarantinedLocked(ledger);
 }
 
 bool
 Quarantine::quarantined(const std::string &task) const
 {
-    if (limit_ <= 0)
+    if (limit_ <= 0 && totalLimit_ <= 0)
         return false;
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = failures_.find(task);
-    return it != failures_.end() &&
-           it->second.size() >= static_cast<std::size_t>(limit_);
+    return it != failures_.end() && quarantinedLocked(it->second);
 }
 
 std::size_t
@@ -147,7 +156,36 @@ Quarantine::distinctFailures(const std::string &task) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = failures_.find(task);
-    return it == failures_.end() ? 0 : it->second.size();
+    return it == failures_.end() ? 0 : it->second.signatures.size();
+}
+
+std::size_t
+Quarantine::totalFailures(const std::string &task) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = failures_.find(task);
+    return it == failures_.end() ? 0 : it->second.total;
+}
+
+std::string
+Quarantine::lastSignature(const std::string &task) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = failures_.find(task);
+    return it == failures_.end() ? std::string() : it->second.last;
+}
+
+std::size_t
+Quarantine::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[task, ledger] : failures_) {
+        (void)task;
+        if (quarantinedLocked(ledger))
+            ++n;
+    }
+    return n;
 }
 
 } // namespace lkmm::retry

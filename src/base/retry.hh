@@ -105,11 +105,22 @@ struct RetryPolicy
  * Thread-safe per-task failure ledger.  A task is quarantined once
  * it has failed with `limit` distinct signatures; quarantined tasks
  * should not be retried (their next failure is recorded as final).
+ *
+ * The optional second limit covers the poison-pill shape the
+ * distinct-signature rule deliberately ignores: a request that
+ * crashes its executor the same way every time produces ONE
+ * signature no matter how often it fires, so a distinct-count of 3
+ * never trips.  With totalLimit > 0 a task is also quarantined after
+ * that many recorded failures of any mix — which is exactly what
+ * lkmm-serve needs to stop burning a worker process per retry of a
+ * crash-inducing litmus source.
  */
 class Quarantine
 {
   public:
-    explicit Quarantine(int limit) : limit_(limit) {}
+    explicit Quarantine(int limit, int totalLimit = 0)
+        : limit_(limit), totalLimit_(totalLimit)
+    {}
 
     /**
      * Record a failure signature for a task.  Returns true if this
@@ -124,10 +135,29 @@ class Quarantine
     /** Distinct signatures recorded for the task so far. */
     std::size_t distinctFailures(const std::string &task) const;
 
+    /** Total failures recorded for the task (all signatures). */
+    std::size_t totalFailures(const std::string &task) const;
+
+    /** The most recent signature recorded ("" when none). */
+    std::string lastSignature(const std::string &task) const;
+
+    /** Number of currently quarantined tasks (health surface). */
+    std::size_t size() const;
+
   private:
+    struct Ledger
+    {
+        std::set<std::string> signatures;
+        std::size_t total = 0;
+        std::string last;
+    };
+
+    bool quarantinedLocked(const Ledger &ledger) const;
+
     int limit_;
+    int totalLimit_;
     mutable std::mutex mutex_;
-    std::map<std::string, std::set<std::string>> failures_;
+    std::map<std::string, Ledger> failures_;
 };
 
 } // namespace lkmm::retry

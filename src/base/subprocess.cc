@@ -1,8 +1,11 @@
 #include "base/subprocess.hh"
 
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
@@ -277,6 +280,60 @@ Child::finish()
         }
     }
     return outcome;
+}
+
+void
+closeFdsExcept(const std::vector<int> &keep)
+{
+    DIR *dir = ::opendir("/proc/self/fd");
+    if (dir == nullptr)
+        return; // /proc unavailable: keep the inherited fds, degraded
+    const int dirFd = ::dirfd(dir);
+    std::vector<int> toClose;
+    while (struct dirent *entry = ::readdir(dir)) {
+        char *end = nullptr;
+        const long fd = std::strtol(entry->d_name, &end, 10);
+        if (end == entry->d_name || *end != '\0')
+            continue;
+        if (fd <= 2 || fd == dirFd)
+            continue;
+        bool keepIt = false;
+        for (const int k : keep)
+            keepIt = keepIt || fd == k;
+        if (!keepIt)
+            toClose.push_back(static_cast<int>(fd));
+    }
+    ::closedir(dir);
+    // Close after the scan: closing mid-iteration invalidates the
+    // directory stream on some libcs.
+    for (const int fd : toClose)
+        ::close(fd);
+}
+
+std::size_t
+residentSetKb(pid_t pid)
+{
+    const std::string path =
+        "/proc/" + std::to_string(pid) + "/statm";
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return 0;
+    char buf[128];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf) - 1)) < 0 &&
+           errno == EINTR) {
+    }
+    ::close(fd);
+    if (n <= 0)
+        return 0;
+    buf[n] = '\0';
+    // statm: size resident shared ... (in pages)
+    unsigned long long size = 0, resident = 0;
+    if (std::sscanf(buf, "%llu %llu", &size, &resident) != 2)
+        return 0;
+    const long pageKb = ::sysconf(_SC_PAGESIZE) / 1024;
+    return static_cast<std::size_t>(resident) *
+        static_cast<std::size_t>(pageKb > 0 ? pageKb : 4);
 }
 
 Outcome

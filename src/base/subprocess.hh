@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include <sys/types.h>
 
@@ -180,6 +181,27 @@ class Child
  */
 Outcome runIsolated(const std::function<std::string()> &work,
                     const Limits &limits = {});
+
+/**
+ * Close every file descriptor except 0/1/2 and the ones in keep.
+ * For persistent forked children (the lkmm-serve worker tier): a
+ * fork inherits every open fd — listening sockets, other clients'
+ * connections, the cache journal — and a long-lived child holding
+ * them can delay peer EOFs and keep files pinned long after the
+ * parent released them.  Scans /proc/self/fd; must be called from
+ * the child, before any other descriptor is created.
+ */
+void closeFdsExcept(const std::vector<int> &keep);
+
+/**
+ * Resident set size of a live process in KiB, from
+ * /proc/<pid>/statm (0 when the process is gone or unreadable).
+ * This is the measured-RSS counterpart to Limits::memoryBytes:
+ * RLIMIT_AS turns an over-budget child into a crash, while a parent
+ * polling this can retire it gracefully first — and it stays usable
+ * under ASan, where address-space limits cannot be.
+ */
+std::size_t residentSetKb(pid_t pid);
 
 } // namespace lkmm::subprocess
 

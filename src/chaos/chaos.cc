@@ -228,9 +228,13 @@ json::Value
 serveRequest(const std::string &socketPath, const json::Value &req)
 {
     std::string lastError;
+    long sleepMs = 50;
     for (int attempt = 0; attempt < 6; ++attempt) {
-        if (attempt > 0)
-            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleepMs));
+            sleepMs = 50;
+        }
         try {
             serve::Client client = serve::Client::connect(socketPath);
             client.setTimeout(std::chrono::milliseconds(2000));
@@ -238,6 +242,17 @@ serveRequest(const std::string &socketPath, const json::Value &req)
             if (resp.getString("status") == "ok")
                 return resp;
             lastError = resp.serialize();
+            // The daemon's machine-readable retry hint (satellite of
+            // the worker tier): retryable=false means retrying can
+            // only reproduce the refusal — a quarantined poison pill
+            // — so fail fast instead of burning the retry budget.
+            if (!resp.getBool("retryable", true))
+                break;
+            if (const json::Value *after = resp.get("retry_after_ms");
+                after && after->isInt() && after->asInt() > 0) {
+                sleepMs = std::min<long>(
+                    static_cast<long>(after->asInt()), 200);
+            }
         } catch (const std::exception &e) {
             lastError = e.what();
         }
@@ -282,6 +297,16 @@ runServeWorkload(const ChaosOptions &opts, const std::string &journalPath,
     so.workers = 2;
     so.maxPending = 16;
     so.cache.path = journalPath;
+    // Worker-tier knobs chosen so every serve-worker-* site is
+    // reachable: recycling after every request drives the retirement
+    // path, and the 3 s watchdog turns a worker-side injected hang
+    // into a decoded Unknown{worker-timeout} instead of a wedged
+    // daemon.  Forked workers inherit the armed plan, so a worker
+    // kind (crash/hang at serve-worker-result) re-fires in every
+    // fresh worker — the quarantine is what bounds that to a fast
+    // retryable=false refusal.
+    so.workerRecycleRequests = 1;
+    so.workerDeadline = std::chrono::milliseconds(3000);
 
     auto stage = [&](std::size_t count, json::Array *out) {
         serve::Server server(so);

@@ -31,21 +31,55 @@ errorValue(const Status &status)
     o["status"] = "error";
     o["code"] = statusCodeName(status.code());
     o["message"] = status.message();
+    // A transient failure (resource pressure, interruption) may heal
+    // on retry; a persistent one (parse error, bad argument) will
+    // reproduce — tell the client which, so bounded-retry loops need
+    // not parse messages.
+    o["retryable"] =
+        retry::classify(status) == retry::FailureClass::Transient;
     return o;
 }
 
 /**
  * A shed response is sound degradation, not an error: the daemon
  * declined to spend the work, so the only honest verdict is Unknown
- * — the same contract as a tripped RunBudget bound.
+ * — the same contract as a tripped RunBudget bound.  `retryable`
+ * and `retry_after_ms` are the machine-readable retry hint: sheds
+ * from load (queue-full, deadline, worker-unavailable) heal once
+ * pressure drops; a quarantine refusal never does.
  */
 json::Value
-shedValue(const char *reason)
+shedValue(const char *reason, bool retryable, int retryAfterMs,
+          const std::string &detail = std::string())
 {
     json::Object o;
     o["status"] = "shed";
     o["reason"] = reason;
     o["verdict"] = verdictName(Verdict::Unknown);
+    o["retryable"] = retryable;
+    o["retry_after_ms"] = static_cast<std::int64_t>(retryAfterMs);
+    if (!detail.empty())
+        o["detail"] = detail;
+    return o;
+}
+
+/**
+ * The response for a request whose isolated worker died mid-run
+ * (crash-only contract: the death is decoded, the client gets a
+ * sound Unknown, the daemon keeps serving).  Crashes are retryable
+ * until the quarantine decides the input itself is the poison.
+ */
+json::Value
+crashValue(const char *reason, const std::string &detail,
+           bool retryable, int retryAfterMs)
+{
+    json::Object o;
+    o["status"] = "crash";
+    o["reason"] = reason;
+    o["detail"] = detail;
+    o["verdict"] = verdictName(Verdict::Unknown);
+    o["retryable"] = retryable;
+    o["retry_after_ms"] = static_cast<std::int64_t>(retryAfterMs);
     return o;
 }
 
@@ -57,26 +91,6 @@ okValue(bool cached, json::Value result)
     o["cached"] = cached;
     o["result"] = std::move(result);
     return o;
-}
-
-json::Value
-resultValue(const std::string &testName, const std::string &modelSpec,
-            const RunResult &r)
-{
-    json::Object result;
-    result["test"] = testName;
-    result["model"] = modelSpec;
-    result["verdict"] = verdictName(r.verdict);
-    result["completeness"] = completenessName(r.completeness);
-    result["bound"] = boundKindName(r.trippedBound);
-    result["candidates"] = r.candidates;
-    result["allowed"] = r.allowedCandidates;
-    result["witnesses"] = r.witnesses;
-    json::Array states;
-    for (const std::string &state : r.allowedFinalStates)
-        states.emplace_back(state);
-    result["states"] = std::move(states);
-    return result;
 }
 
 } // namespace
@@ -161,6 +175,23 @@ Server::Server(ServeOptions opts)
     cache_.emplace(opts_.cache);
     if (!opts_.serverBudget.isUnlimited())
         serverTracker_.emplace(opts_.serverBudget);
+    if (opts_.isolation == ServeIsolation::Workers) {
+        // The crash-only tier: one isolated worker process per
+        // dispatch thread, a count-based poison-pill quarantine in
+        // front of them.  Spawn failures don't throw — the pool
+        // starts degraded and its supervisor heals it with backoff.
+        // Constructed before the ThreadPool so the initial forks
+        // happen while this process is still single-threaded.
+        quarantine_.emplace(0, opts_.quarantineCrashes);
+        WorkerOptions wo;
+        wo.count = opts_.workers == 0 ? ThreadPool::hardwareThreads()
+                                      : opts_.workers;
+        wo.recycleRequests = opts_.workerRecycleRequests;
+        wo.rssLimitMb = opts_.workerRssLimitMb;
+        wo.defaultDeadline = opts_.workerDeadline;
+        wo.respawn = opts_.workerRespawn;
+        workerPool_.emplace(wo);
+    }
     pool_.emplace(opts_.workers == 0 ? ThreadPool::hardwareThreads()
                                      : opts_.workers);
 
@@ -228,6 +259,12 @@ Server::stop()
     }
     reapConnections(true);
     pool_.reset();
+    // Dispatch threads are drained; now retire the worker processes
+    // (graceful EOF first, SIGKILL stragglers — none may outlive us).
+    if (workerPool_) {
+        workerPool_->shutdown();
+        workerPool_.reset();
+    }
     if (cache_) {
         cache_->flush();
         cache_->close();
@@ -259,9 +296,11 @@ Server::acceptLoop()
         pollfd pfd{};
         pfd.fd = listenFd_;
         pfd.events = POLLIN;
-        const int ready = ::poll(&pfd, 1, 100);
+        const int ready =
+            retryEintr(faultinject::site::kServeAccept, EIO,
+                       [&] { return ::poll(&pfd, 1, 100); });
         if (ready <= 0)
-            continue; // timeout or EINTR: re-check the stop flag
+            continue; // timeout or poll error: re-check the stop flag
         const int fd = retryEintr(
             faultinject::site::kServeAccept, ECONNABORTED, [&] {
                 return ::accept4(listenFd_, nullptr, nullptr,
@@ -375,9 +414,20 @@ Server::handleFrame(const std::string &payload)
     if (op == "verify")
         return handleVerify(request);
     if (op == "ping") {
+        // The liveness probe doubles as the health surface: which
+        // execution tier, per-worker state, restart and quarantine
+        // counts — everything a supervisor needs to decide whether
+        // "alive" also means "healthy".
         json::Object o;
         o["status"] = "ok";
         o["pong"] = true;
+        o["isolation"] =
+            workerPool_ ? "workers" : "inproc";
+        if (workerPool_) {
+            o["workers"] = workerPool_->healthJson();
+            o["quarantine_size"] =
+                quarantine_ ? quarantine_->size() : std::size_t{0};
+        }
         return o;
     }
     if (op == "stats") {
@@ -444,6 +494,18 @@ Server::handleVerify(const json::Value &request)
         }
     }
 
+    // Poison-pill quarantine: a fingerprint that has already crashed
+    // enough workers is refused up front — fast, with the recorded
+    // reason, and without burning another worker on it.
+    if (quarantine_ && quarantine_->quarantined(key)) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.quarantineRefusals;
+        }
+        return shedValue("quarantined", /*retryable=*/false, 0,
+                         quarantine_->lastSignature(key));
+    }
+
     // Admission control: bound the queued-or-running verification
     // jobs.  The (N+1)-th concurrent request is shed immediately
     // with a sound Unknown — the daemon degrades, it never stalls.
@@ -453,7 +515,7 @@ Server::handleVerify(const json::Value &request)
         pending_.fetch_sub(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.shedQueueFull;
-        return shedValue("queue-full");
+        return shedValue("queue-full", /*retryable=*/true, 25);
     }
 
     // The deadline is fixed at admission: time spent waiting in the
@@ -472,10 +534,11 @@ Server::handleVerify(const json::Value &request)
     const auto deadlineAt =
         std::chrono::steady_clock::now() + deadline;
 
+    const std::string source = litmus->asString();
     auto promise = std::make_shared<std::promise<json::Value>>();
     std::future<json::Value> future = promise->get_future();
     try {
-        pool_->post([this, promise, prog, spec, key, nocache,
+        pool_->post([this, promise, prog, spec, key, source, nocache,
                      hasDeadline, deadlineAt, enumOpts] {
             json::Value response;
             try {
@@ -485,7 +548,12 @@ Server::handleVerify(const json::Value &request)
                         std::lock_guard<std::mutex> lock(statsMutex_);
                         ++stats_.shedDeadline;
                     }
-                    response = shedValue("deadline");
+                    response =
+                        shedValue("deadline", /*retryable=*/true, 100);
+                } else if (workerPool_) {
+                    response = dispatchToWorker(
+                        prog, spec, key, source, nocache, hasDeadline,
+                        deadlineAt);
                 } else {
                     std::unique_ptr<Model> model =
                         models_.acquire(spec);
@@ -542,6 +610,91 @@ Server::handleVerify(const json::Value &request)
 }
 
 json::Value
+Server::dispatchToWorker(
+    const Program &prog, const std::string &spec,
+    const std::string &key, const std::string &source, bool nocache,
+    bool hasDeadline, std::chrono::steady_clock::time_point deadlineAt)
+{
+    WorkerRequest wreq;
+    wreq.name = prog.name;
+    wreq.litmus = source;
+    wreq.model = spec;
+    wreq.hasDeadline = hasDeadline;
+    wreq.deadlineAt = deadlineAt;
+    RunBudget budget = opts_.requestBudget;
+    if (hasDeadline) {
+        // Same >= 1ns clamp as the in-process tier: an expired
+        // deadline must trip the budget, not mean "unlimited".
+        const std::chrono::nanoseconds remaining =
+            std::max<std::chrono::nanoseconds>(
+                deadlineAt - std::chrono::steady_clock::now(),
+                std::chrono::nanoseconds(1));
+        if (budget.wallClock.count() == 0 ||
+            remaining < budget.wallClock) {
+            budget.wallClock = remaining;
+        }
+    }
+    // Pointers cannot cross the fork boundary: the worker runs under
+    // the numeric fields only (the server-wide shared tracker is an
+    // in-process-tier feature).
+    budget.cancel = nullptr;
+    budget.shared = nullptr;
+    wreq.budget = budget;
+
+    const WorkerOutcome out = workerPool_->execute(wreq);
+    switch (out.kind) {
+      case WorkerOutcome::Kind::Ok: {
+        json::Value result = out.result;
+        // The parent owns the cache (PR-7 journal semantics are
+        // untouched by the fork boundary); same complete-runs-only
+        // rule as the in-process tier.
+        if (!nocache && cache_ &&
+            result.getString("completeness", "") ==
+                completenessName(Completeness::Complete)) {
+            cache_->insert(key, result);
+        }
+        return okValue(false, std::move(result));
+      }
+      case WorkerOutcome::Kind::Error: {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.errors;
+        }
+        return errorValue(out.error);
+      }
+      case WorkerOutcome::Kind::Crashed:
+      case WorkerOutcome::Kind::TimedOut: {
+        const bool timedOut =
+            out.kind == WorkerOutcome::Kind::TimedOut;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            if (timedOut)
+                ++stats_.workerTimeouts;
+            else
+                ++stats_.workerCrashes;
+        }
+        if (quarantine_) {
+            quarantine_->record(
+                key, retry::failureSignature(
+                         "worker",
+                         Status(StatusCode::Internal, out.detail)));
+        }
+        return crashValue(timedOut ? "worker-timeout"
+                                   : "worker-crash",
+                          out.detail, /*retryable=*/true, 100);
+      }
+      case WorkerOutcome::Kind::Unavailable:
+      default:
+        break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.shedWorkerUnavailable;
+    }
+    return shedValue("worker-unavailable", /*retryable=*/true, 50);
+}
+
+json::Value
 Server::statsObject() const
 {
     json::Object o;
@@ -555,8 +708,17 @@ Server::statsObject() const
         o["shed_deadline"] = stats_.shedDeadline;
         o["errors"] = stats_.errors;
         o["disconnects"] = stats_.disconnects;
+        o["worker_crashes"] = stats_.workerCrashes;
+        o["worker_timeouts"] = stats_.workerTimeouts;
+        o["shed_worker_unavailable"] = stats_.shedWorkerUnavailable;
+        o["quarantine_refusals"] = stats_.quarantineRefusals;
     }
     o["pending"] = pending_.load(std::memory_order_relaxed);
+    if (workerPool_) {
+        o["workers"] = workerPool_->healthJson();
+        o["quarantine_size"] =
+            quarantine_ ? quarantine_->size() : std::size_t{0};
+    }
     if (cache_) {
         const CacheStats cs = cache_->stats();
         json::Object c;

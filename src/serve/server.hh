@@ -32,8 +32,15 @@
  * Threading: one accept thread, one thread per live connection
  * (parsing, cache lookups, and framing happen there — cache hits
  * never touch the verification queue), and a fixed ThreadPool of
- * verification workers with per-worker Model instances from the
- * registry's factories.
+ * dispatch threads.  In the default crash-only configuration each
+ * dispatch thread hands the request to a process-isolated worker
+ * from serve/worker.hh — a forked engine whose segv/abort/OOM/hang
+ * costs exactly one response (a sound Unknown{worker-crash} or
+ * {worker-timeout}), never the daemon; ServeIsolation::InProcess
+ * keeps the PR-4 in-thread engine for comparison and benchmarks.
+ * Shed, crash, and error responses carry machine-readable
+ * `retryable` + `retry_after_ms` fields so bounded-retry clients
+ * need not guess.
  */
 
 #ifndef LKMM_SERVE_SERVER_HH
@@ -52,13 +59,24 @@
 #include <vector>
 
 #include "base/budget.hh"
+#include "base/retry.hh"
 #include "base/scheduler.hh"
 #include "model/registry.hh"
 #include "serve/cache.hh"
 #include "serve/protocol.hh"
+#include "serve/worker.hh"
 
 namespace lkmm::serve
 {
+
+/** Where verification runs. */
+enum class ServeIsolation
+{
+    /** PR-4 engine on the dispatch thread (shared address space). */
+    InProcess,
+    /** Crash-only default: process-isolated worker pool. */
+    Workers,
+};
 
 struct ServeOptions
 {
@@ -93,9 +111,31 @@ struct ServeOptions
     RunBudget requestBudget;
     /**
      * Caps for the server-wide shared tracker (all-zero = none).
-     * Counted across every request served by this process.
+     * Counted across every request served by this process.  Only
+     * enforced on the in-process tier: a tracker cannot span the
+     * fork boundary (worker runs are bounded per-request instead).
      */
     RunBudget serverBudget;
+    /** Execution tier (crash-only worker pool by default). */
+    ServeIsolation isolation = ServeIsolation::Workers;
+    /** Worker tier: retire a worker after N requests (0 = never). */
+    std::uint64_t workerRecycleRequests = 0;
+    /** Worker tier: retire a worker past this RSS (0 = never). */
+    std::size_t workerRssLimitMb = 0;
+    /**
+     * Worker tier: watchdog for requests that carry no deadline
+     * (0 = wait indefinitely, like the in-process tier).
+     */
+    std::chrono::milliseconds workerDeadline{0};
+    /** Worker tier: crash-loop respawn backoff. */
+    retry::RetryPolicy workerRespawn =
+        WorkerOptions::defaultRespawnPolicy();
+    /**
+     * Poison-pill quarantine: refuse a request fingerprint (its
+     * canonical cache key) after this many worker crashes/timeouts,
+     * instead of burning another worker per retry (0 = off).
+     */
+    int quarantineCrashes = 3;
 };
 
 struct ServerStats
@@ -108,6 +148,14 @@ struct ServerStats
     std::uint64_t shedDeadline = 0;
     std::uint64_t errors = 0;
     std::uint64_t disconnects = 0;
+    /** Worker tier: requests whose worker died mid-run. */
+    std::uint64_t workerCrashes = 0;
+    /** Worker tier: requests whose worker hit the watchdog. */
+    std::uint64_t workerTimeouts = 0;
+    /** Worker tier: sheds because no worker arrived in time. */
+    std::uint64_t shedWorkerUnavailable = 0;
+    /** Requests refused up front by the poison-pill quarantine. */
+    std::uint64_t quarantineRefusals = 0;
 };
 
 class Server
@@ -147,6 +195,11 @@ class Server
     const std::string &socketPath() const { return opts_.socketPath; }
     ServerStats stats() const;
     CacheStats cacheStats() const;
+    /** Null in ServeIsolation::InProcess mode. */
+    const WorkerPool *workerPool() const
+    {
+        return workerPool_ ? &*workerPool_ : nullptr;
+    }
 
   private:
     struct Connection
@@ -186,12 +239,24 @@ class Server
     /** Dispatch one request payload; never throws. */
     json::Value handleFrame(const std::string &payload);
     json::Value handleVerify(const json::Value &request);
+    /**
+     * Worker-tier execution of one admitted request: dispatch to the
+     * pool, decode the outcome (crash/timeout → sound Unknown, the
+     * quarantine ledger updated), cache complete results.
+     */
+    json::Value dispatchToWorker(
+        const Program &prog, const std::string &spec,
+        const std::string &key, const std::string &source,
+        bool nocache, bool hasDeadline,
+        std::chrono::steady_clock::time_point deadlineAt);
     json::Value statsObject() const;
 
     ServeOptions opts_;
     int listenFd_ = -1;
     std::optional<VerdictCache> cache_;
     std::optional<ThreadPool> pool_;
+    std::optional<WorkerPool> workerPool_;
+    std::optional<retry::Quarantine> quarantine_;
     std::optional<BudgetTracker> serverTracker_;
     ModelPool models_;
 

@@ -215,6 +215,9 @@ TEST(Server, QueueFullShedsWithSoundUnknown)
     EXPECT_EQ(shed.getString("reason"), "queue-full");
     EXPECT_EQ(shed.getString("verdict"), "Unknown")
         << "shedding must degrade soundly, never guess";
+    EXPECT_TRUE(shed.getBool("retryable", false))
+        << "a full queue is transient; clients may retry";
+    EXPECT_GT(shed.getInt("retry_after_ms"), 0);
 
     pinner.join();
     // ...and the pinned request itself degraded soundly: truncated
@@ -259,6 +262,8 @@ TEST(Server, QueuedPastDeadlineShedsWithoutRunning)
     EXPECT_EQ(late.getString("status"), "shed") << late.serialize();
     EXPECT_EQ(late.getString("reason"), "deadline");
     EXPECT_EQ(late.getString("verdict"), "Unknown");
+    EXPECT_TRUE(late.getBool("retryable", false));
+    EXPECT_GT(late.getInt("retry_after_ms"), 0);
     EXPECT_EQ(server.stats().shedDeadline, 1u);
     server.stop();
 }

@@ -3,8 +3,12 @@
  * lkmm-serve — the persistent verification daemon and its client.
  *
  * Daemon mode binds a unix socket and answers length-prefixed JSON
- * verification requests with verdicts from the in-process parallel
- * engine, backed by a crash-safe journaled verdict cache:
+ * verification requests, backed by a crash-safe journaled verdict
+ * cache.  By default requests run on a crash-only pool of isolated
+ * worker processes — a worker segfault, abort, OOM, or hang costs
+ * exactly one sound Unknown response, never the daemon — with
+ * self-healing respawn and a poison-pill quarantine in front;
+ * --inproc keeps the PR-4 in-thread engine for comparison:
  *
  *   lkmm-serve --socket /tmp/lkmm.sock --cache /tmp/lkmm-cache.jsonl
  *
@@ -82,6 +86,22 @@ usage()
         "                         cat:FILE; default lkmm)\n"
         "  --jobs N               verification workers (0 = all\n"
         "                         hardware threads; default 0)\n"
+        "  --workers N            alias for --jobs that also forces\n"
+        "                         the isolated worker-process tier\n"
+        "  --inproc               run verification on the dispatch\n"
+        "                         threads instead of isolated worker\n"
+        "                         processes (shared address space)\n"
+        "  --worker-recycle-requests N\n"
+        "                         retire each worker process after N\n"
+        "                         requests (default 0 = never)\n"
+        "  --worker-rss-limit-mb N\n"
+        "                         retire a worker whose RSS exceeds\n"
+        "                         N MiB (default 0 = never)\n"
+        "  --worker-deadline-ms N watchdog for requests without a\n"
+        "                         deadline of their own (0 = none)\n"
+        "  --quarantine-crashes N refuse a request fingerprint after\n"
+        "                         N worker crashes (default 3, 0 = "
+        "off)\n"
         "  --queue-depth N        admission bound: requests past N\n"
         "                         queued-or-running are shed with a\n"
         "                         sound Unknown (default 64, 0 = off)\n"
@@ -160,9 +180,13 @@ runDaemon(const Options &opt)
 {
     lkmm::serve::Server server(opt.serve);
     if (!opt.quiet) {
-        std::printf("lkmm-serve: listening on %s (model %s)\n",
+        std::printf("lkmm-serve: listening on %s (model %s, %s)\n",
                     opt.serve.socketPath.c_str(),
-                    opt.serve.model.c_str());
+                    opt.serve.model.c_str(),
+                    opt.serve.isolation ==
+                            lkmm::serve::ServeIsolation::Workers
+                        ? "isolated workers"
+                        : "in-process");
         std::fflush(stdout);
     }
     server.run(&g_cancel);
@@ -266,6 +290,14 @@ runClient(const Options &opt)
             std::printf("%s: %s (shed: %s)\n", file.c_str(),
                         response.getString("verdict").c_str(),
                         response.getString("reason").c_str());
+            exitCode = 2;
+        } else if (status == "crash") {
+            // Sound degradation from the worker tier: the isolated
+            // worker died or hit its watchdog, this one request pays.
+            std::printf("%s: %s (%s: %s)\n", file.c_str(),
+                        response.getString("verdict").c_str(),
+                        response.getString("reason").c_str(),
+                        response.getString("detail").c_str());
             exitCode = 2;
         } else {
             std::printf("%s: error: %s: %s\n", file.c_str(),
@@ -462,6 +494,29 @@ main(int argc, char **argv)
         else if (arg == "--jobs")
             opt.serve.workers = std::strtoul(
                 needValue(i, "--jobs"), nullptr, 10);
+        else if (arg == "--workers") {
+            opt.serve.workers = std::strtoul(
+                needValue(i, "--workers"), nullptr, 10);
+            opt.serve.isolation =
+                lkmm::serve::ServeIsolation::Workers;
+        } else if (arg == "--inproc")
+            opt.serve.isolation =
+                lkmm::serve::ServeIsolation::InProcess;
+        else if (arg == "--worker-recycle-requests")
+            opt.serve.workerRecycleRequests = std::strtoull(
+                needValue(i, "--worker-recycle-requests"), nullptr,
+                10);
+        else if (arg == "--worker-rss-limit-mb")
+            opt.serve.workerRssLimitMb = std::strtoul(
+                needValue(i, "--worker-rss-limit-mb"), nullptr, 10);
+        else if (arg == "--worker-deadline-ms")
+            opt.serve.workerDeadline = std::chrono::milliseconds(
+                std::strtol(needValue(i, "--worker-deadline-ms"),
+                            nullptr, 10));
+        else if (arg == "--quarantine-crashes")
+            opt.serve.quarantineCrashes = static_cast<int>(
+                std::strtol(needValue(i, "--quarantine-crashes"),
+                            nullptr, 10));
         else if (arg == "--queue-depth")
             opt.serve.maxPending = std::strtoul(
                 needValue(i, "--queue-depth"), nullptr, 10);
