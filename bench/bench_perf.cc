@@ -74,16 +74,18 @@ BM_EnumerateCandidates(benchmark::State &state)
 BENCHMARK(BM_EnumerateCandidates);
 
 /**
- * Candidate throughput over the whole paper catalog, with the
- * incremental engine (arg 1) vs the brute-force reference (arg 0).
- * items_per_second is candidates/sec; CI records both into
- * BENCH_enumerate.json and gates pruned >= 1.5x brute-force.
+ * End-to-end candidate throughput over the whole Table 5 catalog.
+ * Arg 0: engine — 0 brute force, 1 incremental without the arena
+ * (the PR-5 baseline), 2 incremental with arena-backed relations
+ * (the default engine).  CI gates 1-vs-0 and 2-vs-1 from
+ * BENCH_enumerate.json.
  */
 void
 BM_EnumerateCatalog(benchmark::State &state)
 {
     EnumerateOptions opts;
     opts.prune = state.range(0) != 0;
+    opts.arena = state.range(0) == 2;
     std::vector<CatalogEntry> entries = table5();
     std::size_t candidates = 0;
     for (auto _ : state) {
@@ -99,6 +101,7 @@ BM_EnumerateCatalog(benchmark::State &state)
 BENCHMARK(BM_EnumerateCatalog)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void

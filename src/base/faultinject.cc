@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <mutex>
@@ -27,33 +28,85 @@ std::mutex g_filter_mutex;
 std::string g_filter;
 
 /**
- * The active fault plan.  g_plan_active is the lock-free fast-path
+ * The active fault plans.  g_plan_active is the lock-free fast-path
  * gate: instrumented sites pay one relaxed load when no plan is
- * set.  The plan body and its hit counter live behind the mutex;
- * g_plan_fired survives clearPlan() so a caller can ask whether the
- * schedule tripped after the fact.
+ * set.  The plan bodies and their hit counters live behind the
+ * mutex; g_plan_fired survives clearPlan() so a caller can ask
+ * whether the schedule tripped after the fact.  Each plan counts
+ * passages of its own site and is removed when it fires, leaving
+ * any others armed.
  */
+struct ActivePlan
+{
+    FaultPlan plan;
+    std::uint64_t hits = 0;
+};
+
 std::atomic<bool> g_plan_active{false};
 std::atomic<bool> g_plan_fired{false};
 std::mutex g_plan_mutex;
-FaultPlan g_plan;
+std::vector<ActivePlan> g_plans;
+/** Passages of any planned site (the planHits() diagnostic). */
 std::uint64_t g_plan_hits = 0;
 
 /** Parse LKMM_FAULT_INJECT/... once, on first use of any point. */
 std::once_flag g_env_once;
 
+/**
+ * The LKMM_FAULT_INJECT deprecation shim.  The soft legacy points
+ * are registry sites, so "litmus-parse,cat-eval" translates exactly
+ * to the plans "litmus-parse:1:error,cat-eval:1:error"; the crash
+ * points (crash-segv, crash-abort, hang) have no registry site and
+ * different semantics than any FaultKind (SIGSEGV / abort() vs the
+ * plan Crash's SIGKILL), so they stay on the legacy arming path.
+ * Returns the plans; arms the crash points directly.
+ */
+std::vector<FaultPlan>
+shimLegacyEnvSpec(const std::string &spec)
+{
+    std::fprintf(
+        stderr,
+        "lkmm: warning: LKMM_FAULT_INJECT is deprecated and will be "
+        "removed in the next release; use "
+        "LKMM_FAULT_PLAN=site:hit:kind[:tornBytes][,...] instead\n");
+    std::vector<FaultPlan> plans;
+    std::string crashPoints;
+    for (const std::string &piece : split(spec, ',')) {
+        const std::string name = trim(piece);
+        if (name.empty())
+            continue;
+        if (findSite(name)) {
+            FaultPlan p;
+            p.site = name;
+            plans.push_back(p);
+        } else {
+            if (!crashPoints.empty())
+                crashPoints += ',';
+            crashPoints += name; // armFromSpec rejects unknown names
+        }
+    }
+    if (!crashPoints.empty())
+        armFromSpec(crashPoints);
+    return plans;
+}
+
 void
 armFromEnv()
 {
+    std::vector<FaultPlan> plans;
     const char *spec = std::getenv("LKMM_FAULT_INJECT");
     if (spec && *spec)
-        armFromSpec(spec);
+        plans = shimLegacyEnvSpec(spec);
     const char *filter = std::getenv("LKMM_FAULT_INJECT_FILTER");
     if (filter && *filter)
         setFilter(filter);
     const char *plan = std::getenv("LKMM_FAULT_PLAN");
-    if (plan && *plan)
-        setPlan(FaultPlan::parse(plan));
+    if (plan && *plan) {
+        for (FaultPlan &p : FaultPlan::parseList(plan))
+            plans.push_back(std::move(p));
+    }
+    if (!plans.empty())
+        setPlans(plans);
 }
 
 bool
@@ -89,9 +142,10 @@ struct PlanAction
 };
 
 /**
- * Advance the plan's hit counter for a passage of site `id` and
- * decide whether this passage trips.  One-shot: a tripping passage
- * deactivates the plan.
+ * Advance the matching plans' hit counters for a passage of site
+ * `id` and decide whether this passage trips.  Plans are one-shot:
+ * a tripping plan is removed, and the active gate clears when the
+ * last plan is gone.
  */
 PlanAction
 planCheck(const char *id, const char *what)
@@ -103,17 +157,25 @@ planCheck(const char *id, const char *what)
     if (!filterMatches(what))
         return action;
     std::lock_guard<std::mutex> lock(g_plan_mutex);
-    if (!g_plan_active.load(std::memory_order_relaxed) ||
-        g_plan.site != id) {
+    if (!g_plan_active.load(std::memory_order_relaxed))
+        return action;
+    for (std::size_t i = 0; i < g_plans.size(); ++i) {
+        ActivePlan &ap = g_plans[i];
+        if (ap.plan.site != id)
+            continue;
+        ++g_plan_hits;
+        if (++ap.hits < ap.plan.hit)
+            continue;
+        g_plan_fired.store(true, std::memory_order_relaxed);
+        action.fire = true;
+        action.kind = ap.plan.kind;
+        action.tornBytes = ap.plan.tornBytes;
+        g_plans.erase(g_plans.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        if (g_plans.empty())
+            g_plan_active.store(false, std::memory_order_relaxed);
         return action;
     }
-    if (++g_plan_hits < g_plan.hit)
-        return action;
-    g_plan_active.store(false, std::memory_order_relaxed);
-    g_plan_fired.store(true, std::memory_order_relaxed);
-    action.fire = true;
-    action.kind = g_plan.kind;
-    action.tornBytes = g_plan.tornBytes;
     return action;
 }
 
@@ -201,6 +263,7 @@ reset()
     setFilter("");
     {
         std::lock_guard<std::mutex> lock(g_plan_mutex);
+        g_plans.clear();
         g_plan_active.store(false, std::memory_order_relaxed);
         g_plan_fired.store(false, std::memory_order_relaxed);
         g_plan_hits = 0;
@@ -435,20 +498,42 @@ FaultPlan::parse(const std::string &spec)
     return plan;
 }
 
+std::vector<FaultPlan>
+FaultPlan::parseList(const std::string &spec)
+{
+    std::vector<FaultPlan> plans;
+    for (const std::string &piece : split(spec, ',')) {
+        if (!trim(piece).empty())
+            plans.push_back(parse(piece));
+    }
+    return plans;
+}
+
 void
 setPlan(const FaultPlan &plan)
 {
+    setPlans({plan});
+}
+
+void
+setPlans(const std::vector<FaultPlan> &plans)
+{
     std::lock_guard<std::mutex> lock(g_plan_mutex);
-    g_plan = plan;
+    g_plans.clear();
+    g_plans.reserve(plans.size());
+    for (const FaultPlan &p : plans)
+        g_plans.push_back(ActivePlan{p, 0});
     g_plan_hits = 0;
     g_plan_fired.store(false, std::memory_order_relaxed);
-    g_plan_active.store(true, std::memory_order_relaxed);
+    g_plan_active.store(!g_plans.empty(),
+                        std::memory_order_relaxed);
 }
 
 void
 clearPlan()
 {
     std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plans.clear();
     g_plan_active.store(false, std::memory_order_relaxed);
 }
 

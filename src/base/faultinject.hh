@@ -24,11 +24,17 @@
  *    retry policy").
  *
  * Arming is programmatic or via environment variables —
- * LKMM_FAULT_INJECT (comma-separated legacy point names),
- * LKMM_FAULT_INJECT_FILTER (context filter), and LKMM_FAULT_PLAN
- * ("site:hit:kind[:tornBytes]") — useful for exercising a release
- * binary's failure handling and for planting a plan in a forked
- * child.
+ * LKMM_FAULT_PLAN (comma-separated "site:hit:kind[:tornBytes]"
+ * specs) and LKMM_FAULT_INJECT_FILTER (context filter) — useful for
+ * exercising a release binary's failure handling and for planting a
+ * plan in a forked child.
+ *
+ * LKMM_FAULT_INJECT (comma-separated legacy point names) is
+ * DEPRECATED: plans subsume it ("litmus-parse" is exactly
+ * "litmus-parse:1:error").  For one release a shim translates the
+ * list into equivalent fault plans — the crash points, which have
+ * no registry site, stay on the legacy arming path — and warns on
+ * stderr; after that the variable will be ignored.
  *
  * The disarmed fast path of every entry point is a single relaxed
  * atomic load, so release-path overhead is negligible.
@@ -251,15 +257,29 @@ struct FaultPlan
      * the site does not support.
      */
     static FaultPlan parse(const std::string &spec);
+
+    /**
+     * Parse a comma-separated list of specs (the LKMM_FAULT_PLAN
+     * syntax); empty elements are skipped.
+     */
+    static std::vector<FaultPlan> parseList(const std::string &spec);
 };
 
 /**
- * Activate a plan (replacing any previous one) and clear the fired
+ * Activate a plan (replacing any previous ones) and clear the fired
  * flag.  The plan is checked — and its hit counter advanced — on
  * every passage of its site that matches the context filter; it
  * deactivates when it fires.
  */
 void setPlan(const FaultPlan &plan);
+
+/**
+ * Activate several concurrent plans (replacing any previous ones)
+ * and clear the fired flag.  Each plan counts passages of its own
+ * site independently and deactivates alone when it fires; the
+ * others stay armed.  planFired() reports whether *any* plan fired.
+ */
+void setPlans(const std::vector<FaultPlan> &plans);
 
 /** Deactivate the plan without clearing the fired flag. */
 void clearPlan();

@@ -524,4 +524,14 @@ Value::parse(const std::string &text)
     return Parser(text).parseDocument();
 }
 
+Value
+stringArray(const std::vector<std::string> &strings)
+{
+    Array a;
+    a.reserve(strings.size());
+    for (const std::string &s : strings)
+        a.emplace_back(s);
+    return Value(std::move(a));
+}
+
 } // namespace lkmm::json

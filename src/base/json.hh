@@ -95,6 +95,50 @@ class Value
         v_;
 };
 
+/* ------------------------------------------------------------------ */
+/* Shared struct<->object codec helpers                                */
+/* ------------------------------------------------------------------ */
+
+/**
+ * One entry of a field table: a JSON key bound to a std::size_t
+ * counter member of T.  The report writers used to spell their
+ * counter encodings field by field in several places (the batch
+ * report, the sweep-journal records, the journal decoder), which
+ * let the key sets drift; a shared table plus putFields/getFields
+ * defines each schema's keys exactly once.
+ */
+template <class T>
+struct SizeField
+{
+    const char *key;
+    std::size_t T::*member;
+};
+
+/** Encode every table field of `v` into `o` as an integer. */
+template <class T>
+void
+putFields(Object &o, const T &v, const std::vector<SizeField<T>> &fields)
+{
+    for (const SizeField<T> &f : fields)
+        o[f.key] = Value(v.*f.member);
+}
+
+/**
+ * Decode every table field of `record` into `v`.  Absent keys read
+ * 0, so fields added later decode leniently from older records.
+ */
+template <class T>
+void
+getFields(const Value &record, T &v,
+          const std::vector<SizeField<T>> &fields)
+{
+    for (const SizeField<T> &f : fields)
+        v.*f.member = static_cast<std::size_t>(record.getInt(f.key, 0));
+}
+
+/** A vector of strings as a JSON array value. */
+Value stringArray(const std::vector<std::string> &strings);
+
 } // namespace lkmm::json
 
 #endif // LKMM_BASE_JSON_HH

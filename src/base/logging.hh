@@ -60,6 +60,18 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Overload for string literals: the message is only materialised on
+ * the failing path, so a passing check performs no heap allocation.
+ * Hot-path code (the relation kernels) relies on this.
+ */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(std::string(msg));
+}
+
 } // namespace lkmm
 
 #endif // LKMM_BASE_LOGGING_HH

@@ -121,6 +121,7 @@ runSweepWorkload(const ChaosOptions &opts, const std::string &journalPath,
 
     auto makeOpts = [&](bool resume) {
         BatchOptions bo;
+        bo.engine = opts.engine;
         bo.journalPath = journalPath;
         bo.resume = resume;
         bo.seed = 1;
@@ -166,7 +167,7 @@ canonicalFuzzContent(const fuzz::FuzzReport &report)
 
 /** Two-stage fuzz campaign: 4 fresh iterations, then resume to 8. */
 std::string
-runFuzzWorkload(const std::string &journalPath,
+runFuzzWorkload(const ChaosOptions &opts, const std::string &journalPath,
                 const std::string &corpusDir, bool resumeOnly)
 {
     fs::create_directories(corpusDir);
@@ -181,6 +182,7 @@ runFuzzWorkload(const std::string &journalPath,
         fo.minimize = false;
         fo.jobs = 1;
         fo.oracle.isolate = false;
+        fo.oracle.engine = opts.engine;
         return fo;
     };
     if (!resumeOnly)
@@ -293,6 +295,7 @@ runServeWorkload(const ChaosOptions &opts, const std::string &journalPath,
     }
 
     serve::ServeOptions so;
+    so.engine = opts.engine;
     so.socketPath = serveSocketPath(scheduleDir);
     so.workers = 2;
     so.maxPending = 16;
@@ -357,7 +360,8 @@ runWorkload(const ChaosOptions &opts, const std::string &scheduleDir,
                                 resumeOnly);
     }
     if (opts.workload == "fuzz") {
-        return runFuzzWorkload(journalPath, scheduleDir + "/corpus",
+        return runFuzzWorkload(opts, journalPath,
+                               scheduleDir + "/corpus",
                                resumeOnly);
     }
     if (opts.workload == "serve") {

@@ -47,6 +47,7 @@
 
 #include "base/faultinject.hh"
 #include "base/json.hh"
+#include "exec/engine_config.hh"
 
 namespace lkmm::chaos
 {
@@ -91,6 +92,12 @@ struct ChaosOptions
     std::size_t maxSchedules = 0;
     /** Run only this schedule (overrides enumeration). */
     std::vector<faultinject::FaultPlan> explicitPlans;
+    /**
+     * Engine selection and per-run budget applied inside every
+     * workload (exec/engine_config.hh); the chaos CLI accepts the
+     * shared --engine-family flags.
+     */
+    EngineConfig engine;
 };
 
 /** How one schedule fared. */

@@ -6,6 +6,7 @@
 #include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "exec/unroll.hh"
+#include "relation/kernels.hh"
 
 namespace lkmm
 {
@@ -101,6 +102,21 @@ struct Valuation
 };
 
 /**
+ * Scratch vectors of the valuation walks.  The arena engine reuses
+ * one instance across every rf assignment (assign() keeps the
+ * capacity, so the steady state allocates nothing); the heap engine
+ * constructs a fresh one per call, as the walks once did inline.
+ */
+struct ValuateScratch
+{
+    std::vector<std::optional<Value>> evValue;
+    std::vector<EventId> rfOf;
+    std::vector<std::optional<Value>> env;
+    /** partialFeasible's location column (valuate uses val.loc). */
+    std::vector<LocId> loc;
+};
+
+/**
  * Solve the value equations for a given rf choice.
  *
  * Iterates per-thread walks until no event value or location becomes
@@ -110,16 +126,19 @@ struct Valuation
  * walk then checks branch outcomes, location agreement between each
  * read and its rf source, and expression consistency.
  */
-Valuation
-valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
+void
+valuate(const Layout &lay, const std::vector<EventId> &rfSrc,
+        Valuation &val, ValuateScratch &ws)
 {
     const std::size_t n = lay.events.size();
-    Valuation val;
+    val.consistent = false;
     val.loc.assign(n, -1);
-    std::vector<std::optional<Value>> ev_value(n);
+    auto &ev_value = ws.evValue;
+    ev_value.assign(n, std::nullopt);
 
     // rfOf[readEvent] = source write event.
-    std::vector<EventId> rf_of(n, NO_EVENT);
+    auto &rf_of = ws.rfOf;
+    rf_of.assign(n, NO_EVENT);
     for (std::size_t i = 0; i < lay.readIds.size(); ++i)
         rf_of[lay.readIds[i]] = rfSrc[i];
 
@@ -141,7 +160,8 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
         changed = false;
         for (std::size_t t = 0; t < lay.paths.size() && !bad; ++t) {
             const ThreadPath &path = *lay.paths[t];
-            std::vector<std::optional<Value>> env(path.numRegs);
+            auto &env = ws.env;
+            env.assign(path.numRegs, std::nullopt);
             for (std::size_t i = 0; i < path.items.size(); ++i) {
                 const PathItem &item = path.items[i];
                 switch (item.kind) {
@@ -192,7 +212,7 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
         }
     }
     if (bad)
-        return val;
+        return;
 
     // Out-of-thin-air rule: writes on an rf/data cycle get value 0.
     for (EventId w : lay.writeIds) {
@@ -214,23 +234,24 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
     val.finalRegs.resize(lay.paths.size());
     for (std::size_t t = 0; t < lay.paths.size(); ++t) {
         const ThreadPath &path = *lay.paths[t];
-        std::vector<std::optional<Value>> env(path.numRegs);
+        auto &env = ws.env;
+            env.assign(path.numRegs, std::nullopt);
         for (std::size_t i = 0; i < path.items.size(); ++i) {
             const PathItem &item = path.items[i];
             switch (item.kind) {
               case PathItem::Kind::Let: {
                 auto v = item.value.eval(env);
                 if (!v)
-                    return val;
+                    return;
                 env[item.dest] = v;
                 break;
               }
               case PathItem::Kind::Check: {
                 auto v = item.value.eval(env);
                 if (!v)
-                    return val;
+                    return;
                 if ((*v != 0) != item.expectTrue)
-                    return val;
+                    return;
                 break;
               }
               case PathItem::Kind::Event: {
@@ -240,23 +261,23 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
                     break;
                 auto addr_v = item.addr.eval(env);
                 if (!addr_v || !isLocHandle(*addr_v))
-                    return val;
+                    return;
                 const LocId l = valueToLoc(*addr_v);
                 if (l < 0 || l >= max_locs || val.loc[e] != l)
-                    return val;
+                    return;
                 if (ev.kind == EvKind::Read) {
                     // The read's location must match its rf source's.
                     if (val.loc[rf_of[e]] != l)
-                        return val;
+                        return;
                     if (!ev_value[e] ||
                         *ev_value[e] != *ev_value[rf_of[e]]) {
-                        return val;
+                        return;
                     }
                     env[ev.dest] = ev_value[e];
                 } else {
                     auto v = item.value.eval(env);
                     if (!v || !ev_value[e] || *v != *ev_value[e])
-                        return val;
+                        return;
                 }
                 break;
               }
@@ -275,7 +296,7 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
             val.value[e] = *ev_value[e];
     }
     val.consistent = true;
-    return val;
+    return;
 }
 
 /**
@@ -303,13 +324,16 @@ valuate(const Layout &lay, const std::vector<EventId> &rfSrc)
  */
 bool
 partialFeasible(const Layout &lay, const std::vector<EventId> &rfSrc,
-                std::size_t numAssigned)
+                std::size_t numAssigned, ValuateScratch &ws)
 {
     const std::size_t n = lay.events.size();
-    std::vector<LocId> loc(n, -1);
-    std::vector<std::optional<Value>> ev_value(n);
+    auto &loc = ws.loc;
+    loc.assign(n, -1);
+    auto &ev_value = ws.evValue;
+    ev_value.assign(n, std::nullopt);
 
-    std::vector<EventId> rf_of(n, NO_EVENT);
+    auto &rf_of = ws.rfOf;
+    rf_of.assign(n, NO_EVENT);
     for (std::size_t i = 0; i < numAssigned; ++i)
         rf_of[lay.readIds[i]] = rfSrc[i];
 
@@ -327,7 +351,8 @@ partialFeasible(const Layout &lay, const std::vector<EventId> &rfSrc,
         changed = false;
         for (std::size_t t = 0; t < lay.paths.size(); ++t) {
             const ThreadPath &path = *lay.paths[t];
-            std::vector<std::optional<Value>> env(path.numRegs);
+            auto &env = ws.env;
+            env.assign(path.numRegs, std::nullopt);
             for (std::size_t i = 0; i < path.items.size(); ++i) {
                 const PathItem &item = path.items[i];
                 switch (item.kind) {
@@ -399,12 +424,17 @@ buildStaticRelations(const Layout &lay, CandidateExecution &ex)
     ex.program = lay.prog;
     ex.events = lay.events;
 
-    ex.po = Relation(n);
-    ex.addr = Relation(n);
-    ex.data = Relation(n);
-    ex.ctrl = Relation(n);
-    ex.rmw = Relation(n);
-    ex.rf = Relation(n);
+    // Abstract-execution storage comes from the execution's arena
+    // when one is attached (the incremental engine's path).
+    auto mk = [&ex, n] {
+        return ex.arena() ? Relation(*ex.arena(), n) : Relation(n);
+    };
+    ex.po = mk();
+    ex.addr = mk();
+    ex.data = mk();
+    ex.ctrl = mk();
+    ex.rmw = mk();
+    ex.rf = mk();
 
     for (std::size_t t = 0; t < lay.paths.size(); ++t) {
         const ThreadPath &path = *lay.paths[t];
@@ -537,11 +567,41 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
         // Statics of this path combo, shared by every candidate when
         // pruning: the incremental engine copies this base instead of
         // rebuilding po/deps and the po-derived sets per candidate.
+        // With the arena enabled the combo boundary is the
+        // static-stage lifetime: everything the previous combo carved
+        // from the arena dies here, and the stages below reuse their
+        // allocations in place for the whole combo.
+        const bool use_arena = opts_.prune && opts_.arena;
         CandidateExecution base;
         if (opts_.prune) {
+            if (use_arena) {
+                arena_.reset();
+                base.attachArena(&arena_);
+            }
             buildStaticRelations(lay, base);
             base.finalizeStatic();
         }
+
+        // Per-depth co scratch for the permutation recursion: one
+        // relation per location level, written in place instead of
+        // copy-constructed per tree node.
+        std::vector<Relation> co_stack;
+        if (use_arena) {
+            const auto num_locs =
+                static_cast<std::size_t>(prog_.numLocs());
+            co_stack.reserve(num_locs + 1);
+            for (std::size_t i = 0; i <= num_locs; ++i)
+                co_stack.emplace_back(arena_, n);
+        }
+
+        // Valuation workspace: the arena engine reuses one instance
+        // across every rf assignment in the combo (assign() keeps
+        // capacity, so the steady state allocates nothing); the heap
+        // engine constructs fresh ones per call, preserving the PR-5
+        // allocation profile the bench baseline measures.
+        Valuation shared_val;
+        ValuateScratch shared_ws;
+        std::vector<std::vector<EventId>> shared_by_loc;
 
         // The partial check can only ever cut on a forced Check
         // violation, a forced-bad address, or a forced location
@@ -571,7 +631,11 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
         auto forEachCo = [&](const Valuation &val,
                              CandidateExecution *exRf) {
             // Group writes by resolved location for co.
-            std::vector<std::vector<EventId>> by_loc(prog_.numLocs());
+            std::vector<std::vector<EventId>> local_by_loc;
+            auto &by_loc = use_arena ? shared_by_loc : local_by_loc;
+            by_loc.resize(static_cast<std::size_t>(prog_.numLocs()));
+            for (auto &v : by_loc)
+                v.clear();
             for (EventId w : lay.writeIds) {
                 if (!lay.events[w].isInit)
                     by_loc[val.loc[w]].push_back(w);
@@ -597,7 +661,13 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
                         return;
                     }
                     if (exRf) {
-                        exRf->co = co;
+                        if (use_arena) {
+                            if (exRf->co.size() != n)
+                                exRf->co = Relation(arena_, n);
+                            rel::copyInto(exRf->co, co);
+                        } else {
+                            exRf->co = co;
+                        }
                         exRf->finalizeCo();
                         ++stats_.candidates;
                         ++delivered;
@@ -618,23 +688,36 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
                 auto &ws = by_loc[loc_i];
                 std::sort(ws.begin(), ws.end());
                 do {
-                    Relation co2 = co;
+                    Relation heap_co;
+                    Relation *co2;
+                    if (use_arena) {
+                        co2 = &co_stack[loc_i + 1];
+                        rel::copyInto(*co2, co);
+                    } else {
+                        heap_co = co;
+                        co2 = &heap_co;
+                    }
                     // init write first, then the permutation.
                     EventId init_w = static_cast<EventId>(loc_i);
                     for (EventId w : ws)
-                        co2.add(init_w, w);
+                        co2->add(init_w, w);
                     for (std::size_t a = 0; a < ws.size(); ++a) {
                         for (std::size_t b = a + 1; b < ws.size();
                              ++b) {
-                            co2.add(ws[a], ws[b]);
+                            co2->add(ws[a], ws[b]);
                         }
                     }
-                    chooseCo(loc_i + 1, co2);
+                    chooseCo(loc_i + 1, *co2);
                 } while (!stop &&
                          std::next_permutation(ws.begin(), ws.end()));
             };
-            Relation co(n);
-            chooseCo(0, co);
+            if (use_arena) {
+                rel::clear(co_stack[0]);
+                chooseCo(0, co_stack[0]);
+            } else {
+                Relation co(n);
+                chooseCo(0, co);
+            }
             if (stop && opts_.prune)
                 stats_.coPruned += total_perms - delivered;
         };
@@ -651,7 +734,11 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
                 }
                 ++stats_.rfAssignments;
                 ++stats_.rfSpace;
-                Valuation val = valuate(lay, rf_src);
+                Valuation local_val;
+                ValuateScratch local_ws;
+                Valuation &val = use_arena ? shared_val : local_val;
+                ValuateScratch &vws = use_arena ? shared_ws : local_ws;
+                valuate(lay, rf_src, val, vws);
                 if (!val.consistent) {
                     ++stats_.valuationRejects;
                     return;
@@ -667,7 +754,10 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
                 // and finalRegs wholesale, and finalizeRf/finalizeCo
                 // overwrite all their outputs, so only rf (which
                 // applyValuation accumulates into) needs a reset.
-                base.rf = Relation(n);
+                if (use_arena)
+                    rel::clear(base.rf);
+                else
+                    base.rf = Relation(n);
                 applyValuation(lay, val, rf_src, base);
                 base.finalizeRf();
                 forEachCo(val, &base);
@@ -680,12 +770,17 @@ Enumerator::forEach(const std::function<bool(const CandidateExecution &)> &fn)
                 // Complete assignments go straight to the full
                 // valuation instead.
                 if (opts_.prune && can_partial_reject &&
-                    read_idx + 1 < num_reads &&
-                    !partialFeasible(lay, rf_src, read_idx + 1)) {
-                    ++stats_.partialValuationRejects;
-                    stats_.rfPruned += suffix[read_idx + 1];
-                    stats_.rfSpace += suffix[read_idx + 1];
-                    continue;
+                    read_idx + 1 < num_reads) {
+                    ValuateScratch local_pf;
+                    ValuateScratch &pf_ws =
+                        use_arena ? shared_ws : local_pf;
+                    if (!partialFeasible(lay, rf_src, read_idx + 1,
+                                         pf_ws)) {
+                        ++stats_.partialValuationRejects;
+                        stats_.rfPruned += suffix[read_idx + 1];
+                        stats_.rfSpace += suffix[read_idx + 1];
+                        continue;
+                    }
                 }
                 chooseRf(read_idx + 1);
                 if (stop)

@@ -45,10 +45,18 @@ namespace lkmm
  *    valuation, and every candidate rebuilds its relations from
  *    scratch.  Kept as the oracle for the conformance suite and
  *    the bench baseline.
+ *
+ * `arena` (incremental engine only) backs the staged finalize with
+ * the enumerator's RelationArena and reuses preallocated co
+ * scratch, so steady-state per-candidate work allocates nothing;
+ * off, the same engine allocates from the heap per stage — the
+ * PR-5 behaviour, kept as the bench baseline for the arena win.
+ * The candidate stream is identical either way.
  */
 struct EnumerateOptions
 {
     bool prune = true;
+    bool arena = true;
 };
 
 /** Enumerates candidate executions of one program. */
@@ -137,6 +145,15 @@ class Enumerator
     Stats stats_;
     Completeness completeness_ = Completeness::Complete;
     BoundKind tripped_ = BoundKind::None;
+    /**
+     * Word storage for the incremental engine's derived relations
+     * (opts_.arena): fully reset at each path-combo boundary — the
+     * static-stage lifetime — while the rf- and co-stage relations
+     * reuse their allocations in place across reruns (see
+     * CandidateExecution::ensureRel).  One arena per enumerator;
+     * parallel sweeps hold one enumerator per worker.
+     */
+    RelationArena arena_;
 };
 
 } // namespace lkmm

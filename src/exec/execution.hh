@@ -21,6 +21,7 @@
 
 #include "exec/event.hh"
 #include "litmus/program.hh"
+#include "relation/arena.hh"
 #include "relation/relation.hh"
 
 namespace lkmm
@@ -54,6 +55,23 @@ class CandidateExecution
 
     /** Populate every derived relation; call once after filling in. */
     void finalize();
+
+    // Arena backing -------------------------------------------------
+    // The incremental enumerator attaches its RelationArena before
+    // the staged finalize; the stages then carve their derived
+    // relations from it (reusing the same storage in place when a
+    // stage reruns at the same universe size) instead of touching
+    // the heap per candidate.  The attachment deliberately does not
+    // survive copying: a copied execution owns heap storage for
+    // every relation (Relation copies always escape the arena) and
+    // must not keep allocating from a borrowed allocator it may
+    // outlive.
+
+    /** Use this arena for derived relations (nullptr = heap). */
+    void attachArena(RelationArena *arena) { arena_.ptr = arena; }
+
+    /** The attached arena, or nullptr when heap-backed. */
+    RelationArena *arena() const { return arena_.ptr; }
 
     // Staged finalization -------------------------------------------
     // finalize() == finalizeStatic(); finalizeRf(); finalizeCo().
@@ -154,6 +172,48 @@ class CandidateExecution
     std::string finalStateString() const;
 
   private:
+    /** Non-owning arena handle that never propagates to copies. */
+    struct ArenaRef
+    {
+        RelationArena *ptr = nullptr;
+        ArenaRef() = default;
+        ArenaRef(const ArenaRef &) noexcept {}
+        ArenaRef &operator=(const ArenaRef &) noexcept
+        {
+            return *this;
+        }
+        ArenaRef(ArenaRef &&o) noexcept : ptr(o.ptr)
+        {
+            o.ptr = nullptr;
+        }
+        ArenaRef &
+        operator=(ArenaRef &&o) noexcept
+        {
+            ptr = o.ptr;
+            o.ptr = nullptr;
+            return *this;
+        }
+    };
+
+    /**
+     * Make `r` a writable destination over n events: reuse its
+     * storage when already the right size (the kernels overwrite
+     * every word), else allocate — from the arena when attached.
+     */
+    void ensureRel(Relation &r, std::size_t n);
+
+    /**
+     * Arena path of the static stage: dst = [dom]; fencerel(a);
+     * [rng], fused row passes through scratchA_, no temporaries.
+     */
+    void fenceRelInto(Relation &dst, Ann a, const EventSet &dom,
+                      const EventSet &rng);
+
+    ArenaRef arena_;
+
+    /** Reused intermediates for the arena-path staged finalize. */
+    Relation scratchA_, scratchB_;
+
     EventSet reads_, writes_, fences_, mem_, all_;
     std::map<Ann, EventSet> byAnn_;
 

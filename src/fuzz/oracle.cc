@@ -53,9 +53,10 @@ modelSide(std::string label, std::shared_ptr<const Model> model)
 {
     OracleSide side;
     side.label = std::move(label);
-    side.eval = [model](const Program &prog, const RunBudget &budget,
-                        std::uint64_t) {
-        return quickVerdict(prog, *model, budget);
+    side.eval = [model](const Program &prog,
+                        const EngineConfig &engine, std::uint64_t) {
+        return quickVerdict(prog, *model, engine.budget,
+                            engine.enumerate);
     };
     return side;
 }
@@ -80,7 +81,7 @@ operationalSide(std::string label, MachineConfig cfg,
 {
     OracleSide side;
     side.label = std::move(label);
-    side.eval = [cfg, runs](const Program &prog, const RunBudget &,
+    side.eval = [cfg, runs](const Program &prog, const EngineConfig &,
                             std::uint64_t seed) {
         const HarnessResult hr = runHarness(prog, cfg, runs, seed);
         return hr.observed > 0 ? Verdict::Allow : Verdict::Forbid;
@@ -182,7 +183,7 @@ evalSidePayload(const OracleSide &side, const Program &prog,
     faultinject::maybeFail(faultinject::Point::Hang,
                            prog.name.c_str());
     try {
-        const Verdict v = side.eval(prog, opts.budget, opts.seed);
+        const Verdict v = side.eval(prog, opts.engine, opts.seed);
         return std::string("ok ") + verdictName(v);
     } catch (const std::exception &e) {
         return std::string("err ") +

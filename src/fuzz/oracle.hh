@@ -34,6 +34,7 @@
 
 #include "base/budget.hh"
 #include "base/subprocess.hh"
+#include "exec/engine_config.hh"
 #include "litmus/program.hh"
 #include "lkmm/runner.hh"
 
@@ -45,7 +46,7 @@ struct OracleSide
 {
     /** Phase tag used in failure signatures, e.g. "native-lkmm". */
     std::string label;
-    std::function<Verdict(const Program &, const RunBudget &,
+    std::function<Verdict(const Program &, const EngineConfig &,
                           std::uint64_t seed)>
         eval;
 };
@@ -105,8 +106,8 @@ struct OracleOptions
 {
     /** Sandbox caps applied to each side (isolated mode). */
     subprocess::Limits limits;
-    /** Enumeration budget applied inside each side. */
-    RunBudget budget;
+    /** Engine selection and enumeration budget for each side. */
+    EngineConfig engine;
     /** Fork each side into the sandbox (crashes become findings). */
     bool isolate = true;
     /** Seed for operational-machine sides. */

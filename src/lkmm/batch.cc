@@ -118,7 +118,7 @@ BatchRunner::addLitmusSource(std::string name, std::string source)
 bool
 BatchRunner::cancelled() const
 {
-    return opts_.budget.cancel && opts_.budget.cancel->cancelled();
+    return opts_.engine.budget.cancel && opts_.engine.budget.cancel->cancelled();
 }
 
 std::optional<Status>
@@ -200,7 +200,7 @@ BatchRunner::runItem(Item &item, const Model &model,
     // schedule, whose attempt count is journaled.
     BatchItemResult res;
     res.name = item.name;
-    RunBudget budget = opts_.budget;
+    RunBudget budget = opts_.engine.budget;
     budget.shared = sweepTracker;
     for (;;) {
         std::optional<Status> failed =
@@ -208,7 +208,7 @@ BatchRunner::runItem(Item &item, const Model &model,
                 faultinject::checkSite(faultinject::site::kBatchItem,
                                        item.name.c_str());
                 res.result = runTest(*item.prog, model, budget,
-                                     opts_.enumerate);
+                                     opts_.engine.enumerate);
                 // The allocation-failure hook in the hot path: an
                 // injected ENOMEM here models the result-copy
                 // allocation failing after a completed search.
@@ -242,10 +242,10 @@ BatchRunner::runItem(Item &item, const Model &model,
     // but the primary result stands.
     if (crossCheck && !res.result.truncated()) {
         try {
-            RunBudget refBudget = opts_.budget;
+            RunBudget refBudget = opts_.engine.budget;
             refBudget.shared = sweepTracker;
             RunResult ref = runTest(*item.prog, *crossCheck, refBudget,
-                                    opts_.enumerate);
+                                    opts_.engine.enumerate);
             if (ref.truncated() &&
                 (ref.trippedBound == BoundKind::Cancelled ||
                  ref.trippedBound == BoundKind::SweepBudget)) {

@@ -60,6 +60,7 @@
 #include "base/journal.hh"
 #include "base/retry.hh"
 #include "base/status.hh"
+#include "exec/engine_config.hh"
 #include "lkmm/runner.hh"
 
 namespace lkmm
@@ -181,15 +182,13 @@ enum class IsolationMode
 
 struct BatchOptions
 {
-    /** Initial per-test budget (unlimited by default). */
-    RunBudget budget;
     /**
-     * Enumerator knobs, applied to every test (primary and
-     * cross-check runs).  prune=false selects the brute-force
-     * reference engine — same results, no pruning (see
-     * EnumerateOptions).
+     * Engine selection and initial per-test budget (see
+     * exec/engine_config.hh; unlimited budget by default).
+     * engine.enumerate applies to every test, primary and
+     * cross-check runs alike.
      */
-    EnumerateOptions enumerate;
+    EngineConfig engine;
     /**
      * Retry/backoff/quarantine policy (see base/retry.hh).
      * retry.budgetRetries/budgetEscalation grant truncated tests

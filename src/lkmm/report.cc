@@ -24,16 +24,10 @@ toJson(const BatchReport &report)
             json::Value(boundKindName(report.sweepBound));
 
     json::Object stats;
-    stats["pathCombos"] = json::Value(report.stats.pathCombos);
-    stats["rfSpace"] = json::Value(report.stats.rfSpace);
-    stats["rfAssignments"] = json::Value(report.stats.rfAssignments);
-    stats["valuationRejects"] =
-        json::Value(report.stats.valuationRejects);
-    stats["rfConsistent"] = json::Value(report.stats.rfConsistent);
-    stats["rfPruned"] = json::Value(report.stats.rfPruned);
-    stats["coPruned"] = json::Value(report.stats.coPruned);
-    stats["partialValuationRejects"] =
-        json::Value(report.stats.partialValuationRejects);
+    json::putFields(stats, report.stats, statsFields());
+    // "candidates" is not in the shared table (result records use
+    // the key for RunResult::candidates); the aggregate object has
+    // no such clash.
     stats["candidates"] = json::Value(report.stats.candidates);
     root["stats"] = json::Value(std::move(stats));
 

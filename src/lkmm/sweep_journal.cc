@@ -64,6 +64,23 @@ requireTest(const json::Value &record)
 
 } // namespace
 
+const std::vector<json::SizeField<Enumerator::Stats>> &
+statsFields()
+{
+    using Stats = Enumerator::Stats;
+    static const std::vector<json::SizeField<Stats>> fields = {
+        {"pathCombos", &Stats::pathCombos},
+        {"rfSpace", &Stats::rfSpace},
+        {"rfAssignments", &Stats::rfAssignments},
+        {"valuationRejects", &Stats::valuationRejects},
+        {"rfConsistent", &Stats::rfConsistent},
+        {"rfPruned", &Stats::rfPruned},
+        {"coPruned", &Stats::coPruned},
+        {"partialValuationRejects", &Stats::partialValuationRejects},
+    };
+    return fields;
+}
+
 json::Value
 sweepMetaRecord(const std::string &model, std::uint64_t seed)
 {
@@ -89,20 +106,10 @@ toJson(const BatchItemResult &result)
     o["completeness"] =
         json::Value(completenessName(result.result.completeness));
     o["bound"] = json::Value(boundKindName(result.result.trippedBound));
-    o["pathCombos"] = json::Value(result.result.stats.pathCombos);
-    o["rfSpace"] = json::Value(result.result.stats.rfSpace);
-    o["rfAssignments"] = json::Value(result.result.stats.rfAssignments);
-    o["valuationRejects"] =
-        json::Value(result.result.stats.valuationRejects);
-    o["rfConsistent"] = json::Value(result.result.stats.rfConsistent);
-    o["rfPruned"] = json::Value(result.result.stats.rfPruned);
-    o["coPruned"] = json::Value(result.result.stats.coPruned);
-    o["partialValuationRejects"] =
-        json::Value(result.result.stats.partialValuationRejects);
-    json::Array states;
-    for (const std::string &s : result.result.allowedFinalStates)
-        states.push_back(json::Value(s));
-    o["finalStates"] = json::Value(std::move(states));
+    json::putFields(o, result.result.stats, statsFields());
+    o["finalStates"] = json::stringArray(std::vector<std::string>(
+        result.result.allowedFinalStates.begin(),
+        result.result.allowedFinalStates.end()));
     if (!result.result.violationText.empty())
         o["violation"] = json::Value(result.result.violationText);
     return json::Value(std::move(o));
@@ -181,23 +188,7 @@ decodeRecord(const json::Value &record,
             boundFromName(record.getString("bound", "none"));
         // Stats fields are additive (journals from before them
         // decode with zeros).
-        res.result.stats.pathCombos =
-            static_cast<std::size_t>(record.getInt("pathCombos", 0));
-        res.result.stats.rfSpace =
-            static_cast<std::size_t>(record.getInt("rfSpace", 0));
-        res.result.stats.rfAssignments =
-            static_cast<std::size_t>(record.getInt("rfAssignments", 0));
-        res.result.stats.valuationRejects = static_cast<std::size_t>(
-            record.getInt("valuationRejects", 0));
-        res.result.stats.rfConsistent =
-            static_cast<std::size_t>(record.getInt("rfConsistent", 0));
-        res.result.stats.rfPruned =
-            static_cast<std::size_t>(record.getInt("rfPruned", 0));
-        res.result.stats.coPruned =
-            static_cast<std::size_t>(record.getInt("coPruned", 0));
-        res.result.stats.partialValuationRejects =
-            static_cast<std::size_t>(
-                record.getInt("partialValuationRejects", 0));
+        json::getFields(record, res.result.stats, statsFields());
         res.result.stats.candidates = res.result.candidates;
         if (const json::Value *states = record.get("finalStates")) {
             for (const json::Value &s : states->asArray())

@@ -43,6 +43,17 @@ constexpr int kSweepJournalVersion = 1;
 json::Value sweepMetaRecord(const std::string &model,
                             std::uint64_t seed = 1);
 
+/**
+ * The one Enumerator::Stats field table (base/json codec helpers):
+ * result records, their decoder, and the batch report's "stats"
+ * object all encode these counters through it, so the key set
+ * cannot drift between writers.  stats.candidates is deliberately
+ * absent: in a result record the "candidates" key is
+ * RunResult::candidates, which the decoder copies back into the
+ * stats (the two are equal by construction).
+ */
+const std::vector<json::SizeField<Enumerator::Stats>> &statsFields();
+
 json::Value toJson(const BatchItemResult &result);
 json::Value toJson(const TestFailure &failure);
 json::Value toJson(const Divergence &divergence);

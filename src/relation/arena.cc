@@ -1,0 +1,94 @@
+#include "relation/arena.hh"
+
+#include <atomic>
+#include <cstring>
+
+namespace lkmm
+{
+namespace
+{
+
+/** Test-only override of the first-chunk size (0 = default). */
+std::atomic<std::size_t> g_initialWordsOverride{0};
+
+} // namespace
+
+std::size_t
+RelationArena::initialWordsDefault()
+{
+    const std::size_t v =
+        g_initialWordsOverride.load(std::memory_order_relaxed);
+    return v ? v : kDefaultInitialWords;
+}
+
+void
+RelationArena::setInitialWordsForTest(std::size_t words)
+{
+    g_initialWordsOverride.store(words, std::memory_order_relaxed);
+}
+
+RelationArena::RelationArena(std::size_t initialWords)
+{
+    if (initialWords == 0)
+        initialWords = 1;
+    chunks_.push_back(Chunk{std::vector<std::uint64_t>(initialWords), 0});
+    nextCapacity_ = initialWords * 2;
+}
+
+std::uint64_t *
+RelationArena::alloc(std::size_t nWords)
+{
+    if (nWords == 0)
+        return nullptr;
+    // Find or create a chunk with room.  A chunk whose tail is too
+    // small is skipped (bump allocators waste tails, they never
+    // split); an appended chunk is sized to fit even an oversized
+    // request.
+    while (chunks_[cur_].used + nWords > chunks_[cur_].words.size()) {
+        if (cur_ + 1 < chunks_.size()) {
+            ++cur_;
+            chunks_[cur_].used = 0;
+            continue;
+        }
+        const std::size_t cap =
+            nextCapacity_ > nWords ? nextCapacity_ : nWords;
+        chunks_.push_back(Chunk{std::vector<std::uint64_t>(cap), 0});
+        nextCapacity_ = cap * 2;
+        ++cur_;
+    }
+    Chunk &c = chunks_[cur_];
+    std::uint64_t *p = c.words.data() + c.used;
+    c.used += nWords;
+    // Reset reuses memory, so allocations must start zeroed.
+    std::memset(p, 0, nWords * sizeof(*p));
+    return p;
+}
+
+void
+RelationArena::resetTo(const Mark &m)
+{
+    for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i)
+        chunks_[i].used = 0;
+    chunks_[m.chunk].used = m.used;
+    cur_ = m.chunk;
+}
+
+std::size_t
+RelationArena::liveWords() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i <= cur_; ++i)
+        total += chunks_[i].used;
+    return total;
+}
+
+std::size_t
+RelationArena::capacityWords() const
+{
+    std::size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += c.words.size();
+    return total;
+}
+
+} // namespace lkmm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bump-allocated word storage for Relation bit-matrices.
+ *
+ * The enumerator's staged finalize (exec/execution.hh) rebuilds the
+ * same derived relations millions of times per sweep: static
+ * relations once per path combo, rf-derived relations once per rf
+ * assignment, co-derived relations once per candidate.  Each stage
+ * strictly outlives the next, so the natural allocator is a bump
+ * arena with stage-scoped reset marks: take a mark after the static
+ * stage, reset to it for every rf assignment; take a mark after the
+ * rf stage, reset to it for every candidate.  Per-candidate work
+ * then does zero malloc/free — allocation is a pointer bump plus a
+ * memset, and "free" is resetting an index.
+ *
+ * Memory is carved from chunks that never move once allocated (each
+ * chunk's buffer is stable even as the chunk table grows), so every
+ * pointer handed out stays valid until the arena is destroyed —
+ * resetTo() only *logically* releases allocations made after the
+ * mark, making the reclaimed words available for reuse.  Reading an
+ * allocation made after a mark that has since been reset is a
+ * use-after-reset bug in the caller; the arena cannot detect it
+ * (the bytes are simply reused), which is why Relation's copy
+ * operations always escape to heap storage (relation.hh).
+ */
+
+#ifndef LKMM_RELATION_ARENA_HH
+#define LKMM_RELATION_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lkmm
+{
+
+/** A bump allocator for 64-bit relation words. */
+class RelationArena
+{
+  public:
+    /**
+     * A stage boundary: everything allocated before the mark
+     * survives resetTo(); everything after is reclaimed for reuse.
+     */
+    struct Mark
+    {
+        std::size_t chunk = 0;
+        std::size_t used = 0;
+    };
+
+    /**
+     * Default capacity of the first chunk, in words.  Small on
+     * purpose: an arena is zero-initialised per chunk, enumerators
+     * are constructed per test, and litmus-sized universes need a
+     * few hundred words — growth doubles from here when a test is
+     * bigger.
+     */
+    static constexpr std::size_t kDefaultInitialWords = 1024;
+
+    /**
+     * @param initialWords capacity of the first chunk; later chunks
+     *        double.  Tests force a tiny value to exercise growth.
+     */
+    explicit RelationArena(std::size_t initialWords = initialWordsDefault());
+
+    RelationArena(const RelationArena &) = delete;
+    RelationArena &operator=(const RelationArena &) = delete;
+
+    /**
+     * Allocate nWords zeroed words.  Never fails (grows by adding
+     * chunks); returns nullptr only for nWords == 0.  The pointer
+     * stays valid for the arena's lifetime, but the *contents* are
+     * only meaningful until a resetTo() of an earlier mark.
+     */
+    std::uint64_t *alloc(std::size_t nWords);
+
+    /** The current stage boundary. */
+    Mark mark() const { return Mark{cur_, chunks_[cur_].used}; }
+
+    /**
+     * Roll back to a previous mark: allocations made since are
+     * reclaimed (their memory is reused by later allocs), chunks are
+     * kept so steady-state reuse allocates nothing from the heap.
+     */
+    void resetTo(const Mark &m);
+
+    /** resetTo the very beginning. */
+    void reset() { resetTo(Mark{}); }
+
+    /** Words currently handed out (live allocations). */
+    std::size_t liveWords() const;
+
+    /** Total words of chunk capacity owned by the arena. */
+    std::size_t capacityWords() const;
+
+    /** Number of chunks (growth-path observability for tests). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /**
+     * Process-wide override for the default first-chunk size
+     * (0 = use kDefaultInitialWords).  The conformance suite sets
+     * this to 1 to force every growth path through the chunk-append
+     * logic; production code never touches it.
+     */
+    static void setInitialWordsForTest(std::size_t words);
+
+  private:
+    static std::size_t initialWordsDefault();
+
+    struct Chunk
+    {
+        std::vector<std::uint64_t> words;
+        std::size_t used = 0;
+    };
+
+    std::vector<Chunk> chunks_;
+    /** Index of the chunk currently being bumped. */
+    std::size_t cur_ = 0;
+    /** Capacity for the next appended chunk. */
+    std::size_t nextCapacity_ = 0;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_RELATION_ARENA_HH

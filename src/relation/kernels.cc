@@ -1,0 +1,232 @@
+#include "relation/kernels.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace lkmm::rel
+{
+namespace
+{
+
+void
+checkUniverse(const Relation &dst, const Relation &a)
+{
+    panicIf(dst.size() != a.size(), "Relation universe mismatch");
+}
+
+void
+checkUniverse(const Relation &dst, const Relation &a, const Relation &b)
+{
+    panicIf(dst.size() != a.size() || dst.size() != b.size(),
+            "Relation universe mismatch");
+}
+
+} // namespace
+
+void
+clear(Relation &dst)
+{
+    if (dst.wordCount())
+        std::memset(dst.words(), 0, dst.wordCount() * sizeof(std::uint64_t));
+}
+
+void
+copyInto(Relation &dst, const Relation &a)
+{
+    checkUniverse(dst, a);
+    if (dst.wordCount())
+        std::memmove(dst.words(), a.words(),
+                     dst.wordCount() * sizeof(std::uint64_t));
+}
+
+void
+unionInto(Relation &dst, const Relation &a, const Relation &b)
+{
+    checkUniverse(dst, a, b);
+    const std::size_t n = dst.wordCount();
+    std::uint64_t *d = dst.words();
+    const std::uint64_t *pa = a.words(), *pb = b.words();
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = pa[i] | pb[i];
+}
+
+void
+intersectInto(Relation &dst, const Relation &a, const Relation &b)
+{
+    checkUniverse(dst, a, b);
+    const std::size_t n = dst.wordCount();
+    std::uint64_t *d = dst.words();
+    const std::uint64_t *pa = a.words(), *pb = b.words();
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = pa[i] & pb[i];
+}
+
+void
+differenceInto(Relation &dst, const Relation &a, const Relation &b)
+{
+    checkUniverse(dst, a, b);
+    const std::size_t n = dst.wordCount();
+    std::uint64_t *d = dst.words();
+    const std::uint64_t *pa = a.words(), *pb = b.words();
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = pa[i] & ~pb[i];
+}
+
+void
+complementInto(Relation &dst, const Relation &a)
+{
+    checkUniverse(dst, a);
+    const std::size_t events = dst.size();
+    const std::size_t stride = dst.strideWords();
+    const std::size_t n = dst.wordCount();
+    std::uint64_t *d = dst.words();
+    const std::uint64_t *pa = a.words();
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = ~pa[i];
+    // Clear padding bits in each row.
+    if (events % 64 != 0 && stride > 0) {
+        const std::uint64_t mask = (1ULL << (events % 64)) - 1;
+        for (EventId e = 0; e < events; ++e)
+            d[e * stride + stride - 1] &= mask;
+    }
+}
+
+void
+inverseInto(Relation &dst, const Relation &a)
+{
+    checkUniverse(dst, a);
+    panicIf(dst.words() == a.words() && dst.words() != nullptr,
+            "inverseInto: dst aliases input");
+    clear(dst);
+    const std::size_t events = dst.size();
+    const std::size_t stride = dst.strideWords();
+    for (EventId e = 0; e < events; ++e) {
+        const std::uint64_t *ra = a.row(e);
+        for (std::size_t w = 0; w < stride; ++w) {
+            std::uint64_t bits = ra[w];
+            while (bits) {
+                const EventId b =
+                    w * 64 +
+                    static_cast<EventId>(std::countr_zero(bits));
+                bits &= bits - 1;
+                dst.add(b, e);
+            }
+        }
+    }
+}
+
+void
+composeInto(Relation &dst, const Relation &a, const Relation &b)
+{
+    checkUniverse(dst, a, b);
+    panicIf(dst.words() != nullptr &&
+                (dst.words() == a.words() || dst.words() == b.words()),
+            "composeInto: dst aliases input");
+    clear(dst);
+    const std::size_t events = dst.size();
+    const std::size_t stride = dst.strideWords();
+    for (EventId e = 0; e < events; ++e) {
+        // dst.row(e) = union of b.row(m) over all (e, m) in a.
+        const std::uint64_t *ra = a.row(e);
+        std::uint64_t *rd = dst.row(e);
+        for (std::size_t w = 0; w < stride; ++w) {
+            std::uint64_t bits = ra[w];
+            while (bits) {
+                const EventId m =
+                    w * 64 +
+                    static_cast<EventId>(std::countr_zero(bits));
+                bits &= bits - 1;
+                const std::uint64_t *rb = b.row(m);
+                for (std::size_t i = 0; i < stride; ++i)
+                    rd[i] |= rb[i];
+            }
+        }
+    }
+}
+
+void
+closureInPlace(Relation &r)
+{
+    // Warshall over bit rows: after round k, row(i) holds every
+    // target reachable from i through intermediates <= k.
+    const std::size_t events = r.size();
+    const std::size_t stride = r.strideWords();
+    for (EventId k = 0; k < events; ++k) {
+        const std::uint64_t *rk = r.row(k);
+        for (EventId i = 0; i < events; ++i) {
+            if (!r.contains(i, k) || i == k)
+                continue;
+            std::uint64_t *ri = r.row(i);
+            for (std::size_t w = 0; w < stride; ++w)
+                ri[w] |= rk[w];
+        }
+    }
+}
+
+bool
+acyclicWithLevels(const Relation &r)
+{
+    const std::size_t events = r.size();
+    if (events == 0)
+        return true;
+    const std::size_t stride = r.strideWords();
+
+    // Scratch reused across calls: zero heap traffic in the steady
+    // state of an enumeration loop.
+    thread_local std::vector<std::uint32_t> indegree;
+    thread_local std::vector<EventId> frontier;
+    thread_local std::vector<EventId> next;
+    if (indegree.size() < events)
+        indegree.resize(events);
+    std::memset(indegree.data(), 0, events * sizeof(std::uint32_t));
+    frontier.clear();
+    next.clear();
+
+    for (EventId e = 0; e < events; ++e) {
+        if (r.contains(e, e))
+            return false;
+        const std::uint64_t *re = r.row(e);
+        for (std::size_t w = 0; w < stride; ++w) {
+            std::uint64_t bits = re[w];
+            while (bits) {
+                const EventId b =
+                    w * 64 +
+                    static_cast<EventId>(std::countr_zero(bits));
+                bits &= bits - 1;
+                ++indegree[b];
+            }
+        }
+    }
+
+    std::size_t removed = 0;
+    for (EventId e = 0; e < events; ++e) {
+        if (indegree[e] == 0)
+            frontier.push_back(e);
+    }
+    // Peel one topological level per round; the first empty frontier
+    // with nodes left means every remainder sits on a cycle.
+    while (!frontier.empty()) {
+        next.clear();
+        for (EventId e : frontier) {
+            ++removed;
+            const std::uint64_t *re = r.row(e);
+            for (std::size_t w = 0; w < stride; ++w) {
+                std::uint64_t bits = re[w];
+                while (bits) {
+                    const EventId b =
+                        w * 64 +
+                        static_cast<EventId>(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    if (--indegree[b] == 0)
+                        next.push_back(b);
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    return removed == events;
+}
+
+} // namespace lkmm::rel

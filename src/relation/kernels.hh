@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Destination-passing kernels over Relation word rows.
+ *
+ * Every operation of the cat algebra, in a form that writes into a
+ * caller-provided destination instead of returning a fresh heap
+ * matrix.  Paired with RelationArena storage this makes the inner
+ * verification loops allocation-free: the enumerator and the staged
+ * finalize reuse arena destinations per stage, and the
+ * value-returning operators on Relation are thin wrappers over
+ * these kernels, so cold callers and tests keep the convenient API.
+ *
+ * Contracts common to all kernels:
+ *
+ *  - every operand must share the destination's universe size
+ *    (checked, panics on mismatch, mirroring the operators);
+ *  - dst may alias an input for the pointwise kernels (union,
+ *    intersection, difference, complement, copy) — they are pure
+ *    word loops;
+ *  - dst must NOT alias an input for composeInto and inverseInto
+ *    (the output is built while the inputs are still being read);
+ *    closureInPlace is the in-place closure instead.
+ *
+ * acyclicWithLevels replaces the "closure then irreflexive" check
+ * with Kahn-style topological peeling: nodes are removed level by
+ * level and the check exits early — at the first level that cannot
+ * be peeled (a cycle exists) or once every node is gone (acyclic).
+ * That is O(n + edges) word work instead of the closure's
+ * O(n^2 * stride) per fixpoint round, and it is what makes acyclic
+ * constraints cheap enough to run per candidate.
+ */
+
+#ifndef LKMM_RELATION_KERNELS_HH
+#define LKMM_RELATION_KERNELS_HH
+
+#include "relation/relation.hh"
+
+namespace lkmm::rel
+{
+
+/** dst = 0 (every pair removed; universe unchanged). */
+void clear(Relation &dst);
+
+/** dst = a.  Cheap word copy; dst keeps its own storage backing. */
+void copyInto(Relation &dst, const Relation &a);
+
+/** dst = a | b. */
+void unionInto(Relation &dst, const Relation &a, const Relation &b);
+
+/** dst = a & b. */
+void intersectInto(Relation &dst, const Relation &a, const Relation &b);
+
+/** dst = a - b. */
+void differenceInto(Relation &dst, const Relation &a, const Relation &b);
+
+/** dst = ~a (padding bits kept clear). */
+void complementInto(Relation &dst, const Relation &a);
+
+/** dst = a^-1.  dst must not alias a. */
+void inverseInto(Relation &dst, const Relation &a);
+
+/** dst = a ; b.  dst must not alias a or b. */
+void composeInto(Relation &dst, const Relation &a, const Relation &b);
+
+/** r = r+ in place (Warshall over bit rows). */
+void closureInPlace(Relation &r);
+
+/**
+ * Is r acyclic?  Kahn topological peeling with early exit; uses
+ * thread-local scratch so the steady state allocates nothing.
+ */
+bool acyclicWithLevels(const Relation &r);
+
+} // namespace lkmm::rel
+
+#endif // LKMM_RELATION_KERNELS_HH

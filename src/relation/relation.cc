@@ -1,15 +1,72 @@
 #include "relation/relation.hh"
 
 #include <bit>
+#include <cstring>
 
 #include "base/logging.hh"
+#include "relation/arena.hh"
+#include "relation/kernels.hh"
 
 namespace lkmm
 {
 
 Relation::Relation(std::size_t n)
-    : numEvents(n), stride((n + 63) / 64), rows(n * stride, 0)
-{}
+    : numEvents(n), stride((n + 63) / 64), heap_(n * ((n + 63) / 64), 0)
+{
+    words_ = heap_.empty() ? nullptr : heap_.data();
+}
+
+Relation::Relation(RelationArena &arena, std::size_t n)
+    : numEvents(n), stride((n + 63) / 64)
+{
+    words_ = arena.alloc(numEvents * stride);
+}
+
+Relation::Relation(const Relation &o)
+    : numEvents(o.numEvents), stride(o.stride),
+      heap_(o.words_, o.words_ + o.numEvents * o.stride)
+{
+    words_ = heap_.empty() ? nullptr : heap_.data();
+}
+
+Relation &
+Relation::operator=(const Relation &o)
+{
+    if (this == &o)
+        return *this;
+    numEvents = o.numEvents;
+    stride = o.stride;
+    heap_.assign(o.words_, o.words_ + o.numEvents * o.stride);
+    words_ = heap_.empty() ? nullptr : heap_.data();
+    return *this;
+}
+
+Relation::Relation(Relation &&o) noexcept
+    : numEvents(o.numEvents), stride(o.stride),
+      heap_(std::move(o.heap_))
+{
+    words_ = heap_.empty() ? o.words_ : heap_.data();
+    o.numEvents = 0;
+    o.stride = 0;
+    o.words_ = nullptr;
+    o.heap_.clear();
+}
+
+Relation &
+Relation::operator=(Relation &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    numEvents = o.numEvents;
+    stride = o.stride;
+    heap_ = std::move(o.heap_);
+    words_ = heap_.empty() ? o.words_ : heap_.data();
+    o.numEvents = 0;
+    o.stride = 0;
+    o.words_ = nullptr;
+    o.heap_.clear();
+    return *this;
+}
 
 Relation
 Relation::identity(std::size_t n)
@@ -48,7 +105,7 @@ Relation::product(const EventSet &x, const EventSet &y)
     Relation r(x.size());
     for (EventId a : x.members()) {
         for (std::size_t i = 0; i < r.stride; ++i)
-            r.rows[a * r.stride + i] = y.raw()[i];
+            r.words_[a * r.stride + i] = y.raw()[i];
     }
     return r;
 }
@@ -57,16 +114,18 @@ std::size_t
 Relation::count() const
 {
     std::size_t total = 0;
-    for (auto w : rows)
-        total += static_cast<std::size_t>(std::popcount(w));
+    const std::size_t n = wordCount();
+    for (std::size_t i = 0; i < n; ++i)
+        total += static_cast<std::size_t>(std::popcount(words_[i]));
     return total;
 }
 
 bool
 Relation::empty() const
 {
-    for (auto w : rows) {
-        if (w)
+    const std::size_t n = wordCount();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (words_[i])
             return false;
     }
     return true;
@@ -75,30 +134,24 @@ Relation::empty() const
 Relation
 Relation::operator|(const Relation &o) const
 {
-    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
     Relation out(numEvents);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        out.rows[i] = rows[i] | o.rows[i];
+    rel::unionInto(out, *this, o);
     return out;
 }
 
 Relation
 Relation::operator&(const Relation &o) const
 {
-    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
     Relation out(numEvents);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        out.rows[i] = rows[i] & o.rows[i];
+    rel::intersectInto(out, *this, o);
     return out;
 }
 
 Relation
 Relation::operator-(const Relation &o) const
 {
-    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
     Relation out(numEvents);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        out.rows[i] = rows[i] & ~o.rows[i];
+    rel::differenceInto(out, *this, o);
     return out;
 }
 
@@ -106,14 +159,7 @@ Relation
 Relation::operator~() const
 {
     Relation out(numEvents);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        out.rows[i] = ~rows[i];
-    // Clear padding bits in each row.
-    if (numEvents % 64 != 0 && stride > 0) {
-        const std::uint64_t mask = (1ULL << (numEvents % 64)) - 1;
-        for (EventId a = 0; a < numEvents; ++a)
-            out.rows[a * stride + stride - 1] &= mask;
-    }
+    rel::complementInto(out, *this);
     return out;
 }
 
@@ -121,29 +167,15 @@ Relation
 Relation::inverse() const
 {
     Relation out(numEvents);
-    for (EventId a = 0; a < numEvents; ++a) {
-        for (EventId b = 0; b < numEvents; ++b) {
-            if (contains(a, b))
-                out.add(b, a);
-        }
-    }
+    rel::inverseInto(out, *this);
     return out;
 }
 
 Relation
 Relation::seq(const Relation &o) const
 {
-    panicIf(numEvents != o.numEvents, "Relation universe mismatch");
     Relation out(numEvents);
-    for (EventId a = 0; a < numEvents; ++a) {
-        // out.row(a) = union of o.row(b) for all b with (a, b) in this.
-        for (EventId b = 0; b < numEvents; ++b) {
-            if (!contains(a, b))
-                continue;
-            for (std::size_t i = 0; i < stride; ++i)
-                out.rows[a * stride + i] |= o.rows[b * stride + i];
-        }
-    }
+    rel::composeInto(out, *this, o);
     return out;
 }
 
@@ -156,14 +188,9 @@ Relation::opt() const
 Relation
 Relation::plus() const
 {
-    // Repeated squaring of (r | r;r) until fixpoint.
-    Relation result = *this;
-    for (;;) {
-        Relation next = result | result.seq(result);
-        if (next == result)
-            return result;
-        result = std::move(next);
-    }
+    Relation out = *this;
+    rel::closureInPlace(out);
+    return out;
 }
 
 Relation
@@ -176,8 +203,9 @@ Relation &
 Relation::operator|=(const Relation &o)
 {
     panicIf(numEvents != o.numEvents, "Relation universe mismatch");
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        rows[i] |= o.rows[i];
+    const std::size_t n = wordCount();
+    for (std::size_t i = 0; i < n; ++i)
+        words_[i] |= o.words_[i];
     return *this;
 }
 
@@ -185,17 +213,30 @@ Relation &
 Relation::operator&=(const Relation &o)
 {
     panicIf(numEvents != o.numEvents, "Relation universe mismatch");
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        rows[i] &= o.rows[i];
+    const std::size_t n = wordCount();
+    for (std::size_t i = 0; i < n; ++i)
+        words_[i] &= o.words_[i];
     return *this;
+}
+
+bool
+Relation::operator==(const Relation &o) const
+{
+    if (numEvents != o.numEvents)
+        return false;
+    const std::size_t n = wordCount();
+    return n == 0 ||
+           std::memcmp(words_, o.words_,
+                       n * sizeof(std::uint64_t)) == 0;
 }
 
 bool
 Relation::subsetOf(const Relation &o) const
 {
     panicIf(numEvents != o.numEvents, "Relation universe mismatch");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        if (rows[i] & ~o.rows[i])
+    const std::size_t n = wordCount();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (words_[i] & ~o.words_[i])
             return false;
     }
     return true;
@@ -208,7 +249,7 @@ Relation::restrictDomain(const EventSet &x) const
     Relation out(numEvents);
     for (EventId a : x.members()) {
         for (std::size_t i = 0; i < stride; ++i)
-            out.rows[a * stride + i] = rows[a * stride + i];
+            out.words_[a * stride + i] = words_[a * stride + i];
     }
     return out;
 }
@@ -220,7 +261,8 @@ Relation::restrictRange(const EventSet &y) const
     Relation out(numEvents);
     for (EventId a = 0; a < numEvents; ++a) {
         for (std::size_t i = 0; i < stride; ++i)
-            out.rows[a * stride + i] = rows[a * stride + i] & y.raw()[i];
+            out.words_[a * stride + i] =
+                words_[a * stride + i] & y.raw()[i];
     }
     return out;
 }
@@ -231,7 +273,7 @@ Relation::domain() const
     EventSet out(numEvents);
     for (EventId a = 0; a < numEvents; ++a) {
         for (std::size_t i = 0; i < stride; ++i) {
-            if (rows[a * stride + i]) {
+            if (words_[a * stride + i]) {
                 out.add(a);
                 break;
             }
@@ -277,7 +319,7 @@ Relation::irreflexive() const
 bool
 Relation::acyclic() const
 {
-    return plus().irreflexive();
+    return rel::acyclicWithLevels(*this);
 }
 
 std::optional<std::vector<EventId>>

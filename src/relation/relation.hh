@@ -9,11 +9,33 @@
  * acyclic/irreflexive/empty constraints.  This class implements that
  * algebra over a dense bit-matrix, which is the right representation
  * for litmus-test-sized executions (n below a few hundred).
+ *
+ * Storage comes in two flavours with identical semantics:
+ *
+ *  - heap-backed (the default): the matrix owns a heap buffer, like
+ *    any value type;
+ *  - arena-backed: the words are carved from a RelationArena
+ *    (arena.hh) by the Relation(RelationArena&, n) constructor, so
+ *    the hot enumeration loops allocate nothing per candidate.
+ *
+ * The safety rule connecting them: *copies always escape to the
+ * heap*.  Copy-constructing or copy-assigning from any Relation
+ * yields a heap-backed one, so code that stores a relation beyond a
+ * stage reset (cat memos, witnesses, caches) is safe by
+ * construction; only moves preserve arena backing, keeping the
+ * borrowed lifetime with the value that owned it.
+ *
+ * The value-returning operators below are thin wrappers over the
+ * destination-passing kernels in kernels.hh — hot paths call the
+ * kernels with reused arena destinations, everything else keeps the
+ * convenient allocating API.
  */
 
 #ifndef LKMM_RELATION_RELATION_HH
 #define LKMM_RELATION_RELATION_HH
 
+#include <cassert>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -25,14 +47,33 @@
 namespace lkmm
 {
 
+class RelationArena;
+
 /** A binary relation over the events 0..size()-1. */
 class Relation
 {
   public:
     Relation() = default;
 
-    /** The empty relation over a universe of n events. */
+    /** The empty relation over a universe of n events (heap). */
     explicit Relation(std::size_t n);
+
+    /**
+     * The empty relation over n events, storage carved from the
+     * arena.  Valid until the arena is reset past the allocation;
+     * copying it escapes to the heap (see file comment).
+     */
+    Relation(RelationArena &arena, std::size_t n);
+
+    /** Copies always produce heap-backed storage. */
+    Relation(const Relation &o);
+    Relation &operator=(const Relation &o);
+
+    /** Moves preserve the storage backing. */
+    Relation(Relation &&o) noexcept;
+    Relation &operator=(Relation &&o) noexcept;
+
+    ~Relation() = default;
 
     /** The identity relation over n events. */
     static Relation identity(std::size_t n);
@@ -53,25 +94,51 @@ class Relation
     bool
     contains(EventId a, EventId b) const
     {
-        return (rows[a * stride + (b >> 6)] >> (b & 63)) & 1;
+        assert(a < numEvents && b < numEvents);
+        return (words_[a * stride + (b >> 6)] >> (b & 63)) & 1;
     }
 
     void
     add(EventId a, EventId b)
     {
-        rows[a * stride + (b >> 6)] |= 1ULL << (b & 63);
+        assert(a < numEvents && b < numEvents);
+        words_[a * stride + (b >> 6)] |= 1ULL << (b & 63);
     }
 
     void
     remove(EventId a, EventId b)
     {
-        rows[a * stride + (b >> 6)] &= ~(1ULL << (b & 63));
+        assert(a < numEvents && b < numEvents);
+        words_[a * stride + (b >> 6)] &= ~(1ULL << (b & 63));
     }
 
     /** Number of pairs in the relation. */
     std::size_t count() const;
 
     bool empty() const;
+
+    // Raw word access (the kernel layer's view) -------------------
+
+    /** Words per row: ceil(n / 64). */
+    std::size_t strideWords() const { return stride; }
+
+    /** Total words: size() * strideWords(). */
+    std::size_t wordCount() const { return numEvents * stride; }
+
+    std::uint64_t *words() { return words_; }
+    const std::uint64_t *words() const { return words_; }
+
+    std::uint64_t *row(EventId a) { return words_ + a * stride; }
+    const std::uint64_t *row(EventId a) const
+    {
+        return words_ + a * stride;
+    }
+
+    /** Is the word storage borrowed from a RelationArena? */
+    bool arenaBacked() const
+    {
+        return words_ != nullptr && heap_.empty();
+    }
 
     // Algebra ------------------------------------------------------
 
@@ -88,7 +155,8 @@ class Relation
     Relation &operator|=(const Relation &o);
     Relation &operator&=(const Relation &o);
 
-    bool operator==(const Relation &o) const = default;
+    /** Equality of contents (storage backing is irrelevant). */
+    bool operator==(const Relation &o) const;
 
     bool subsetOf(const Relation &o) const;
 
@@ -140,7 +208,15 @@ class Relation
   private:
     std::size_t numEvents = 0;
     std::size_t stride = 0;
-    std::vector<std::uint64_t> rows;
+    /**
+     * Row-major bit matrix: words_[a * stride + w].  Points at
+     * heap_.data() when heap-backed, into a RelationArena chunk when
+     * arena-backed, and is null for the default-constructed empty
+     * universe.
+     */
+    std::uint64_t *words_ = nullptr;
+    /** Owning buffer when heap-backed; empty when arena-backed. */
+    std::vector<std::uint64_t> heap_;
 };
 
 } // namespace lkmm

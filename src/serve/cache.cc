@@ -19,12 +19,12 @@ canonicalFingerprint(const Program &prog, const std::string &rawSource)
 
 std::string
 cacheKey(const std::string &fingerprint, const std::string &modelSpec,
-         const EnumerateOptions &opts)
+         const EngineConfig &engine)
 {
     json::Object key;
     key["fp"] = fingerprint;
     key["model"] = modelSpec;
-    key["prune"] = opts.prune;
+    key["engine"] = engine.toJson();
     return json::Value(std::move(key)).serialize();
 }
 

@@ -7,7 +7,7 @@
  * herding-cats-scale campaign issues millions of queries with heavy
  * duplication.  The cache maps
  *
- *     key = canonical-serialized {fp, model, prune}
+ *     key = canonical-serialized {engine, fp, model}
  *
  * to the verdict result object the server would have computed cold.
  * The fingerprint `fp` is the PR-3 printer fixpoint of the parsed
@@ -52,7 +52,7 @@
 
 #include "base/journal.hh"
 #include "base/json.hh"
-#include "exec/enumerate.hh"
+#include "exec/engine_config.hh"
 #include "litmus/program.hh"
 
 namespace lkmm::serve
@@ -66,10 +66,16 @@ namespace lkmm::serve
 std::string canonicalFingerprint(const Program &prog,
                                  const std::string &rawSource);
 
-/** The cache key: canonical JSON of every verdict-relevant input. */
+/**
+ * The cache key: canonical JSON of every verdict-relevant input —
+ * the program fingerprint, the model spec, and the engine config's
+ * own canonical JSON (exec/engine_config.hh).  EngineConfig
+ * serialization is deterministic, so equal configs always share
+ * entries.
+ */
 std::string cacheKey(const std::string &fingerprint,
                      const std::string &modelSpec,
-                     const EnumerateOptions &opts);
+                     const EngineConfig &engine);
 
 struct CacheStats
 {

@@ -478,10 +478,9 @@ Server::handleVerify(const json::Value &request)
         return errorValue(statusOf(e));
     }
 
-    const EnumerateOptions enumOpts;
     const std::string key = cacheKey(
         canonicalFingerprint(prog, litmus->asString()), spec,
-        enumOpts);
+        opts_.engine);
 
     // Cache hits are answered from the connection thread and never
     // touch the verification queue — repeat traffic is ~free and
@@ -539,7 +538,7 @@ Server::handleVerify(const json::Value &request)
     std::future<json::Value> future = promise->get_future();
     try {
         pool_->post([this, promise, prog, spec, key, source, nocache,
-                     hasDeadline, deadlineAt, enumOpts] {
+                     hasDeadline, deadlineAt] {
             json::Value response;
             try {
                 if (hasDeadline &&
@@ -557,7 +556,7 @@ Server::handleVerify(const json::Value &request)
                 } else {
                     std::unique_ptr<Model> model =
                         models_.acquire(spec);
-                    RunBudget budget = opts_.requestBudget;
+                    RunBudget budget = opts_.engine.budget;
                     if (hasDeadline) {
                         // Clamp to >= 1ns: a deadline that expired
                         // this instant must trip the budget, and a
@@ -574,8 +573,9 @@ Server::handleVerify(const json::Value &request)
                     }
                     if (serverTracker_)
                         budget.shared = &*serverTracker_;
-                    const RunResult run =
-                        runTest(prog, *model, budget, enumOpts);
+                    const RunResult run = runTest(
+                        prog, *model, budget,
+                        opts_.engine.enumerate);
                     models_.release(spec, std::move(model));
                     json::Value result =
                         resultValue(prog.name, spec, run);
@@ -621,7 +621,7 @@ Server::dispatchToWorker(
     wreq.model = spec;
     wreq.hasDeadline = hasDeadline;
     wreq.deadlineAt = deadlineAt;
-    RunBudget budget = opts_.requestBudget;
+    RunBudget budget = opts_.engine.budget;
     if (hasDeadline) {
         // Same >= 1ns clamp as the in-process tier: an expired
         // deadline must trip the budget, not mean "unlimited".
@@ -640,6 +640,7 @@ Server::dispatchToWorker(
     budget.cancel = nullptr;
     budget.shared = nullptr;
     wreq.budget = budget;
+    wreq.enumerate = opts_.engine.enumerate;
 
     const WorkerOutcome out = workerPool_->execute(wreq);
     switch (out.kind) {

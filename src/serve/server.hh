@@ -101,14 +101,13 @@ struct ServeOptions
     /** Verdict cache configuration. */
     CacheOptions cache;
     /**
-     * Baseline per-request budget (all-zero = unlimited).  A
-     * request deadline tightens wallClock; if any numeric field is
-     * set, a server-wide shared BudgetTracker additionally caps the
-     * *sum* of work across concurrent requests, so sustained
-     * overload degrades to Unknown{sweep-budget} instead of
-     * unbounded latency.
+     * Engine selection plus baseline per-request budget (see
+     * exec/engine_config.hh; all-zero budget = unlimited).  A
+     * request deadline tightens engine.budget.wallClock on a
+     * per-request copy; the config itself is server-lifetime
+     * constant and is part of every cache key.
      */
-    RunBudget requestBudget;
+    EngineConfig engine;
     /**
      * Caps for the server-wide shared tracker (all-zero = none).
      * Counted across every request served by this process.  Only

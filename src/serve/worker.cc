@@ -38,10 +38,8 @@ resultValue(const std::string &testName, const std::string &modelSpec,
     result["candidates"] = r.candidates;
     result["allowed"] = r.allowedCandidates;
     result["witnesses"] = r.witnesses;
-    json::Array states;
-    for (const std::string &state : r.allowedFinalStates)
-        states.emplace_back(state);
-    result["states"] = std::move(states);
+    result["states"] = json::stringArray(std::vector<std::string>(
+        r.allowedFinalStates.begin(), r.allowedFinalStates.end()));
     return result;
 }
 
@@ -106,9 +104,13 @@ runOne(const std::string &frame,
             static_cast<std::size_t>(req.getInt("budget_rf"));
         budget.maxEvalSteps =
             static_cast<std::size_t>(req.getInt("budget_eval"));
+        // Engine mode travels by name; absent (an older parent)
+        // means the default engine.
+        EngineConfig engine;
+        engine.setMode(req.getString("engine", "incremental"));
 
         const RunResult run =
-            runTest(prog, *model, budget, EnumerateOptions{});
+            runTest(prog, *model, budget, engine.enumerate);
         resp["ok"] = true;
         resp["result"] = resultValue(prog.name, spec, run);
     } catch (const std::exception &e) {
@@ -338,6 +340,11 @@ WorkerPool::execute(const WorkerRequest &req)
         static_cast<std::int64_t>(req.budget.maxRfAssignments);
     o["budget_eval"] =
         static_cast<std::int64_t>(req.budget.maxEvalSteps);
+    {
+        EngineConfig engine;
+        engine.enumerate = req.enumerate;
+        o["engine"] = engine.modeName();
+    }
     const std::string payload = json::Value(std::move(o)).serialize();
 
     bool dead = false;

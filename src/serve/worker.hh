@@ -69,6 +69,7 @@
 #include "base/json.hh"
 #include "base/retry.hh"
 #include "base/status.hh"
+#include "exec/engine_config.hh"
 #include "lkmm/runner.hh"
 
 namespace lkmm::serve
@@ -146,6 +147,8 @@ struct WorkerRequest
      * deadline.
      */
     RunBudget budget;
+    /** Engine selection, carried as the mode name on the wire. */
+    EnumerateOptions enumerate;
     bool hasDeadline = false;
     std::chrono::steady_clock::time_point deadlineAt{};
 };

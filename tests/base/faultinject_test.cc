@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "base/faultinject.hh"
 #include "base/status.hh"
@@ -175,6 +177,79 @@ TEST_F(FaultPlanTest, InactivePlanIsFreeOfSideEffects)
     EXPECT_EQ(checkSiteErrno(site::kSubprocessRead, EIO), 0);
     EXPECT_FALSE(checkTornWrite(site::kJournalWrite).has_value());
     EXPECT_FALSE(planFired());
+}
+
+TEST(FaultPlanParse, ParseListSplitsTrimsAndSkipsEmptyElements)
+{
+    const std::vector<FaultPlan> plans = FaultPlan::parseList(
+        "journal-write:2:torn-write:7, batch-item:1:error,");
+    ASSERT_EQ(plans.size(), 2u);
+    EXPECT_EQ(plans[0].toString(), "journal-write:2:torn-write:7");
+    EXPECT_EQ(plans[1].toString(), "batch-item:1:error");
+    EXPECT_THROW(
+        FaultPlan::parseList("batch-item:1:error,no-such-site:1:error"),
+        StatusError);
+}
+
+TEST_F(FaultPlanTest, ConcurrentPlansFireIndependently)
+{
+    FaultPlan a;
+    a.site = site::kBatchItem;
+    a.hit = 2;
+    FaultPlan b;
+    b.site = site::kJournalCreate;
+    setPlans({a, b});
+
+    checkSite(site::kBatchItem); // a: hit 1 of 2
+    EXPECT_FALSE(planFired());
+    EXPECT_THROW(checkSite(site::kJournalCreate), StatusError);
+    EXPECT_TRUE(planFired()) << "b fired";
+    // b's firing removed only b: a's schedule continues.
+    EXPECT_THROW(checkSite(site::kBatchItem), StatusError);
+    // Both one-shot plans are now gone.
+    checkSite(site::kBatchItem);
+    checkSite(site::kJournalCreate);
+}
+
+TEST_F(FaultPlanTest, SetPlansReplacesAndEmptyListDeactivates)
+{
+    FaultPlan a;
+    a.site = site::kBatchItem;
+    setPlans({a});
+    setPlans({}); // replace with nothing: fully disarmed
+    checkSite(site::kBatchItem);
+    EXPECT_FALSE(planFired());
+}
+
+/**
+ * The LKMM_FAULT_INJECT deprecation shim.  The env vars are read
+ * once per process under a call_once, so this needs a fresh
+ * process: a threadsafe-style death test re-executes the binary,
+ * and the statement below runs before anything touches the fault
+ * machinery in that child.  The shim must warn on stderr (matched
+ * by EXPECT_EXIT), translate the soft point into an equivalent
+ * plan, and keep the crash points on the legacy arming path.
+ */
+TEST_F(FaultPlanTest, LegacyEnvVarShimsSoftPointsToPlansAndWarns)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            ::setenv("LKMM_FAULT_INJECT", "litmus-parse,hang", 1);
+            bool threw = false;
+            try {
+                checkSite(site::kLitmusParse);
+            } catch (const StatusError &) {
+                threw = true; // the shimmed plan fired
+            }
+            if (threw && planFired() && armed(Point::Hang) &&
+                !armed(Point::LitmusParse)) {
+                std::_Exit(42);
+            }
+            std::_Exit(1);
+        },
+        ::testing::ExitedWithCode(42),
+        "LKMM_FAULT_INJECT is deprecated");
 }
 
 } // namespace

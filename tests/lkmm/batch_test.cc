@@ -66,7 +66,7 @@ TEST(Batch, SweepIsolatesFailuresAndTruncation)
     ASSERT_GT(runTest(big, model).candidates, maxSmall);
 
     BatchOptions opts;
-    opts.budget.maxCandidates = maxSmall;
+    opts.engine.budget.maxCandidates = maxSmall;
     BatchRunner runner(model, opts);
     for (const Program &p : small)
         runner.add(p.name, p);
@@ -117,7 +117,7 @@ TEST(Batch, RetryEscalationCompletesTruncatedRuns)
     ASSERT_GT(runTest(p, model).candidates, 1u);
 
     BatchOptions opts;
-    opts.budget.maxCandidates = 1;
+    opts.engine.budget.maxCandidates = 1;
     opts.retry.budgetRetries = 10;
     opts.retry.budgetEscalation = 4.0;
     BatchRunner runner(model, opts);
@@ -139,7 +139,7 @@ TEST(Batch, NoRetryKeepsTruncatedResult)
     LkmmModel model;
     Program p = sb();
     BatchOptions opts;
-    opts.budget.maxCandidates = 1;
+    opts.engine.budget.maxCandidates = 1;
     BatchRunner runner(model, opts);
     runner.add(p.name, p);
 

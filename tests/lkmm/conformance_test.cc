@@ -34,6 +34,7 @@
 #include "lkmm/catalog.hh"
 #include "lkmm/runner.hh"
 #include "model/registry.hh"
+#include "relation/arena.hh"
 
 namespace lkmm
 {
@@ -177,6 +178,24 @@ TEST(GoldenConformance, MatchesCheckedInSnapshot)
                               name) != live_names.end())
             << "golden test '" << name << "' no longer in the corpus";
     }
+}
+
+/**
+ * The arena growth paths, proven on the real corpus: with the first
+ * chunk forced to a single word, every arena allocation the staged
+ * finalize makes goes through the chunk-append logic, and the
+ * candidate stream must still match the brute-force engine (which
+ * uses no arena at all) on every corpus entry.
+ */
+TEST(GoldenConformance, TinyArenaGrowthPreservesFingerprints)
+{
+    RelationArena::setInitialWordsForTest(1);
+    for (const CorpusEntry &entry : corpus()) {
+        SCOPED_TRACE(entry.name);
+        EXPECT_EQ(candidateFingerprints(entry.prog, /*prune=*/true),
+                  candidateFingerprints(entry.prog, /*prune=*/false));
+    }
+    RelationArena::setInitialWordsForTest(0);
 }
 
 TEST(GoldenConformance, PruningPreservesCandidatesAndVerdicts)

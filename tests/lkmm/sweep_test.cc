@@ -357,7 +357,7 @@ TEST_F(SweepTest, CancelledSweepReturnsPartialReport)
     CancelToken cancel;
     cancel.cancel();
     BatchOptions opts;
-    opts.budget.cancel = &cancel;
+    opts.engine.budget.cancel = &cancel;
     BatchRunner runner(model, opts);
     runner.add("SB", sb());
     runner.add("MP", mp());

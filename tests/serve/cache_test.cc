@@ -210,10 +210,10 @@ TEST(CacheKey, FingerprintNormalizesSpellingModelSplitsKeys)
         << "whitespace must not split cache entries";
 
     const std::string fp = canonicalFingerprint(a, kSpaced);
-    EXPECT_EQ(cacheKey(fp, "lkmm", EnumerateOptions{}),
-              cacheKey(fp, "lkmm", EnumerateOptions{}));
-    EXPECT_NE(cacheKey(fp, "lkmm", EnumerateOptions{}),
-              cacheKey(fp, "sc", EnumerateOptions{}))
+    EXPECT_EQ(cacheKey(fp, "lkmm", EngineConfig{}),
+              cacheKey(fp, "lkmm", EngineConfig{}));
+    EXPECT_NE(cacheKey(fp, "lkmm", EngineConfig{}),
+              cacheKey(fp, "sc", EngineConfig{}))
         << "same test under another model is another entry";
 }
 

@@ -73,7 +73,9 @@ usage()
         "  --ablate-crc        disable the journal CRC check; the\n"
         "                      suite must then FAIL (exit 2), proving\n"
         "                      it detects a corruption-check\n"
-        "                      regression\n");
+        "                      regression\n"
+        "\n%s",
+        lkmm::EngineConfig::flagHelp());
     return 1;
 }
 
@@ -226,6 +228,20 @@ main(int argc, char **argv)
             if (summaryMode != "text" && summaryMode != "json") {
                 std::fprintf(stderr,
                              "lkmm-chaos: --summary must be text or json\n");
+                return 1;
+            }
+        } else if (arg.rfind("--engine", 0) == 0) {
+            auto next = [&]() -> std::string {
+                const char *v = needValue(i);
+                if (!v)
+                    std::exit(usage());
+                return v;
+            };
+            try {
+                if (!opts.engine.parseFlag(arg, next))
+                    return usage();
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "lkmm-chaos: %s\n", e.what());
                 return 1;
             }
         } else {

@@ -104,7 +104,9 @@ usage()
         "\n"
         "output:\n"
         "  --summary FORMAT    text (default) or json\n"
-        "  --quiet             no per-finding progress lines\n");
+        "  --quiet             no per-finding progress lines\n"
+        "\n%s",
+        lkmm::EngineConfig::flagHelp());
     return 1;
 }
 
@@ -139,7 +141,7 @@ main(int argc, char **argv)
 
     fuzz::FuzzOptions opts;
     opts.oracle.limits.deadline = std::chrono::milliseconds(10000);
-    opts.oracle.budget.maxCandidates = 200000;
+    opts.oracle.engine.budget.maxCandidates = 200000;
     std::string summaryFormat = "text";
     std::string replayFile;
     bool quiet = false;
@@ -186,8 +188,10 @@ main(int argc, char **argv)
                 opts.oracle.limits.deadline =
                     std::chrono::milliseconds(std::stoll(next()));
             else if (arg == "--max-candidates")
-                opts.oracle.budget.maxCandidates =
+                opts.oracle.engine.budget.maxCandidates =
                     std::stoull(next());
+            else if (opts.oracle.engine.parseFlag(arg, next))
+                ; // shared --engine-family flag
             else if (arg == "--replay")
                 replayFile = next();
             else if (arg == "--summary")

@@ -129,7 +129,9 @@ usage()
         "  --malformed-probe      send unparseable JSON and expect an\n"
         "                         error reply on a surviving stream\n"
         "\n"
-        "  --self-smoke           in-process end-to-end check\n");
+        "  --self-smoke           in-process end-to-end check\n"
+        "\n%s",
+        lkmm::EngineConfig::flagHelp());
     return 1;
 }
 
@@ -528,7 +530,7 @@ main(int argc, char **argv)
                 std::strtol(needValue(i, "--max-deadline-ms"),
                             nullptr, 10));
         else if (arg == "--time-limit-ms")
-            opt.serve.requestBudget.wallClock =
+            opt.serve.engine.budget.wallClock =
                 std::chrono::milliseconds(std::strtol(
                     needValue(i, "--time-limit-ms"), nullptr, 10));
         else if (arg == "--max-frame-bytes")
@@ -541,7 +543,21 @@ main(int argc, char **argv)
         else if (arg == "--cache-compact-bytes")
             opt.serve.cache.compactBytes = std::strtoull(
                 needValue(i, "--cache-compact-bytes"), nullptr, 10);
-        else if (!arg.empty() && arg[0] == '-') {
+        else if (arg.rfind("--engine", 0) == 0) {
+            auto next = [&]() -> std::string {
+                const char *v = needValue(i, arg.c_str());
+                if (!v)
+                    std::exit(usage());
+                return v;
+            };
+            try {
+                if (!opt.serve.engine.parseFlag(arg, next))
+                    return usage();
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "lkmm-serve: %s\n", e.what());
+                return 1;
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "lkmm-serve: unknown option %s\n",
                          arg.c_str());
             return usage();

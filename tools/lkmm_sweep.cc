@@ -143,7 +143,10 @@ usage()
         "enumeration:\n"
         "  --no-prune          brute-force engine: disable the\n"
         "                      incremental pruning (same results;\n"
-        "                      reference/baseline mode)\n");
+        "                      reference/baseline mode; alias for\n"
+        "                      --engine brute)\n"
+        "\n%s",
+        lkmm::EngineConfig::flagHelp());
     return 1;
 }
 
@@ -258,12 +261,12 @@ main(int argc, char **argv)
             else if (arg == "--resume")
                 opts.resume = true;
             else if (arg == "--time-limit-ms")
-                opts.budget.wallClock =
+                opts.engine.budget.wallClock =
                     std::chrono::milliseconds(std::stoll(next()));
             else if (arg == "--max-candidates")
-                opts.budget.maxCandidates = std::stoull(next());
+                opts.engine.budget.maxCandidates = std::stoull(next());
             else if (arg == "--max-rf")
-                opts.budget.maxRfAssignments = std::stoull(next());
+                opts.engine.budget.maxRfAssignments = std::stoull(next());
             else if (arg == "--retries")
                 opts.retry.budgetRetries = std::stoi(next());
             else if (arg == "--escalation")
@@ -277,7 +280,9 @@ main(int argc, char **argv)
             else if (arg == "--stats")
                 showStats = true;
             else if (arg == "--no-prune")
-                opts.enumerate.prune = false;
+                opts.engine.setMode("brute");
+            else if (opts.engine.parseFlag(arg, next))
+                ; // shared --engine-family flag
             else if (arg == "--help" || arg == "-h")
                 return usage();
             else if (arg.rfind("--", 0) == 0)
@@ -318,7 +323,7 @@ main(int argc, char **argv)
         }
 
         installSignalHandlers();
-        opts.budget.cancel = &g_cancel;
+        opts.engine.budget.cancel = &g_cancel;
 
         BatchRunner runner(*model, opts);
         if (useCatalog) {
