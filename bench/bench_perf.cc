@@ -7,10 +7,16 @@
  * paper table.
  */
 
+#include <filesystem>
+#include <map>
+
 #include <benchmark/benchmark.h>
 
 #include "cat/eval.hh"
+#include "exec/engine_config.hh"
+#include "litmus/parser.hh"
 #include "lkmm/catalog.hh"
+#include "lkmm/runner.hh"
 #include "model/c11_model.hh"
 #include "model/lkmm_model.hh"
 #include "model/power_model.hh"
@@ -102,6 +108,69 @@ BENCHMARK(BM_EnumerateCatalog)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Programs bucketed by thread count: the 2-/3-thread buckets come
+ * from the Table 5 catalog, the 4-/5-thread buckets from the
+ * committed scaling corpus (tests/litmus/scale/).
+ */
+const std::vector<Program> &
+threadBucket(int threads)
+{
+    static std::map<int, std::vector<Program>> byThreads = [] {
+        std::map<int, std::vector<Program>> out;
+        for (const CatalogEntry &e : table5())
+            out[static_cast<int>(e.prog.threads.size())].push_back(
+                e.prog);
+        namespace fs = std::filesystem;
+        for (const fs::directory_entry &de :
+             fs::directory_iterator(LKMM_SCALE_DIR)) {
+            if (de.path().extension() != ".litmus")
+                continue;
+            Program p = parseLitmusFile(de.path().string());
+            out[static_cast<int>(p.threads.size())].push_back(
+                std::move(p));
+        }
+        return out;
+    }();
+    return byThreads.at(threads);
+}
+
+/**
+ * End-to-end verification (enumeration plus model checking, full
+ * verdict) under the lkmm model, as a thread-count scaling curve.
+ * Arg 0: engine — 0 brute force, 1 incremental (the default),
+ * 2 rf-first.  Arg 1: thread-count bucket (2/3/4/5).  This is
+ * deliberately runTest and not bare enumeration: rf-first's win is
+ * the model checks it never issues for saturation-rejected rf
+ * assignments, so an enumeration-only benchmark would hide it.  CI
+ * gates rf-first >= 2x incremental on the combined 4+-thread bucket
+ * from BENCH_enumerate.json.
+ */
+void
+BM_VerifyScale(benchmark::State &state)
+{
+    static const char *const modes[] = {"brute", "incremental",
+                                        "rf-first"};
+    EngineConfig cfg;
+    cfg.setMode(modes[state.range(0)]);
+    const std::vector<Program> &progs =
+        threadBucket(static_cast<int>(state.range(1)));
+    LkmmModel model;
+    std::size_t candidates = 0;
+    for (auto _ : state) {
+        for (const Program &p : progs) {
+            RunResult res = runTest(p, model, RunBudget::unlimited(),
+                                    cfg.enumerate);
+            candidates += res.candidates;
+        }
+    }
+    benchmark::DoNotOptimize(candidates);
+    state.SetItemsProcessed(static_cast<std::int64_t>(candidates));
+}
+BENCHMARK(BM_VerifyScale)
+    ->ArgsProduct({{0, 1, 2}, {2, 3, 4, 5}})
     ->Unit(benchmark::kMillisecond);
 
 void

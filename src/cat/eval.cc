@@ -1,5 +1,7 @@
 #include "cat/eval.hh"
 
+#include "cat/classify.hh"
+
 #include <algorithm>
 #include <functional>
 #include <mutex>
@@ -561,6 +563,7 @@ CatModel::fromSource(const std::string &source, const std::string &name)
     CatModel m;
     m.file_ = cat::parseCat(source);
     m.name_ = m.file_.modelName.empty() ? name : m.file_.modelName;
+    m.support_ = cat::classifyAxioms(m.file_);
     m.memo_ = std::make_shared<Memo>();
     return m;
 }
@@ -571,6 +574,7 @@ CatModel::fromFile(const std::string &path)
     CatModel m;
     m.file_ = cat::parseCatFile(path);
     m.name_ = m.file_.modelName.empty() ? path : m.file_.modelName;
+    m.support_ = cat::classifyAxioms(m.file_);
     m.memo_ = std::make_shared<Memo>();
     return m;
 }

@@ -91,6 +91,17 @@ class CatModel : public Model
     check(const CandidateExecution &ex) const override;
 
     /**
+     * Derived syntactically from the statements at load time
+     * (cat/classify.hh): conservative, so hand-written cat input
+     * only ever loses rf-first pruning, never soundness.
+     */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return support_;
+    }
+
+    /**
      * Evaluate all definitions and return the final environment —
      * used by tests to compare individual cat relations against the
      * native C++ ones.
@@ -104,6 +115,7 @@ class CatModel : public Model
     std::string name_;
     cat::CatFile file_;
     std::size_t maxEvalSteps_ = 0;
+    rel::SaturationSupport support_;
 
     /**
      * Derived-relation memo across consecutive check() calls.

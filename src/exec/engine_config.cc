@@ -11,6 +11,8 @@ namespace lkmm
 std::string
 EngineConfig::modeName() const
 {
+    if (enumerate.rfFirst)
+        return "rf-first";
     if (!enumerate.prune)
         return "brute";
     return enumerate.arena ? "incremental" : "incremental-noarena";
@@ -19,6 +21,7 @@ EngineConfig::modeName() const
 void
 EngineConfig::setMode(const std::string &name)
 {
+    enumerate.rfFirst = false;
     if (name == "brute") {
         enumerate.prune = false;
         enumerate.arena = false;
@@ -28,12 +31,16 @@ EngineConfig::setMode(const std::string &name)
     } else if (name == "incremental-noarena") {
         enumerate.prune = true;
         enumerate.arena = false;
+    } else if (name == "rf-first") {
+        enumerate.prune = true;
+        enumerate.arena = true;
+        enumerate.rfFirst = true;
     } else {
         throw StatusError(Status(
             StatusCode::InvalidArgument,
             "unknown engine mode '" + name +
-                "' (expected brute, incremental or "
-                "incremental-noarena)"));
+                "' (expected brute, incremental, "
+                "incremental-noarena or rf-first)"));
     }
 }
 
@@ -120,8 +127,10 @@ EngineConfig::flagHelp()
     return "engine (shared by lkmm-sweep/fuzz/serve/chaos; "
            "0 = unlimited):\n"
            "  --engine MODE       brute | incremental |\n"
-           "                      incremental-noarena (default:\n"
-           "                      incremental)\n"
+           "                      incremental-noarena | rf-first\n"
+           "                      (default: incremental; rf-first\n"
+           "                      saturates co from the model's\n"
+           "                      axioms instead of enumerating it)\n"
            "  --engine-time-limit-ms N   per-run wall-clock budget\n"
            "  --engine-max-candidates N  candidate cap per run\n"
            "  --engine-max-rf N          rf-assignment cap per run\n"

@@ -21,7 +21,7 @@
  *    accept the same --engine-family flags:
  *
  *        --engine MODE             brute | incremental |
- *                                  incremental-noarena
+ *                                  incremental-noarena | rf-first
  *        --engine-time-limit-ms N  per-run wall-clock budget
  *        --engine-max-candidates N
  *        --engine-max-rf N
@@ -53,7 +53,9 @@ struct EngineConfig
     /** Resource bounds applied to each run. */
     RunBudget budget;
 
-    /** "brute", "incremental" or "incremental-noarena". */
+    /**
+     * "brute", "incremental", "incremental-noarena" or "rf-first".
+     */
     std::string modeName() const;
 
     /**

@@ -52,11 +52,20 @@ namespace lkmm
  * off, the same engine allocates from the heap per stage — the
  * PR-5 behaviour, kept as the bench baseline for the arena win.
  * The candidate stream is identical either way.
+ *
+ * `rfFirst` is consumed by the runner (src/lkmm/runner.cc), not by
+ * Enumerator itself: it selects the reads-from-first engine
+ * (rf_engine.hh), which enumerates rf assignments only and derives
+ * coherence orders by saturation, falling back to bounded co
+ * enumeration for the pairs saturation leaves open.  It lives here
+ * so EngineConfig and every CLI carry one options struct for all
+ * three engines.
  */
 struct EnumerateOptions
 {
     bool prune = true;
     bool arena = true;
+    bool rfFirst = false;
 };
 
 /** Enumerates candidate executions of one program. */
@@ -101,6 +110,31 @@ class Enumerator
         /** Number of infeasible-prefix cuts (prune events). */
         std::size_t partialValuationRejects = 0;
         std::size_t candidates = 0;
+
+        // Saturation counters (rf-first engine only; always zero in
+        // the rf×co engines).  rfConsistent = rfSatRejects +
+        // delivered-rf count; coFallbacks counts the delivered rfs
+        // whose forced order was not total somewhere, i.e. the ones
+        // that needed bounded co enumeration.
+
+        /**
+         * Consistent rf assignments rejected outright because
+         * saturation derived a contradiction from the model's
+         * communication axioms (every co extension is
+         * model-rejected; no candidate was built).
+         */
+        std::size_t rfSatRejects = 0;
+        /**
+         * Forced co edges derived by saturation, beyond the
+         * trivially-forced init edges, summed over rf assignments.
+         */
+        std::size_t coSatForced = 0;
+        /**
+         * Rf assignments the saturation could not fully decide: at
+         * least one location's forced order was partial, so the
+         * engine fell back to enumerating its linear extensions.
+         */
+        std::size_t coFallbacks = 0;
     };
 
     explicit Enumerator(const Program &prog) : prog_(prog) {}

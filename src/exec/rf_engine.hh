@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The reads-from-first enumeration engine.
+ *
+ * The rf×co engines in enumerate.hh materialize every coherence
+ * permutation of every consistent rf assignment — exponential in
+ * the writes per location, which is exactly what blows up on 4+
+ * thread tests.  Following the reads-from-first approach of Tunç et
+ * al. (PAPERS.md), this engine enumerates rf assignments only and
+ * lets the model's communication axioms decide most of co:
+ *
+ *  1. per consistent rf, saturate the forced part of co
+ *     (relation/saturation.hh) under the axioms the model declares
+ *     through Model::saturationSupport();
+ *  2. a contradiction kills the whole rf — no co permutation is
+ *     built, because every one of them would be model-rejected;
+ *  3. otherwise only the linear extensions of the forced partial
+ *     order are enumerated (the bounded fallback; often exactly
+ *     one), finalized with the same staged machinery, and handed to
+ *     the caller exactly like any other candidate.
+ *
+ * Exactness: the engine's stream is a subset of the rf×co stream,
+ * and every skipped candidate is one the model rejects, so verdicts,
+ * allowed candidates, witnesses and allowed final states are
+ * identical to brute and incremental under any model whose
+ * saturationSupport() promises are true — the engine-identity and
+ * conformance suites enforce this.  Raw candidate counts are
+ * engine-specific by design.  With no declared support the forced
+ * order is empty and the engine degenerates to the incremental
+ * engine's stream.
+ */
+
+#ifndef LKMM_EXEC_RF_ENGINE_HH
+#define LKMM_EXEC_RF_ENGINE_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/budget.hh"
+#include "exec/enumerate.hh"
+#include "exec/execution.hh"
+#include "litmus/program.hh"
+#include "relation/saturation.hh"
+
+namespace lkmm
+{
+
+/** Enumerates candidate executions, coherence decided by saturation. */
+class RfFirstEngine
+{
+  public:
+    /** Shares the rf×co engines' counter block (plus rfSat*). */
+    using Stats = Enumerator::Stats;
+
+    RfFirstEngine(const Program &prog, const RunBudget &budget,
+                  const EnumerateOptions &opts,
+                  rel::SaturationSupport support)
+        : prog_(prog), budget_(budget), opts_(opts), support_(support)
+    {}
+
+    /**
+     * Visit every candidate execution the model could accept; same
+     * contract as Enumerator::forEach (return false to stop early;
+     * a tripped budget reports Completeness::Truncated).
+     */
+    void forEach(const std::function<bool(const CandidateExecution &)> &fn);
+
+    /** Collect all candidates (convenience for tests). */
+    std::vector<CandidateExecution> all();
+
+    const Stats &stats() const { return stats_; }
+
+    /** Did the last forEach() see the whole search space? */
+    Completeness completeness() const { return completeness_; }
+
+    /** The bound that truncated the last forEach(), if any. */
+    BoundKind trippedBound() const { return tripped_; }
+
+  private:
+    const Program &prog_;
+    RunBudget budget_;
+    EnumerateOptions opts_;
+    rel::SaturationSupport support_;
+    Stats stats_;
+    Completeness completeness_ = Completeness::Complete;
+    BoundKind tripped_ = BoundKind::None;
+    /** Same lifetime discipline as Enumerator::arena_. */
+    RelationArena arena_;
+};
+
+} // namespace lkmm
+
+#endif // LKMM_EXEC_RF_ENGINE_HH

@@ -51,7 +51,8 @@ struct FuzzOptions
     /** Campaign wall-clock budget (0 = none). */
     std::chrono::nanoseconds timeBudget{0};
     /** Comma-separated oracle spec (makeOracles). */
-    std::string oracles = "native-vs-cat,mono-sc-lkmm";
+    std::string oracles =
+        "native-vs-cat,rf-first-vs-brute,mono-sc-lkmm";
     /** Override for the cat-model directory ("" = build default). */
     std::string catModelDir;
     /** Where bucket-representative repros land ("" = don't write). */

@@ -70,6 +70,29 @@ registrySide(std::string label, const std::string &name)
 }
 
 /**
+ * Side that pins the engine mode, ignoring the campaign-level
+ * --engine flag: the whole point of an engine-differential oracle is
+ * that its two sides run different enumeration strategies over the
+ * same model.  Budgets and limits from the campaign config still
+ * apply.
+ */
+OracleSide
+engineSide(std::string label, std::shared_ptr<const Model> model,
+           std::string mode)
+{
+    OracleSide side;
+    side.label = std::move(label);
+    side.eval = [model, mode = std::move(mode)](
+                    const Program &prog, const EngineConfig &engine,
+                    std::uint64_t) {
+        EngineConfig cfg = engine;
+        cfg.setMode(mode);
+        return quickVerdict(prog, *model, cfg.budget, cfg.enumerate);
+    };
+    return side;
+}
+
+/**
  * Side backed by the operational machine: Allow when the exists
  * clause was observed in any of the seeded runs.  "Not observed" is
  * reported as Forbid, which is only sound on the small side of a
@@ -121,6 +144,18 @@ makeOracle(const std::string &name, const std::string &catModelDir)
         o.mode = Oracle::Mode::Equal;
         o.a = registrySide("native-lkmm", "lkmm");
         o.b = modelSide("cat-lkmm", std::move(cat));
+        return o;
+    }
+    if (name == "rf-first-vs-brute") {
+        // Engine differential: the rf-first saturation engine must
+        // be verdict-identical to brute force under the same model.
+        // A saturation rule that over-rejects shows up here as
+        // a=Forbid b=Allow.
+        std::shared_ptr<const Model> model =
+            ModelRegistry::instance().make("lkmm");
+        o.mode = Oracle::Mode::Equal;
+        o.a = engineSide("rf-first-lkmm", model, "rf-first");
+        o.b = engineSide("brute-lkmm", model, "brute");
         return o;
     }
     if (name == "sc-vs-operational") {
@@ -261,8 +296,8 @@ makeOracles(const std::string &spec, const std::string &catModelDir)
 std::string
 knownOracleSpec()
 {
-    return "native-vs-cat, sc-vs-operational, mono-sc-lkmm, "
-           "mono-sc-tso, native-vs-ablated:<knob>";
+    return "native-vs-cat, rf-first-vs-brute, sc-vs-operational, "
+           "mono-sc-lkmm, mono-sc-tso, native-vs-ablated:<knob>";
 }
 
 SideOutcome

@@ -83,6 +83,8 @@ bool usesRcu(const Program &prog);
  * Build oracles from a comma-separated spec.  Known names:
  *
  *   native-vs-cat             LkmmModel vs. cat/models/lkmm.cat
+ *   rf-first-vs-brute         the rf-first saturation engine vs.
+ *                             brute-force enumeration, same model
  *   sc-vs-operational         operational-SC observations must be
  *                             axiomatic-SC-allowed
  *   mono-sc-lkmm              SC-allowed implies LKMM-allowed

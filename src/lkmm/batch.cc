@@ -669,6 +669,9 @@ BatchRunner::run()
             report.stats.coPruned += s.coPruned;
             report.stats.partialValuationRejects +=
                 s.partialValuationRejects;
+            report.stats.rfSatRejects += s.rfSatRejects;
+            report.stats.coSatForced += s.coSatForced;
+            report.stats.coFallbacks += s.coFallbacks;
             report.stats.candidates += s.candidates;
             report.results.push_back(std::move(*outcome.result));
         }

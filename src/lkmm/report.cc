@@ -83,6 +83,14 @@ printText(std::FILE *out, const BatchReport &report, bool quiet,
                      "partialValuationRejects=%zu\n",
                      s.rfPruned, s.coPruned,
                      s.partialValuationRejects);
+        if (s.rfSatRejects != 0 || s.coSatForced != 0 ||
+            s.coFallbacks != 0) {
+            std::fprintf(out,
+                         "saturation: rfSatRejects=%zu "
+                         "coSatForced=%zu coFallbacks=%zu\n",
+                         s.rfSatRejects, s.coSatForced,
+                         s.coFallbacks);
+        }
     }
     std::fprintf(out, "%s\n", report.summary().c_str());
 }

@@ -1,5 +1,7 @@
 #include "lkmm/runner.hh"
 
+#include "exec/rf_engine.hh"
+
 namespace lkmm
 {
 
@@ -7,23 +9,23 @@ namespace
 {
 
 /**
- * The one enumerate-and-filter loop.  `fast` restricts the work to
- * what a bare verdict needs: only candidates whose condition value
- * could be decisive are checked against the model, and enumeration
- * stops at the first decisive one (witness for exists,
- * counterexample for forall).  An early stop leaves the Enumerator's
- * completeness at Complete — the evidence found is conclusive, the
- * unexplored remainder cannot change it.
+ * The one enumerate-and-filter loop, generic over the engine.
+ * `fast` restricts the work to what a bare verdict needs: only
+ * candidates whose condition value could be decisive are checked
+ * against the model, and enumeration stops at the first decisive
+ * one (witness for exists, counterexample for forall).  An early
+ * stop leaves the engine's completeness at Complete — the evidence
+ * found is conclusive, the unexplored remainder cannot change it.
  */
+template <typename Engine>
 RunResult
-runCore(const Program &prog, const Model &model, const RunBudget &budget,
-        bool fast, const EnumerateOptions &opts)
+filterLoop(Engine &en, const Program &prog, const Model &model,
+           bool fast)
 {
     RunResult res;
     const bool exists = prog.quantifier == Quantifier::Exists;
     bool counterexample = false;
 
-    Enumerator en(prog, budget, opts);
     en.forEach([&](const CandidateExecution &ex) {
         ++res.candidates;
         const bool cond = ex.satisfiesCondition();
@@ -82,6 +84,25 @@ runCore(const Program &prog, const Model &model, const RunBudget &budget,
                                           : Verdict::Allow;
     }
     return res;
+}
+
+/**
+ * Dispatch on the engine choice.  The rf-first engine must only
+ * skip candidates this very model rejects, so it is handed the
+ * model's saturation promises; the rf×co engines are
+ * model-independent.
+ */
+RunResult
+runCore(const Program &prog, const Model &model, const RunBudget &budget,
+        bool fast, const EnumerateOptions &opts)
+{
+    if (opts.rfFirst) {
+        RfFirstEngine en(prog, budget, opts,
+                         model.saturationSupport());
+        return filterLoop(en, prog, model, fast);
+    }
+    Enumerator en(prog, budget, opts);
+    return filterLoop(en, prog, model, fast);
 }
 
 } // namespace

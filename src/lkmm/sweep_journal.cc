@@ -77,6 +77,9 @@ statsFields()
         {"rfPruned", &Stats::rfPruned},
         {"coPruned", &Stats::coPruned},
         {"partialValuationRejects", &Stats::partialValuationRejects},
+        {"rfSatRejects", &Stats::rfSatRejects},
+        {"coSatForced", &Stats::coSatForced},
+        {"coFallbacks", &Stats::coFallbacks},
     };
     return fields;
 }

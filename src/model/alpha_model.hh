@@ -33,6 +33,13 @@ class AlphaModel : public Model
 
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
+
+    /** Checks uniproc and atomicity verbatim. */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
 };
 
 } // namespace lkmm

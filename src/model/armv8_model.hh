@@ -40,6 +40,13 @@ class Armv8Model : public Model
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
 
+    /** Checks internal (po-loc | com) and atomicity verbatim. */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
+
     Armv8Relations buildRelations(const CandidateExecution &ex) const;
 };
 

@@ -60,6 +60,20 @@ class C11Model : public Model
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
 
+    /**
+     * irreflexive(hb ; eco?) is equivalent to SC-per-location,
+     * acyclic(po-loc | com) — the standard RC11 lemma: a cycle in
+     * po-loc | com stays at one location (every edge of it relates
+     * same-location events), where it collapses to a single
+     * hb;eco-shaped path.  Atomicity is checked verbatim; the
+     * engine-identity suite gates both promises empirically.
+     */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
+
     /** C11 has no counterpart for the RCU primitives (Table 5: "—"). */
     static bool supports(const Program &prog);
 

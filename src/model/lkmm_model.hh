@@ -78,6 +78,17 @@ class LkmmModel : public Model
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
 
+    /**
+     * sc-per-variable and atomicity are checked under every Config
+     * — the ablation knobs only touch hb/pb/rcu — so the promise
+     * holds unconditionally.
+     */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
+
     /** Compute every derived relation (used by tests and src/rcu). */
     LkmmRelations buildRelations(const CandidateExecution &ex) const;
 

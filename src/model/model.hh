@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "exec/execution.hh"
+#include "relation/saturation.hh"
 
 namespace lkmm
 {
@@ -59,6 +60,22 @@ class Model
     allows(const CandidateExecution &ex) const
     {
         return !check(ex).has_value();
+    }
+
+    /**
+     * Which communication axioms the rf-first engine may assume
+     * when saturating coherence orders (rf_engine.hh).  Each set
+     * flag is a soundness promise: check() rejects every execution
+     * violating that axiom, under every configuration of the model.
+     * The conservative default — no promises — keeps the engine
+     * exact for unknown models at the cost of all pruning; builtins
+     * override it, and CatModel derives it syntactically from its
+     * statements (cat/classify.hh).
+     */
+    virtual rel::SaturationSupport
+    saturationSupport() const
+    {
+        return {};
     }
 };
 

@@ -72,6 +72,13 @@ class PowerModel : public Model
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
 
+    /** Both flavors check uniproc and atomicity verbatim. */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
+
     PowerRelations buildRelations(const CandidateExecution &ex) const;
 
   private:

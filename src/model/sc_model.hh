@@ -23,6 +23,14 @@ class ScModel : public Model
 
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
+
+    /** acyclic(po-mem | com) subsumes po-loc | com; atomicity is
+     * checked verbatim. */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
 };
 
 } // namespace lkmm

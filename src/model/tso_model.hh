@@ -26,6 +26,13 @@ class TsoModel : public Model
 
     std::optional<Violation>
     check(const CandidateExecution &ex) const override;
+
+    /** Checks uniproc and atomicity verbatim. */
+    rel::SaturationSupport
+    saturationSupport() const override
+    {
+        return {/*coherence=*/true, /*atomicity=*/true};
+    }
 };
 
 } // namespace lkmm

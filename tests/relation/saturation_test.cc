@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Property tests for the rf-first saturation core
+ * (relation/saturation.hh) against a brute-force reference.
+ *
+ * For random small executions (2-4 threads, 2-3 locations, writes
+ * and reads with a random rf), the reference enumerates EVERY total
+ * coherence order (all per-location permutations of the non-init
+ * writes, init first) and keeps the ones satisfying the axioms
+ * saturation is allowed to assume: sc-per-location
+ * (acyclic(po-loc | rf | co | fr)) and, when rmw pairs are present,
+ * atomicity (no intervening external write between an rmw's read
+ * source and its write).  Against that set, saturateForcedCo must
+ * be:
+ *
+ *  - reject-sound: contradiction reported => the coherent set is
+ *    empty (the whole rf assignment may be skipped);
+ *  - force-sound: every forced co edge appears in EVERY coherent
+ *    total order (forcing never excludes a consistent execution);
+ *  - backing-independent: heap- and arena-backed scratch produce
+ *    the identical forced relation and verdict.
+ *
+ * Deterministic crafted cases pin down the interesting regimes:
+ * forcing to a total order (MP-like), a genuine fallback where both
+ * co orders survive (2+2W-like), a CoRR contradiction, and the
+ * LKMM_BREAK_SATURATION test hook used by the seeded-bug fuzz
+ * check.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "relation/arena.hh"
+#include "relation/kernels.hh"
+#include "relation/relation.hh"
+#include "relation/saturation.hh"
+
+namespace lkmm
+{
+namespace
+{
+
+/** A synthetic single-location-typed event universe. */
+struct SynthExec
+{
+    // Events 0..numLocs-1 are the init writes (event id == LocId,
+    // matching the rf-first engine's convention).
+    std::size_t numLocs = 0;
+    std::size_t numEvents = 0;
+    std::vector<int> thread; // -1 for init writes
+    std::vector<std::size_t> loc;
+    std::vector<bool> isWrite;
+
+    Relation poLoc{0};
+    Relation rf{0};
+    Relation rmw{0};
+    Relation intRel{0};
+
+    // Engine convention: writesByLoc holds the NON-init writes
+    // only; the init write of location l is initWrites[l].
+    std::vector<std::vector<EventId>> writesByLoc;
+    std::vector<EventId> initWrites;
+};
+
+/**
+ * Random execution: every location gets its init write; each thread
+ * is a program-order list of random reads/writes over random
+ * locations; every read reads-from a random same-location write.
+ */
+SynthExec
+randomExec(Rng &rng)
+{
+    SynthExec ex;
+    ex.numLocs = 2 + rng.below(2);             // 2..3
+    const std::size_t threads = 2 + rng.below(3); // 2..4
+    std::vector<std::vector<EventId>> byThread(threads);
+
+    ex.numEvents = ex.numLocs;
+    for (std::size_t l = 0; l < ex.numLocs; ++l) {
+        ex.thread.push_back(-1);
+        ex.loc.push_back(l);
+        ex.isWrite.push_back(true);
+    }
+    for (std::size_t t = 0; t < threads; ++t) {
+        const std::size_t len = 1 + rng.below(3); // 1..3 events
+        for (std::size_t i = 0; i < len; ++i) {
+            byThread[t].push_back(ex.numEvents++);
+            ex.thread.push_back(static_cast<int>(t));
+            ex.loc.push_back(rng.below(ex.numLocs));
+            ex.isWrite.push_back(rng.below(2) == 0);
+        }
+    }
+
+    const std::size_t n = ex.numEvents;
+    ex.poLoc = Relation(n);
+    ex.rf = Relation(n);
+    ex.rmw = Relation(n);
+    ex.intRel = Relation(n);
+    ex.writesByLoc.resize(ex.numLocs);
+    for (std::size_t l = 0; l < ex.numLocs; ++l)
+        ex.initWrites.push_back(static_cast<EventId>(l));
+    for (EventId e = static_cast<EventId>(ex.numLocs); e < n; ++e) {
+        if (ex.isWrite[e])
+            ex.writesByLoc[ex.loc[e]].push_back(e);
+    }
+    for (const std::vector<EventId> &body : byThread) {
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            for (std::size_t j = i + 1; j < body.size(); ++j) {
+                ex.intRel.add(body[i], body[j]);
+                ex.intRel.add(body[j], body[i]);
+                if (ex.loc[body[i]] == ex.loc[body[j]])
+                    ex.poLoc.add(body[i], body[j]);
+            }
+        }
+    }
+    for (EventId e = static_cast<EventId>(ex.numLocs); e < n; ++e) {
+        if (ex.isWrite[e])
+            continue;
+        // Candidate sources: the init write plus every non-init
+        // write of the read's location.
+        std::vector<EventId> ws = ex.writesByLoc[ex.loc[e]];
+        ws.push_back(ex.initWrites[ex.loc[e]]);
+        ex.rf.add(ws[rng.below(ws.size())], e);
+    }
+    return ex;
+}
+
+/** co for one per-location write ordering (init is always first). */
+void
+buildCo(Relation &co, const std::vector<std::vector<EventId>> &orders)
+{
+    rel::clear(co);
+    for (const std::vector<EventId> &order : orders) {
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            for (std::size_t j = i + 1; j < order.size(); ++j)
+                co.add(order[i], order[j]);
+        }
+    }
+}
+
+/** acyclic(po-loc | rf | co | fr), fr = rf^-1 ; co. */
+bool
+scPerLocation(const SynthExec &ex, const Relation &co)
+{
+    const std::size_t n = ex.numEvents;
+    Relation inv(n), fr(n), c(n);
+    rel::inverseInto(inv, ex.rf);
+    rel::composeInto(fr, inv, co);
+    rel::unionInto(c, ex.poLoc, ex.rf);
+    rel::unionInto(c, c, co);
+    rel::unionInto(c, c, fr);
+    rel::closureInPlace(c);
+    for (EventId e = 0; e < n; ++e) {
+        if (c.contains(e, e))
+            return false;
+    }
+    return true;
+}
+
+/** empty(rmw & (fre ; coe)): no external write intervenes. */
+bool
+atomicityHolds(const SynthExec &ex, const Relation &co)
+{
+    const std::size_t n = ex.numEvents;
+    Relation inv(n), fr(n);
+    rel::inverseInto(inv, ex.rf);
+    rel::composeInto(fr, inv, co);
+    for (const auto &[r, w] : ex.rmw.pairs()) {
+        for (EventId wp = 0; wp < n; ++wp) {
+            if (fr.contains(r, wp) && !ex.intRel.contains(r, wp) &&
+                co.contains(wp, w) && !ex.intRel.contains(wp, w))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** All coherent total co assignments, by reference enumeration. */
+std::vector<Relation>
+coherentCos(const SynthExec &ex, rel::SaturationSupport support)
+{
+    std::vector<std::vector<EventId>> orders(ex.numLocs);
+    std::vector<Relation> out;
+    // Per location: init first, then every permutation of the rest.
+    std::vector<std::vector<std::vector<EventId>>> perLoc(ex.numLocs);
+    for (std::size_t l = 0; l < ex.numLocs; ++l) {
+        std::vector<EventId> rest = ex.writesByLoc[l];
+        std::sort(rest.begin(), rest.end());
+        do {
+            std::vector<EventId> order = {ex.initWrites[l]};
+            order.insert(order.end(), rest.begin(), rest.end());
+            perLoc[l].push_back(order);
+        } while (std::next_permutation(rest.begin(), rest.end()));
+    }
+    std::vector<std::size_t> pick(ex.numLocs, 0);
+    Relation co(ex.numEvents);
+    for (;;) {
+        std::vector<std::vector<EventId>> chosen;
+        for (std::size_t l = 0; l < ex.numLocs; ++l)
+            chosen.push_back(perLoc[l][pick[l]]);
+        buildCo(co, chosen);
+        const bool ok =
+            (!support.coherence || scPerLocation(ex, co)) &&
+            (!support.atomicity || atomicityHolds(ex, co));
+        if (ok)
+            out.push_back(co);
+        std::size_t l = 0;
+        while (l < ex.numLocs && ++pick[l] == perLoc[l].size())
+            pick[l++] = 0;
+        if (l == ex.numLocs)
+            break;
+    }
+    return out;
+}
+
+rel::SaturationResult
+saturate(const SynthExec &ex, Relation &forced,
+         rel::SaturationSupport support, rel::SaturationScratch &scr)
+{
+    return rel::saturateForcedCo(forced, ex.poLoc, ex.rf, ex.rmw,
+                                 ex.intRel, ex.writesByLoc,
+                                 ex.initWrites, support, scr);
+}
+
+TEST(SaturationProperty, SoundAgainstReferenceEnumeration)
+{
+    const rel::SaturationSupport support{/*coherence=*/true,
+                                         /*atomicity=*/true};
+    Rng rng(20260808);
+    rel::SaturationScratch scratch;
+    for (int iter = 0; iter < 500; ++iter) {
+        SCOPED_TRACE("iter " + std::to_string(iter));
+        const SynthExec ex = randomExec(rng);
+        Relation forced(ex.numEvents);
+        scratch.prepare(ex.numEvents);
+        const rel::SaturationResult res =
+            saturate(ex, forced, support, scratch);
+        const std::vector<Relation> coherent =
+            coherentCos(ex, support);
+
+        if (res.contradiction) {
+            // Reject-soundness: contradiction means NO total order
+            // survives the axioms.
+            EXPECT_TRUE(coherent.empty())
+                << "saturation rejected an rf with "
+                << coherent.size() << " coherent co assignments";
+            continue;
+        }
+        // Force-soundness: each forced edge holds in every coherent
+        // assignment.
+        for (const auto &[a, b] : forced.pairs()) {
+            for (const Relation &co : coherent) {
+                EXPECT_TRUE(co.contains(a, b))
+                    << "forced co(" << a << "," << b
+                    << ") missing from a coherent assignment";
+            }
+        }
+        // A decidable-but-undetected contradiction is allowed by
+        // soundness (saturation is incomplete), but an empty
+        // coherent set with no contradiction must still be caught
+        // by the downstream model check, never silently accepted:
+        // nothing to assert here beyond documentation.
+    }
+}
+
+TEST(SaturationProperty, ArenaAndHeapScratchAgree)
+{
+    const rel::SaturationSupport support{/*coherence=*/true,
+                                         /*atomicity=*/true};
+    Rng rng(987654321);
+    for (int iter = 0; iter < 200; ++iter) {
+        SCOPED_TRACE("iter " + std::to_string(iter));
+        const SynthExec ex = randomExec(rng);
+
+        Relation heapForced(ex.numEvents);
+        rel::SaturationScratch heapScratch;
+        heapScratch.prepare(ex.numEvents);
+        const rel::SaturationResult heapRes =
+            saturate(ex, heapForced, support, heapScratch);
+
+        RelationArena arena;
+        Relation arenaForced(arena, ex.numEvents);
+        rel::SaturationScratch arenaScratch;
+        arenaScratch.prepare(arena, ex.numEvents);
+        const rel::SaturationResult arenaRes =
+            saturate(ex, arenaForced, support, arenaScratch);
+
+        EXPECT_EQ(heapRes.contradiction, arenaRes.contradiction);
+        EXPECT_EQ(heapRes.forcedEdges, arenaRes.forcedEdges);
+        EXPECT_EQ(heapForced.pairs(), arenaForced.pairs());
+    }
+}
+
+/**
+ * MP-like forcing: reader thread sees the second write of a CoWW
+ * pair, so both the po-loc edge and the rf pin the location's co to
+ * one total order — no fallback needed.
+ */
+TEST(SaturationCrafted, ForcesTotalOrder)
+{
+    // Events: 0 = init(x); 1, 2 = w1, w2 in thread 0 (po);
+    // 3 = read in thread 1 reading w1.
+    SynthExec ex;
+    ex.numLocs = 1;
+    ex.numEvents = 4;
+    ex.thread = {-1, 0, 0, 1};
+    ex.loc = {0, 0, 0, 0};
+    ex.isWrite = {true, true, true, false};
+    ex.poLoc = Relation(4);
+    ex.rf = Relation(4);
+    ex.rmw = Relation(4);
+    ex.intRel = Relation(4);
+    ex.poLoc.add(1, 2);
+    ex.intRel.add(1, 2);
+    ex.intRel.add(2, 1);
+    ex.rf.add(1, 3);
+    ex.writesByLoc = {{1, 2}};
+    ex.initWrites = {0};
+
+    const rel::SaturationSupport support{true, true};
+    Relation forced(4);
+    rel::SaturationScratch scratch;
+    scratch.prepare(4);
+    const rel::SaturationResult res =
+        saturate(ex, forced, support, scratch);
+    EXPECT_FALSE(res.contradiction);
+    // po-loc forces co(w1, w2); with init first the order is total.
+    EXPECT_TRUE(forced.contains(1, 2));
+    EXPECT_EQ(res.forcedEdges, 1u);
+}
+
+/**
+ * 2+2W-like fallback: two independent cross-thread writes, no
+ * reads.  Nothing decides their order, so saturation must force
+ * nothing and the engine falls back to enumeration.
+ */
+TEST(SaturationCrafted, MustFallBackWhenUndecided)
+{
+    // Events: 0 = init(x); 1 = w1 (thread 0); 2 = w2 (thread 1).
+    SynthExec ex;
+    ex.numLocs = 1;
+    ex.numEvents = 3;
+    ex.thread = {-1, 0, 1};
+    ex.loc = {0, 0, 0};
+    ex.isWrite = {true, true, true};
+    ex.poLoc = Relation(3);
+    ex.rf = Relation(3);
+    ex.rmw = Relation(3);
+    ex.intRel = Relation(3);
+    ex.writesByLoc = {{1, 2}};
+    ex.initWrites = {0};
+
+    const rel::SaturationSupport support{true, true};
+    Relation forced(3);
+    rel::SaturationScratch scratch;
+    scratch.prepare(3);
+    const rel::SaturationResult res =
+        saturate(ex, forced, support, scratch);
+    EXPECT_FALSE(res.contradiction);
+    EXPECT_EQ(res.forcedEdges, 0u);
+    EXPECT_FALSE(forced.contains(1, 2));
+    EXPECT_FALSE(forced.contains(2, 1));
+}
+
+/**
+ * CoRR contradiction: one thread reads w2 then w1 while another
+ * thread's po-loc orders w1 before w2 — both co directions close a
+ * cycle, so the whole rf assignment is rejected.
+ */
+TEST(SaturationCrafted, DetectsCorrContradiction)
+{
+    // Events: 0 = init(x); 1, 2 = w1, w2 (thread 0, po);
+    // 3, 4 = r1, r2 (thread 1, po) with rf(w2, r1), rf(w1, r2).
+    SynthExec ex;
+    ex.numLocs = 1;
+    ex.numEvents = 5;
+    ex.thread = {-1, 0, 0, 1, 1};
+    ex.loc = {0, 0, 0, 0, 0};
+    ex.isWrite = {true, true, true, false, false};
+    ex.poLoc = Relation(5);
+    ex.rf = Relation(5);
+    ex.rmw = Relation(5);
+    ex.intRel = Relation(5);
+    ex.poLoc.add(1, 2);
+    ex.poLoc.add(3, 4);
+    ex.intRel.add(1, 2);
+    ex.intRel.add(2, 1);
+    ex.intRel.add(3, 4);
+    ex.intRel.add(4, 3);
+    ex.rf.add(2, 3);
+    ex.rf.add(1, 4);
+    ex.writesByLoc = {{1, 2}};
+    ex.initWrites = {0};
+
+    const rel::SaturationSupport support{true, true};
+    Relation forced(5);
+    rel::SaturationScratch scratch;
+    scratch.prepare(5);
+    const rel::SaturationResult res =
+        saturate(ex, forced, support, scratch);
+    EXPECT_TRUE(res.contradiction);
+    // And the reference agrees: no coherent total order exists.
+    EXPECT_TRUE(coherentCos(ex, support).empty());
+}
+
+/** Coherence saturation must not run without the model's promise. */
+TEST(SaturationCrafted, NoSupportForcesNothing)
+{
+    SynthExec ex;
+    ex.numLocs = 1;
+    ex.numEvents = 4;
+    ex.thread = {-1, 0, 0, 1};
+    ex.loc = {0, 0, 0, 0};
+    ex.isWrite = {true, true, true, false};
+    ex.poLoc = Relation(4);
+    ex.rf = Relation(4);
+    ex.rmw = Relation(4);
+    ex.intRel = Relation(4);
+    ex.poLoc.add(1, 2);
+    ex.rf.add(1, 3);
+    ex.writesByLoc = {{1, 2}};
+    ex.initWrites = {0};
+
+    Relation forced(4);
+    rel::SaturationScratch scratch;
+    scratch.prepare(4);
+    const rel::SaturationResult res =
+        saturate(ex, forced, rel::SaturationSupport{}, scratch);
+    EXPECT_FALSE(res.contradiction);
+    EXPECT_EQ(res.forcedEdges, 0u);
+}
+
+/**
+ * The LKMM_BREAK_SATURATION hook (used by the seeded-bug fuzz
+ * acceptance test) must actually break the fixpoint: the undecided
+ * 2+2W pair gets forced in event-id order, which force-soundness
+ * forbids.
+ */
+TEST(SaturationCrafted, BrokenRuleForcesUndecidedPairs)
+{
+    SynthExec ex;
+    ex.numLocs = 1;
+    ex.numEvents = 3;
+    ex.thread = {-1, 0, 1};
+    ex.loc = {0, 0, 0};
+    ex.isWrite = {true, true, true};
+    ex.poLoc = Relation(3);
+    ex.rf = Relation(3);
+    ex.rmw = Relation(3);
+    ex.intRel = Relation(3);
+    ex.writesByLoc = {{1, 2}};
+    ex.initWrites = {0};
+
+    const rel::SaturationSupport support{true, true};
+    rel::saturation_testing::setBrokenRule(true);
+    Relation forced(3);
+    rel::SaturationScratch scratch;
+    scratch.prepare(3);
+    const rel::SaturationResult res =
+        saturate(ex, forced, support, scratch);
+    rel::saturation_testing::setBrokenRule(false);
+
+    EXPECT_FALSE(res.contradiction);
+    EXPECT_TRUE(forced.contains(1, 2)); // event-id order, unsound
+    EXPECT_EQ(res.forcedEdges, 1u);
+}
+
+} // namespace
+} // namespace lkmm

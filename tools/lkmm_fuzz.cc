@@ -76,7 +76,8 @@ usage()
         "  --time-budget-s N   stop after N seconds (0 = none)\n"
         "  --oracles SPEC      comma-separated oracle list; see\n"
         "                      --list-oracles (default\n"
-        "                      native-vs-cat,mono-sc-lkmm)\n"
+        "                      native-vs-cat,rf-first-vs-brute,\n"
+        "                      mono-sc-lkmm)\n"
         "  --list-oracles      print known oracle names and exit\n"
         "\n"
         "findings:\n"
